@@ -1,0 +1,192 @@
+package stsyn_test
+
+// One benchmark per table/figure of the paper's evaluation (Section VII).
+//
+// Default sweeps are trimmed so `go test -bench=.` finishes in minutes; set
+// STSYN_BENCH_FULL=1 to run the paper's full parameter ranges (matching up
+// to K=11, coloring up to K=40), or use cmd/stsyn-bench for formatted
+// tables. Each run reports the figure's series as benchmark metrics:
+// ranking-ms, scc-ms and total-ms for the time figures, and
+// avg-scc-nodes / program-nodes for the BDD-space figures.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"stsyn"
+	"stsyn/internal/experiments"
+)
+
+func trFactory() (stsyn.Engine, error) {
+	return stsyn.NewExplicitEngine(stsyn.TokenRing(4, 3), 0)
+}
+
+func coreAllSchedules4() [][]int { return stsyn.AllSchedules(4) }
+
+func full() bool { return os.Getenv("STSYN_BENCH_FULL") != "" }
+
+func matchingKs() []int {
+	if full() {
+		return []int{5, 6, 7, 8, 9, 10, 11} // the paper's Figure 6/7 sweep
+	}
+	return []int{5, 6, 7}
+}
+
+func coloringKs() []int {
+	if full() {
+		return []int{5, 10, 15, 20, 25, 30, 35, 40} // Figure 8/9 sweep
+	}
+	return []int{5, 10, 15}
+}
+
+func tokenRingKs() []int { return []int{2, 3, 4, 5} } // Figure 10/11 sweep
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func reportTime(b *testing.B, row experiments.Row) {
+	b.Helper()
+	if row.Err != "" {
+		b.Fatalf("K=%d failed: %s", row.K, row.Err)
+	}
+	if !row.Verified {
+		b.Fatalf("K=%d result did not verify", row.K)
+	}
+	b.ReportMetric(ms(row.RankingTime), "ranking-ms")
+	b.ReportMetric(ms(row.SCCTime), "scc-ms")
+	b.ReportMetric(ms(row.TotalTime), "total-ms")
+}
+
+func reportSpace(b *testing.B, row experiments.Row) {
+	b.Helper()
+	if row.Err != "" {
+		b.Fatalf("K=%d failed: %s", row.K, row.Err)
+	}
+	b.ReportMetric(row.AvgSCCSize, "avg-scc-nodes")
+	b.ReportMetric(float64(row.ProgramSize), "program-nodes")
+}
+
+// BenchmarkTable1LocalCorrectability regenerates Figure 5 / Table 1.
+func BenchmarkTable1LocalCorrectability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.LocalCorrectability()
+		want := map[string]bool{
+			"3-Coloring": true, "Matching": false,
+			"Token Ring (TR)": false, "Two-Ring TR": false,
+		}
+		for _, r := range rows {
+			if r.LocallyCorrectable != want[r.CaseStudy] {
+				b.Fatalf("%s: got %v", r.CaseStudy, r.LocallyCorrectable)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6MatchingTime regenerates Figure 6: synthesis time for
+// maximal matching vs number of processes.
+func BenchmarkFig6MatchingTime(b *testing.B) {
+	for _, k := range matchingKs() {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportTime(b, experiments.MatchingSweep([]int{k})[0])
+			}
+		})
+	}
+}
+
+// BenchmarkFig7MatchingSpace regenerates Figure 7: BDD space (average SCC
+// size and total program size) for maximal matching vs processes.
+func BenchmarkFig7MatchingSpace(b *testing.B) {
+	for _, k := range matchingKs() {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportSpace(b, experiments.MatchingSweep([]int{k})[0])
+			}
+		})
+	}
+}
+
+// BenchmarkFig8ColoringTime regenerates Figure 8: synthesis time for three
+// coloring vs number of processes.
+func BenchmarkFig8ColoringTime(b *testing.B) {
+	for _, k := range coloringKs() {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportTime(b, experiments.ColoringSweep([]int{k})[0])
+			}
+		})
+	}
+}
+
+// BenchmarkFig9ColoringSpace regenerates Figure 9: BDD space for three
+// coloring vs processes.
+func BenchmarkFig9ColoringSpace(b *testing.B) {
+	for _, k := range coloringKs() {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportSpace(b, experiments.ColoringSweep([]int{k})[0])
+			}
+		})
+	}
+}
+
+// BenchmarkFig10TokenRingTime regenerates Figure 10: synthesis time for the
+// token ring with |D|=4 vs number of processes.
+func BenchmarkFig10TokenRingTime(b *testing.B) {
+	for _, k := range tokenRingKs() {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportTime(b, experiments.TokenRingSweep([]int{k}, 4)[0])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDomainSize regenerates the domain-size investigation the
+// paper mentions but omits for space: the token ring at k=3 with growing
+// domains (cycle count and program size grow with the domain, as Section
+// VIII's scalability discussion predicts).
+func BenchmarkAblationDomainSize(b *testing.B) {
+	for _, dom := range []int{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("dom=%d", dom), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := experiments.DomainEffect(3, []int{dom})
+				if rows[0].Err != "" {
+					b.Fatalf("dom=%d failed: %s", dom, rows[0].Err)
+				}
+				b.ReportMetric(float64(rows[0].ProgramSize), "program-nodes")
+				b.ReportMetric(float64(rows[0].SCCCount), "scc-count")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSchedules regenerates the recovery-schedule
+// investigation the paper mentions but omits for space: all 24 schedules of
+// TR(4,3) succeed and produce several distinct verified versions.
+func BenchmarkAblationSchedules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.ScheduleEffect("token-ring-4-3",
+			trFactory, coreAllSchedules4())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.Successes != 24 {
+			b.Fatalf("%d/24 schedules succeeded", row.Successes)
+		}
+		b.ReportMetric(float64(row.DistinctVersions), "distinct-versions")
+	}
+}
+
+// BenchmarkFig11TokenRingSpace regenerates Figure 11: BDD space for the
+// token ring with |D|=4 vs processes.
+func BenchmarkFig11TokenRingSpace(b *testing.B) {
+	for _, k := range tokenRingKs() {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportSpace(b, experiments.TokenRingSweep([]int{k}, 4)[0])
+			}
+		})
+	}
+}

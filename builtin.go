@@ -1,0 +1,76 @@
+package stsyn
+
+import (
+	"stsyn/internal/core"
+	"stsyn/internal/protocols"
+	"stsyn/internal/verify"
+)
+
+// The paper's case-study protocols, ready to synthesize or verify.
+var (
+	// TokenRing is the non-stabilizing k-process token ring with the given
+	// domain (Section II of the paper; the running example is k=4, dom=3).
+	TokenRing = protocols.TokenRing
+	// DijkstraTokenRing is Dijkstra's self-stabilizing token ring — the
+	// protocol the synthesizer re-derives from TokenRing.
+	DijkstraTokenRing = protocols.DijkstraTokenRing
+	// DijkstraThreeState is Dijkstra's three-state token circulation
+	// (machine-verified reconstruction; see internal/protocols).
+	DijkstraThreeState = protocols.DijkstraThreeState
+	// Matching is the (empty) maximal-matching protocol on a bidirectional
+	// ring (Section VI-A).
+	Matching = protocols.Matching
+	// GoudaAcharyaMatching is the manually designed matching protocol whose
+	// flaws the paper (and this tool) exposes.
+	GoudaAcharyaMatching = protocols.GoudaAcharyaMatching
+	// Coloring is the (empty) three-coloring protocol on a ring
+	// (Section VI-B).
+	Coloring = protocols.Coloring
+	// TwoRingTokenRing is the two-ring token ring TR² (Section VI-C).
+	TwoRingTokenRing = protocols.TwoRingTokenRing
+)
+
+// Matching pointer values.
+const (
+	MatchLeft  = protocols.MLeft
+	MatchRight = protocols.MRight
+	MatchSelf  = protocols.MSelf
+)
+
+// Verdict is the outcome of a verification check, with a reason and a
+// witness state on failure.
+type Verdict = verify.Verdict
+
+// Verification checks (Proposition II.1 and the definitions of Section II).
+func VerifyClosure(e Engine, gs []Group) Verdict           { return verify.Closure(e, gs) }
+func VerifyDeadlockFree(e Engine, gs []Group) Verdict      { return verify.DeadlockFree(e, gs) }
+func VerifyCycleFree(e Engine, gs []Group) Verdict         { return verify.CycleFree(e, gs) }
+func VerifyStrongConvergence(e Engine, gs []Group) Verdict { return verify.StrongConvergence(e, gs) }
+func VerifyWeakConvergence(e Engine, gs []Group) Verdict   { return verify.WeakConvergence(e, gs) }
+func VerifyStronglyStabilizing(e Engine, gs []Group) Verdict {
+	return verify.StronglyStabilizing(e, gs)
+}
+func VerifyWeaklyStabilizing(e Engine, gs []Group) Verdict { return verify.WeaklyStabilizing(e, gs) }
+func VerifySilent(e Engine, gs []Group) Verdict            { return verify.Silent(e, gs) }
+
+// VerifyPreservesInvariantBehavior checks the output constraints of the
+// paper's Problem III.1 on a synthesis result (δpss|I = δp|I).
+func VerifyPreservesInvariantBehavior(e Engine, res *Result) Verdict {
+	return verify.PreservesInvariantBehavior(e, res)
+}
+
+// CycleWitness extracts a concrete non-progress cycle from an SCC found by
+// the engine, e.g. to exhibit the Gouda-Acharya flaw.
+func CycleWitness(e Engine, gs []Group, scc Set) []State {
+	return verify.CycleWitness(e, gs, scc)
+}
+
+// FindRecoveryPath extracts a shortest concrete recovery execution from a
+// state to the legitimate states (the states visited and the group taking
+// each step); ok is false when the protocol cannot recover from the state.
+func FindRecoveryPath(e Engine, gs []Group, from State) (states []State, steps []Group, ok bool) {
+	return verify.RecoveryPath(e, gs, from)
+}
+
+// Deadlocks returns the deadlock states of the given protocol (outside I).
+func Deadlocks(e Engine, gs []Group) Set { return core.Deadlocks(e, gs) }

@@ -1,0 +1,124 @@
+// Command stsyn-bench regenerates the tables and figures of the paper's
+// evaluation (Section VII): per-figure sweeps of synthesis time and BDD
+// space for maximal matching (Figures 6-7), three coloring (Figures 8-9)
+// and the token ring with |D|=4 (Figures 10-11), plus the local-
+// correctability summary (Figure 5 / Table 1).
+//
+// Usage:
+//
+//	stsyn-bench -fig table1
+//	stsyn-bench -fig 6            # matching, K=5..11 (also emits Figure 7 data)
+//	stsyn-bench -fig 8 -max 40    # coloring up to the paper's 40 processes
+//	stsyn-bench -fig all -max 25  # everything, capped
+//	stsyn-bench -fig 8 -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/experiments"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+)
+
+// scheduleRows sweeps every schedule over the small case studies.
+func scheduleRows() []experiments.ScheduleRow {
+	mk := func(name string, sp *protocol.Spec, scheds [][]int) experiments.ScheduleRow {
+		row, err := experiments.ScheduleEffect(name,
+			func() (core.Engine, error) { return explicit.New(sp, 0) }, scheds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stsyn-bench:", err)
+			os.Exit(1)
+		}
+		return row
+	}
+	return []experiments.ScheduleRow{
+		mk("token-ring-4-3", protocols.TokenRing(4, 3), core.AllSchedules(4)),
+		mk("matching-5", protocols.Matching(5), core.AllSchedules(5)),
+		mk("coloring-5", protocols.Coloring(5), core.AllSchedules(5)),
+	}
+}
+
+func main() {
+	var (
+		fig = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, table1, domain, schedule, all")
+		max = flag.Int("max", 0, "largest process count (0 = the paper's full sweep)")
+		csv = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	)
+	flag.Parse()
+
+	switch *fig {
+	case "domain":
+		// The domain-size investigation the paper omits for space.
+		fmt.Print(experiments.FormatDomainRows(experiments.DomainEffect(3, []int{2, 3, 4, 5, 6, 7})))
+	case "schedule":
+		// The recovery-schedule investigation the paper omits for space.
+		rows := scheduleRows()
+		fmt.Print(experiments.FormatScheduleRows(rows))
+	case "table1":
+		fmt.Print(experiments.FormatCorrectability(experiments.LocalCorrectability()))
+	case "6", "7":
+		emit("Figures 6-7: maximal matching (time and BDD space vs processes)",
+			experiments.MatchingSweep(upto(matchingKs(), *max)), *csv)
+	case "8", "9":
+		emit("Figures 8-9: three coloring (time and BDD space vs processes)",
+			experiments.ColoringSweep(upto(coloringKs(), *max)), *csv)
+	case "10", "11":
+		emit("Figures 10-11: token ring |D|=4 (time and BDD space vs processes)",
+			experiments.TokenRingSweep(upto(tokenRingKs(), *max), 4), *csv)
+	case "all":
+		fmt.Print(experiments.FormatCorrectability(experiments.LocalCorrectability()))
+		fmt.Println()
+		emit("Figures 6-7: maximal matching",
+			experiments.MatchingSweep(upto(matchingKs(), *max)), *csv)
+		emit("Figures 8-9: three coloring",
+			experiments.ColoringSweep(upto(coloringKs(), *max)), *csv)
+		emit("Figures 10-11: token ring |D|=4",
+			experiments.TokenRingSweep(upto(tokenRingKs(), *max), 4), *csv)
+	default:
+		fmt.Fprintf(os.Stderr, "stsyn-bench: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}
+
+// The paper's sweeps: matching K=5..11, coloring K=5..40 step 5, token
+// ring k=2..5 with |D|=4.
+func matchingKs() []int  { return []int{5, 6, 7, 8, 9, 10, 11} }
+func coloringKs() []int  { return []int{5, 10, 15, 20, 25, 30, 35, 40} }
+func tokenRingKs() []int { return []int{2, 3, 4, 5} }
+
+func upto(ks []int, max int) []int {
+	if max <= 0 {
+		return ks
+	}
+	out := ks[:0:0]
+	for _, k := range ks {
+		if k <= max {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func emit(title string, rows []experiments.Row, csv bool) {
+	if !csv {
+		fmt.Print(experiments.FormatRows(title, rows))
+		fmt.Println()
+		return
+	}
+	fmt.Printf("# %s\n", title)
+	fmt.Println("k,states,ranking_ms,scc_ms,total_ms,avg_scc_nodes,program_nodes,scc_count,max_rank,pass,verified,err")
+	for _, r := range rows {
+		fmt.Printf("%d,%g,%.3f,%.3f,%.3f,%.1f,%d,%d,%d,%d,%v,%q\n",
+			r.K, r.States,
+			float64(r.RankingTime)/float64(time.Millisecond),
+			float64(r.SCCTime)/float64(time.Millisecond),
+			float64(r.TotalTime)/float64(time.Millisecond),
+			r.AvgSCCSize, r.ProgramSize, r.SCCCount, r.MaxRank, r.Pass, r.Verified, r.Err)
+	}
+}

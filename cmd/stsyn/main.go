@@ -1,0 +1,148 @@
+// Command stsyn adds convergence to a non-stabilizing protocol and prints
+// the synthesized self-stabilizing protocol as guarded commands — the Go
+// counterpart of the paper's STabilization Synthesizer (STSyn).
+//
+// Usage:
+//
+//	stsyn -p tokenring -k 4 -dom 3
+//	stsyn -p matching -k 7 -engine symbolic
+//	stsyn -p coloring -k 40
+//	stsyn -p tworing -fanout          # try all rotations in parallel
+//	stsyn -spec ring.stsyn            # synthesize a protocol from a spec file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"stsyn"
+	"stsyn/internal/cli"
+	"stsyn/internal/dot"
+	"stsyn/internal/gcl"
+	"stsyn/internal/protocol"
+)
+
+func main() {
+	var (
+		proto    = flag.String("p", "", "built-in protocol: "+cli.Names)
+		specFile = flag.String("spec", "", "read the protocol from a .stsyn guarded-command file instead")
+		k        = flag.Int("k", 4, "number of processes (parametric built-ins)")
+		dom      = flag.Int("dom", 3, "variable domain size (token ring)")
+		engine   = flag.String("engine", "auto", "state-space engine: auto, explicit, symbolic")
+		weak     = flag.Bool("weak", false, "add weak convergence instead of strong")
+		schedule = flag.String("schedule", "", "recovery schedule, e.g. 1,2,3,0 (default: P1..Pk-1,P0)")
+		resol    = flag.String("resolution", "batch", "cycle resolution: batch (paper) or incremental")
+		fanout   = flag.Bool("fanout", false, "try all cyclic-rotation schedules in parallel, first success wins")
+		quiet    = flag.Bool("q", false, "print only statistics, not the protocol")
+		dotFile  = flag.String("dot", "", "also write the synthesized state graph as Graphviz DOT (small instances)")
+	)
+	flag.Parse()
+
+	sp, err := loadSpec(*proto, *specFile, *k, *dom)
+	fatalIf(err)
+
+	opts := stsyn.Options{}
+	if *weak {
+		opts.Convergence = stsyn.Weak
+	}
+	switch *resol {
+	case "batch":
+	case "incremental":
+		opts.CycleResolution = stsyn.IncrementalResolution
+	default:
+		fatalIf(fmt.Errorf("unknown cycle resolution %q", *resol))
+	}
+	opts.Schedule, err = cli.ParseSchedule(*schedule)
+	fatalIf(err)
+
+	n, _ := sp.NumStates()
+	fmt.Printf("protocol %s: %d processes, %d variables, %d states\n",
+		sp.Name, len(sp.Procs), len(sp.Vars), n)
+
+	if *fanout {
+		factory := func() (stsyn.Engine, error) { return newEngine(sp, *engine) }
+		best, attempts, err := stsyn.TrySchedules(factory, opts,
+			stsyn.Rotations(len(sp.Procs)), runtime.GOMAXPROCS(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "all %d schedules failed: %v\n", len(attempts), err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedule %v succeeded\n", best.Schedule)
+		opts.Schedule = best.Schedule
+	}
+
+	e, err := newEngine(sp, *engine)
+	fatalIf(err)
+	res, err := stsyn.AddConvergence(e, opts)
+	fatalIf(err)
+
+	fmt.Printf("synthesized: pass=%d ranks=%d added=%d removed=%d\n",
+		res.PassCompleted, res.MaxRank(), len(res.Added), len(res.Removed))
+	fmt.Printf("time: total=%v ranking=%v scc=%v\n",
+		res.TotalTime.Round(1e6), res.RankingTime.Round(1e6), res.SCCTime.Round(1e6))
+	fmt.Printf("space: program=%d avg-scc=%.1f (#scc=%d)\n",
+		res.ProgramSize, res.AvgSCCSize, res.SCCCount)
+
+	if !*quiet {
+		fmt.Println()
+		fmt.Println(stsyn.Render(e, res.Protocol))
+	}
+
+	if *dotFile != "" {
+		out, err := dot.Graph(e, res.Protocol, dot.Options{
+			Ranks:              res.Ranks,
+			HighlightDeadlocks: true,
+		})
+		fatalIf(err)
+		fatalIf(os.WriteFile(*dotFile, []byte(out), 0o644))
+		fmt.Printf("state graph written to %s\n", *dotFile)
+	}
+
+	verdict := stsyn.VerifyStronglyStabilizing(e, res.Protocol)
+	if *weak {
+		verdict = stsyn.VerifyWeaklyStabilizing(e, res.Protocol)
+	}
+	if verdict.OK {
+		fmt.Println("verified: self-stabilizing")
+	} else {
+		fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: %s (witness %v)\n", verdict.Reason, verdict.Witness)
+		os.Exit(1)
+	}
+}
+
+func loadSpec(proto, specFile string, k, dom int) (*protocol.Spec, error) {
+	switch {
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		return gcl.Parse(specFile, string(data))
+	case proto != "":
+		return cli.BuildSpec(proto, k, dom)
+	default:
+		return nil, fmt.Errorf("need -p <name> or -spec <file> (built-ins: %s)", cli.Names)
+	}
+}
+
+func newEngine(sp *protocol.Spec, kind string) (stsyn.Engine, error) {
+	switch kind {
+	case "explicit":
+		return stsyn.NewExplicitEngine(sp, 0)
+	case "symbolic":
+		return stsyn.NewSymbolicEngine(sp)
+	case "auto", "":
+		return stsyn.NewEngine(sp)
+	default:
+		return nil, fmt.Errorf("unknown engine %q", kind)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsyn:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package stsyn_test
+
+import (
+	"fmt"
+
+	"stsyn"
+)
+
+// Re-derive Dijkstra's token ring from the paper's non-stabilizing running
+// example.
+func ExampleSynthesize() {
+	res, eng, err := stsyn.Synthesize(stsyn.TokenRing(4, 3), stsyn.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("pass %d, %d recovery groups added\n", res.PassCompleted, len(res.Added))
+	fmt.Print(stsyn.Render(eng, res.Protocol))
+	// Output:
+	// pass 2, 9 recovery groups added
+	// P0:
+	//   x0 == x3 -> x0 := x3 + 1
+	// P1:
+	//   x1 != x0 -> x1 := x0
+	// P2:
+	//   x2 != x1 -> x2 := x1
+	// P3:
+	//   x3 != x2 -> x3 := x2
+}
+
+// Check the flawed Gouda-Acharya matching protocol.
+func ExampleVerifyCycleFree() {
+	eng, err := stsyn.NewEngine(stsyn.GoudaAcharyaMatching(5))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	v := stsyn.VerifyCycleFree(eng, eng.ActionGroups())
+	fmt.Println(v.OK, "—", v.Reason)
+	// Output:
+	// false — 17 non-progress SCCs outside I
+}
+
+// Extract a shortest recovery execution of the synthesized ring.
+func ExampleFindRecoveryPath() {
+	res, eng, err := stsyn.Synthesize(stsyn.TokenRing(4, 3), stsyn.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	states, steps, ok := stsyn.FindRecoveryPath(eng, res.Protocol, stsyn.State{0, 0, 1, 2})
+	fmt.Println(ok, len(steps), "steps")
+	for _, s := range states {
+		fmt.Println(s)
+	}
+	// Output:
+	// true 1 steps
+	// [0 0 1 2]
+	// [0 0 0 2]
+}

@@ -1,0 +1,54 @@
+// Fault injection: the operational side of self-stabilization.
+//
+// The synthesizer proves convergence; this example shows it happening. We
+// synthesize the stabilizing token ring, then batter it with transient
+// faults — uniformly random starting states, the standard fault model —
+// under a random scheduler, and measure how fast it returns to the
+// legitimate states. The non-stabilizing input protocol is run through the
+// same gauntlet for contrast (it deadlocks).
+//
+// Run with: go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stsyn"
+)
+
+func main() {
+	const k, dom, trials = 5, 5, 2000
+	sp := stsyn.TokenRing(k, dom)
+	eng, err := stsyn.NewEngine(sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Token ring, %d processes, domain %d, %d random-fault trials each.\n\n", k, dom, trials)
+
+	before := stsyn.NewSimulator(eng, eng.ActionGroups())
+	fmt.Printf("non-stabilizing input:  %s\n", before.Estimate(trials, stsyn.SimConfig{Seed: 1}))
+
+	// TR(5,5) needs the incremental cycle-resolution refinement; the paper's
+	// batch strategy loses every useful recovery group to conservative SCC
+	// removal at this domain size.
+	res, err := stsyn.AddConvergence(eng, stsyn.Options{CycleResolution: stsyn.IncrementalResolution})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := stsyn.NewSimulator(eng, res.Protocol)
+	fmt.Printf("synthesized protocol:   %s\n\n", after.Estimate(trials, stsyn.SimConfig{Seed: 1}))
+
+	// One concrete recovery trace from a heavily corrupted state.
+	start := stsyn.State{4, 2, 0, 3, 1}
+	run := after.Run(start, stsyn.SimConfig{Seed: 7, Trace: true})
+	fmt.Printf("one recovery from %v (%s in %d steps):\n", start, run.Outcome, run.Steps)
+	for i, s := range run.Trace {
+		marker := ""
+		if sp.Invariant.EvalBool(s) {
+			marker = "   <- legitimate"
+		}
+		fmt.Printf("  step %2d: %v%s\n", i, s, marker)
+	}
+}

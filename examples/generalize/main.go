@@ -1,0 +1,101 @@
+// The lightweight method end to end (the paper's Figure 1): synthesize
+// small instances of the 3-coloring protocol, climbing the process count;
+// analyze the symmetry of the solution; extract its relative (ring-
+// position independent) form; re-instantiate it on a much larger ring; and
+// VERIFY the conjecture — far cheaper than synthesizing the large ring.
+//
+// The paper: small instances "provide valuable insights for designers as
+// to how convergence should be added/verified as a protocol scales up."
+//
+// Run with: go run ./examples/generalize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stsyn"
+)
+
+func main() {
+	// 1. Climb: synthesize coloring rings with 3..6 processes.
+	cfg := stsyn.LadderConfig{
+		BuildSpec: stsyn.Coloring,
+		NewEngine: func(sp *stsyn.Spec) (stsyn.Engine, error) { return stsyn.NewEngine(sp) },
+		Workers:   4,
+	}
+	rungs := stsyn.Climb(cfg, 3, 6)
+	for _, r := range rungs {
+		if r.Err != nil {
+			log.Fatalf("rung k=%d failed: %v", r.K, r.Err)
+		}
+		fmt.Printf("k=%d synthesized in %v (pass %d, %d groups added)\n",
+			r.K, r.Elapsed.Round(1e6), r.Result.PassCompleted, len(r.Result.Added))
+	}
+	last := rungs[len(rungs)-1]
+	const k = 6
+	groups := stsyn.ProtocolGroups(last.Result.Protocol)
+
+	// 2. Insight: the solution's symmetry structure.
+	sp := stsyn.Coloring(k)
+	classes, err := stsyn.SymmetryClasses(sp, groups, stsyn.RingRotation(sp, k))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsymmetry classes at k=%d: %v\n", k, classes)
+	fmt.Println("(the large class is the parametric 'middle' rule the paper prints)")
+
+	// 3. Generalize: lift the k=6 solution to a 24-process ring.
+	const k2 = 24
+	conjecture, err := stsyn.AutoGeneralizeRing(stsyn.Coloring, k, groups, k2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngeneralized to k=%d: %d groups (a conjecture, not yet a theorem)\n",
+		k2, len(conjecture))
+
+	// 4. Verify the conjecture symbolically — 3^24 ≈ 2.8·10^11 states.
+	eng, err := stsyn.NewSymbolicEngine(stsyn.Coloring(k2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := stsyn.BindGroups(eng, conjecture)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v := stsyn.VerifyStronglyStabilizing(eng, bound); v.OK {
+		fmt.Printf("VERIFIED: the generalized protocol self-stabilizes on %g states.\n",
+			eng.States(eng.Universe()))
+	} else {
+		log.Fatalf("conjecture refuted: %s (witness %v)", v.Reason, v.Witness)
+	}
+
+	// 5. The cautionary tale: the same trick on the token ring fails —
+	// Dijkstra's ring needs dom ≥ k, so lifting TR(4,3) to 5 processes
+	// yields a protocol the verifier rejects.
+	build := func(kk int) *stsyn.Spec { return stsyn.TokenRing(kk, 3) }
+	trEng, err := stsyn.NewEngine(build(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trRes, err := stsyn.AddConvergence(trEng, stsyn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lifted, err := stsyn.AutoGeneralizeRing(build, 4, stsyn.ProtocolGroups(trRes.Protocol), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng5, err := stsyn.NewEngine(build(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound5, err := stsyn.BindGroups(eng5, lifted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v := stsyn.VerifyStronglyStabilizing(eng5, bound5); !v.OK {
+		fmt.Printf("\nas the paper warns, not every solution generalizes:\n")
+		fmt.Printf("TR(4,3) lifted to 5 processes is refuted — %s (witness %v)\n", v.Reason, v.Witness)
+	}
+}

@@ -1,0 +1,45 @@
+package stsyn
+
+import "stsyn/internal/protocol"
+
+// Expression AST node types for guards, assignments and invariants. All are
+// value types; compose them directly, e.g.
+//
+//	stsyn.Eq{A: stsyn.V{ID: 0}, B: stsyn.AddMod{A: stsyn.V{ID: 3}, B: stsyn.C{Val: 1}, Mod: 3}}
+type (
+	// BoolExpr is a boolean-valued expression over protocol variables.
+	BoolExpr = protocol.BoolExpr
+	// IntExpr is an integer-valued expression over protocol variables.
+	IntExpr = protocol.IntExpr
+
+	// V references a variable by ID; C is an integer constant.
+	V = protocol.V
+	C = protocol.C
+	// AddMod is (A+B) mod Mod; SubMod is (A−B) mod Mod.
+	AddMod = protocol.AddMod
+	SubMod = protocol.SubMod
+	// Cond is if-then-else on integers.
+	Cond = protocol.Cond
+
+	// True and False are boolean constants.
+	True  = protocol.True
+	False = protocol.False
+	// Eq, Neq and Lt compare integer expressions.
+	Eq  = protocol.Eq
+	Neq = protocol.Neq
+	Lt  = protocol.Lt
+	// And, Or, Not and Implies are the boolean connectives.
+	And     = protocol.And
+	Or      = protocol.Or
+	Not     = protocol.Not
+	Implies = protocol.Implies
+)
+
+// Conj and Disj build flattened n-ary conjunctions and disjunctions.
+var (
+	Conj = protocol.Conj
+	Disj = protocol.Disj
+)
+
+// SortedIDs sorts and deduplicates variable IDs, for Reads/Writes sets.
+var SortedIDs = protocol.SortedIDs

@@ -1,0 +1,3 @@
+module stsyn
+
+go 1.22

@@ -1,0 +1,387 @@
+// Package bdd implements reduced ordered binary decision diagrams with a
+// shared, hash-consed node store and a direct-mapped operation cache. It
+// plays the role CUDD/GLU plays in the paper's STSyn implementation: the
+// symbolic engine represents state predicates and transition groups as BDDs
+// and reports space usage in BDD nodes (Figures 7, 9 and 11).
+//
+// The variable order is fixed at construction time; there is no dynamic
+// reordering and no garbage collection — synthesis runs are short-lived and
+// the node store is simply discarded with the manager.
+package bdd
+
+import "fmt"
+
+// Ref is a reference to a BDD node owned by a Manager. The zero Ref is the
+// constant false, making the zero value of Ref-typed fields meaningful.
+type Ref uint32
+
+// Constant terminals.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level    int32 // variable level; terminals use the sentinel level nvars
+	lo, hi   Ref   // cofactors for level-variable = 0 / 1
+	nextHash uint32
+}
+
+// Manager owns a shared BDD node store over a fixed number of boolean
+// variables (levels 0..N-1; lower level = closer to the root).
+type Manager struct {
+	nvars int32
+	nodes []node
+
+	buckets []uint32 // unique-table heads, index by hash; 0 = empty
+	mask    uint32
+
+	cache []cacheEntry // direct-mapped operation cache
+	cmask uint32
+
+	opCount uint64 // number of cached operations performed (for stats)
+}
+
+type cacheEntry struct {
+	op      uint32
+	a, b, c Ref
+	result  Ref
+	valid   bool
+}
+
+// Operation codes for the cache.
+const (
+	opITE uint32 = iota + 1
+	opExists
+	opRestrict
+	opSupport
+	opPermute
+	opAndExists
+)
+
+// New creates a manager over nvars boolean variables.
+func New(nvars int) *Manager {
+	if nvars < 0 || nvars >= 1<<30 {
+		panic(fmt.Sprintf("bdd: invalid variable count %d", nvars))
+	}
+	m := &Manager{nvars: int32(nvars)}
+	m.nodes = make([]node, 2, 1024)
+	m.nodes[False] = node{level: m.nvars}
+	m.nodes[True] = node{level: m.nvars}
+	m.buckets = make([]uint32, 1<<14)
+	m.mask = uint32(len(m.buckets) - 1)
+	m.cache = make([]cacheEntry, 1<<16)
+	m.cmask = uint32(len(m.cache) - 1)
+	return m
+}
+
+// NumVars returns the number of boolean variables.
+func (m *Manager) NumVars() int { return int(m.nvars) }
+
+// Size returns the total number of nodes ever allocated (including the two
+// terminals). This is the manager-wide space metric.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Ops returns the number of cached recursive operations performed; a
+// platform-independent work metric.
+func (m *Manager) Ops() uint64 { return m.opCount }
+
+func (m *Manager) level(f Ref) int32 { return m.nodes[f].level }
+
+// Low and High return the cofactors of a non-terminal node.
+func (m *Manager) Low(f Ref) Ref  { return m.nodes[f].lo }
+func (m *Manager) High(f Ref) Ref { return m.nodes[f].hi }
+
+// Level returns the level of f's root variable, or NumVars() for terminals.
+func (m *Manager) Level(f Ref) int { return int(m.nodes[f].level) }
+
+// IsTerminal reports whether f is a constant.
+func (m *Manager) IsTerminal(f Ref) bool { return f <= True }
+
+func hash3(a, b, c uint32) uint32 {
+	h := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9 ^ uint64(c)*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// mk returns the canonical node (level, lo, hi), applying the reduction rule
+// and hash-consing.
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	h := hash3(uint32(level), uint32(lo), uint32(hi)) & m.mask
+	for i := m.buckets[h]; i != 0; i = m.nodes[i].nextHash {
+		n := &m.nodes[i]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return Ref(i)
+		}
+	}
+	idx := uint32(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi, nextHash: m.buckets[h]})
+	m.buckets[h] = idx
+	if len(m.nodes) > len(m.buckets)*2 { // keep chains short
+		m.rehash()
+	}
+	return Ref(idx)
+}
+
+func (m *Manager) rehash() {
+	m.buckets = make([]uint32, len(m.buckets)*2)
+	m.mask = uint32(len(m.buckets) - 1)
+	for i := 2; i < len(m.nodes); i++ {
+		n := &m.nodes[i]
+		h := hash3(uint32(n.level), uint32(n.lo), uint32(n.hi)) & m.mask
+		n.nextHash = m.buckets[h]
+		m.buckets[h] = uint32(i)
+	}
+}
+
+func (m *Manager) cacheSlot(op uint32, a, b, c Ref) uint32 {
+	return (hash3(op, uint32(a), uint32(b)) ^ uint32(c)*0x85ebca6b) & m.cmask
+}
+
+func (m *Manager) cacheGet(op uint32, a, b, c Ref) (Ref, bool) {
+	e := &m.cache[m.cacheSlot(op, a, b, c)]
+	if e.valid && e.op == op && e.a == a && e.b == b && e.c == c {
+		return e.result, true
+	}
+	return 0, false
+}
+
+func (m *Manager) cachePut(op uint32, a, b, c, r Ref) {
+	m.opCount++
+	m.cache[m.cacheSlot(op, a, b, c)] =
+		cacheEntry{op: op, a: a, b: b, c: c, result: r, valid: true}
+}
+
+// Var returns the BDD of the positive literal for variable level v.
+func (m *Manager) Var(v int) Ref {
+	if v < 0 || int32(v) >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.nvars))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD of the negative literal for variable level v.
+func (m *Manager) NVar(v int) Ref {
+	if v < 0 || int32(v) >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.nvars))
+	}
+	return m.mk(int32(v), True, False)
+}
+
+// cofactors splits f at the given level.
+func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
+	n := &m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// ITE computes if-then-else: f·g ∨ ¬f·h.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	if r, ok := m.cacheGet(opITE, f, g, h); ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.cachePut(opITE, f, g, h, r)
+	return r
+}
+
+// And, Or, Xor, Not, Diff and Imp are the usual boolean connectives.
+func (m *Manager) And(f, g Ref) Ref  { return m.ITE(f, g, False) }
+func (m *Manager) Or(f, g Ref) Ref   { return m.ITE(f, True, g) }
+func (m *Manager) Not(f Ref) Ref     { return m.ITE(f, False, True) }
+func (m *Manager) Xor(f, g Ref) Ref  { return m.ITE(f, m.Not(g), g) }
+func (m *Manager) Diff(f, g Ref) Ref { return m.ITE(g, False, f) }
+func (m *Manager) Imp(f, g Ref) Ref  { return m.ITE(f, g, True) }
+
+// AndN conjoins all arguments; OrN disjoins them.
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// Equiv reports whether f and g denote the same function. With
+// hash-consing this is pointer equality.
+func (m *Manager) Equiv(f, g Ref) bool { return f == g }
+
+// AndExists computes the relational product ∃cube. (f ∧ g) in one pass —
+// the workhorse of image computations in relation-based symbolic model
+// checking (the engine's functional groups avoid it on the hot path, but
+// the transition-relation metrics and downstream users need it).
+func (m *Manager) AndExists(f, g, cube Ref) Ref {
+	switch {
+	case f == False || g == False:
+		return False
+	case f == True:
+		return m.Exists(g, cube)
+	case g == True:
+		return m.Exists(f, cube)
+	case cube == True:
+		return m.And(f, g)
+	}
+	if r, ok := m.cacheGet(opAndExists, f, g, cube); ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	// Skip quantified variables above both operands.
+	c := cube
+	for !m.IsTerminal(c) && m.level(c) < top {
+		c = m.nodes[c].hi
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	var r Ref
+	if !m.IsTerminal(c) && m.level(c) == top {
+		// Quantified at this level: OR of the two cofactor products; short-
+		// circuit when the first branch is already True.
+		r = m.AndExists(f0, g0, m.nodes[c].hi)
+		if r != True {
+			r = m.Or(r, m.AndExists(f1, g1, m.nodes[c].hi))
+		}
+	} else {
+		r = m.mk(top, m.AndExists(f0, g0, c), m.AndExists(f1, g1, c))
+	}
+	m.cachePut(opAndExists, f, g, cube, r)
+	return r
+}
+
+// Exists existentially quantifies away every variable in cube, which must
+// be a positive cube (a conjunction of positive literals, e.g. from Cube).
+func (m *Manager) Exists(f, cube Ref) Ref {
+	if m.IsTerminal(f) || cube == True {
+		return f
+	}
+	if cube == False {
+		panic("bdd: Exists with false cube")
+	}
+	if r, ok := m.cacheGet(opExists, f, cube, 0); ok {
+		return r
+	}
+	fl, cl := m.level(f), m.level(cube)
+	var r Ref
+	switch {
+	case cl < fl:
+		// Quantified variable does not appear in f at this level.
+		r = m.Exists(f, m.nodes[cube].hi)
+	case cl == fl:
+		lo := m.Exists(m.nodes[f].lo, m.nodes[cube].hi)
+		hi := m.Exists(m.nodes[f].hi, m.nodes[cube].hi)
+		r = m.Or(lo, hi)
+	default:
+		lo := m.Exists(m.nodes[f].lo, cube)
+		hi := m.Exists(m.nodes[f].hi, cube)
+		r = m.mk(fl, lo, hi)
+	}
+	m.cachePut(opExists, f, cube, 0, r)
+	return r
+}
+
+// Restrict cofactors f by a literal cube (conjunction of positive and/or
+// negative literals): every variable mentioned in the cube is fixed to the
+// polarity it has there. Restrict(f, c) equals ∃vars(c). (f ∧ c).
+func (m *Manager) Restrict(f, cube Ref) Ref {
+	if cube == True || m.IsTerminal(f) {
+		return f
+	}
+	if cube == False {
+		panic("bdd: Restrict with false cube")
+	}
+	if r, ok := m.cacheGet(opRestrict, f, cube, 0); ok {
+		return r
+	}
+	fl := m.level(f)
+	// Skip cube variables above f.
+	c := cube
+	for !m.IsTerminal(c) && m.level(c) < fl {
+		if m.nodes[c].hi != False {
+			c = m.nodes[c].hi
+		} else {
+			c = m.nodes[c].lo
+		}
+	}
+	var r Ref
+	if m.IsTerminal(c) {
+		r = f
+	} else if m.level(c) == fl {
+		if m.nodes[c].hi != False { // positive literal: take the hi branch
+			r = m.Restrict(m.nodes[f].hi, m.nodes[c].hi)
+		} else { // negative literal
+			r = m.Restrict(m.nodes[f].lo, m.nodes[c].lo)
+		}
+	} else {
+		lo := m.Restrict(m.nodes[f].lo, c)
+		hi := m.Restrict(m.nodes[f].hi, c)
+		r = m.mk(fl, lo, hi)
+	}
+	m.cachePut(opRestrict, f, cube, 0, r)
+	return r
+}
+
+// Cube builds the positive cube of the given variable levels.
+func (m *Manager) Cube(vars []int) Ref {
+	r := True
+	for i := len(vars) - 1; i >= 0; i-- {
+		r = m.And(m.Var(vars[i]), r)
+	}
+	return r
+}
+
+// Literal is one variable assignment in a cube.
+type Literal struct {
+	Var int
+	Val bool
+}
+
+// LiteralCube builds the conjunction of the given literals.
+func (m *Manager) LiteralCube(lits []Literal) Ref {
+	r := True
+	for i := len(lits) - 1; i >= 0; i-- {
+		l := m.Var(lits[i].Var)
+		if !lits[i].Val {
+			l = m.Not(l)
+		}
+		r = m.And(l, r)
+	}
+	return r
+}

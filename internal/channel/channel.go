@@ -1,0 +1,261 @@
+// Package channel executes a shared-memory protocol in a message-passing
+// refinement. The paper adopts the shared-memory model because
+// "correctness-preserving transformations exist for the refinement of
+// shared memory SS protocols to their message-passing versions" (Section
+// II, citing Nesterenko-Arora and Demirbas-Arora); this package realizes
+// the standard cached-copy refinement and lets the test suite exercise
+// synthesized protocols under it:
+//
+//   - every process owns its writable variables and keeps a *cached copy*
+//     of each readable-but-unowned variable;
+//   - guards are evaluated against the local view (own values + caches);
+//   - a write is followed by update messages to every reader of the
+//     variable, delivered through FIFO channels;
+//   - transient faults may corrupt variables, caches and channel contents.
+//
+// Under weakly fair scheduling and fault-free operation the refinement's
+// executions project (modulo staleness) onto shared-memory executions; the
+// tests demonstrate the synthesized protocols still converge when caches
+// and channels start arbitrarily corrupted.
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"stsyn/internal/protocol"
+)
+
+// update is one in-flight message: "variable Var now has value Val".
+type update struct {
+	Var int
+	Val int
+}
+
+// System is a message-passing instantiation of a protocol.
+type System struct {
+	sp     *protocol.Spec
+	groups [][]protocol.Group // per process
+	owner  []int              // variable -> owning process
+	// readers[v] lists the processes that read v but do not own it.
+	readers [][]int
+
+	vars  protocol.State      // authoritative (owner-held) values
+	cache []protocol.State    // cache[p][v] = p's view of v (own vars mirror vars)
+	chans map[[2]int][]update // (from, to) -> FIFO of updates
+}
+
+// New builds the system. Every variable must be writable by exactly one
+// process (multi-writer variables have no single authoritative owner in
+// this refinement).
+func New(sp *protocol.Spec, groups []protocol.Group) (*System, error) {
+	s := &System{
+		sp:      sp,
+		groups:  make([][]protocol.Group, len(sp.Procs)),
+		owner:   make([]int, len(sp.Vars)),
+		readers: make([][]int, len(sp.Vars)),
+		chans:   make(map[[2]int][]update),
+	}
+	for i := range s.owner {
+		s.owner[i] = -1
+	}
+	for pi := range sp.Procs {
+		for _, v := range sp.Procs[pi].Writes {
+			if s.owner[v] >= 0 && s.owner[v] != pi {
+				return nil, fmt.Errorf("channel: variable %s has multiple writers (%s and %s)",
+					sp.Vars[v].Name, sp.Procs[s.owner[v]].Name, sp.Procs[pi].Name)
+			}
+			s.owner[v] = pi
+		}
+	}
+	for i, o := range s.owner {
+		if o < 0 {
+			return nil, fmt.Errorf("channel: variable %s has no writer", sp.Vars[i].Name)
+		}
+	}
+	for pi := range sp.Procs {
+		for _, v := range sp.Procs[pi].Reads {
+			if s.owner[v] != pi {
+				s.readers[v] = append(s.readers[v], pi)
+			}
+		}
+	}
+	for _, g := range groups {
+		s.groups[g.Proc] = append(s.groups[g.Proc], g)
+	}
+	s.vars = make(protocol.State, len(sp.Vars))
+	s.cache = make([]protocol.State, len(sp.Procs))
+	for pi := range s.cache {
+		s.cache[pi] = make(protocol.State, len(sp.Vars))
+	}
+	return s, nil
+}
+
+// Randomize corrupts everything: authoritative values, caches and channel
+// contents — the refinement-level transient-fault model.
+func (s *System) Randomize(rng *rand.Rand, junkMessages int) {
+	for v := range s.vars {
+		s.vars[v] = rng.Intn(s.sp.Vars[v].Dom)
+	}
+	for pi := range s.cache {
+		for v := range s.cache[pi] {
+			s.cache[pi][v] = rng.Intn(s.sp.Vars[v].Dom)
+		}
+		// Own variables are authoritative, never stale.
+		for _, v := range s.sp.Procs[pi].Writes {
+			s.cache[pi][v] = s.vars[v]
+		}
+	}
+	for key := range s.chans {
+		delete(s.chans, key)
+	}
+	for i := 0; i < junkMessages; i++ {
+		v := rng.Intn(len(s.vars))
+		if len(s.readers[v]) == 0 {
+			continue
+		}
+		to := s.readers[v][rng.Intn(len(s.readers[v]))]
+		key := [2]int{s.owner[v], to}
+		s.chans[key] = append(s.chans[key], update{Var: v, Val: rng.Intn(s.sp.Vars[v].Dom)})
+	}
+}
+
+// localView returns process pi's view: cached values with its own variables
+// read authoritatively.
+func (s *System) localView(pi int) protocol.State { return s.cache[pi] }
+
+// stepProcess lets pi execute one enabled group against its local view.
+// Returns false if nothing is enabled.
+func (s *System) stepProcess(pi int, rng *rand.Rand) bool {
+	var enabled []protocol.Group
+	for _, g := range s.groups[pi] {
+		if g.Matches(s.sp, s.localView(pi)) {
+			enabled = append(enabled, g)
+		}
+	}
+	if len(enabled) == 0 {
+		return false
+	}
+	g := enabled[rng.Intn(len(enabled))]
+	p := &s.sp.Procs[pi]
+	for wi, v := range p.Writes {
+		val := g.WriteVals[wi]
+		s.vars[v] = val
+		s.cache[pi][v] = val
+		for _, reader := range s.readers[v] {
+			key := [2]int{pi, reader}
+			s.chans[key] = append(s.chans[key], update{Var: v, Val: val})
+		}
+	}
+	return true
+}
+
+// deliverOne delivers the head message of a random non-empty channel.
+// Returns false when all channels are empty.
+func (s *System) deliverOne(rng *rand.Rand) bool {
+	var keys [][2]int
+	for key, q := range s.chans {
+		if len(q) > 0 {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		return false
+	}
+	// Map iteration order is randomized by the runtime; sort so runs are
+	// reproducible for a fixed seed.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	key := keys[rng.Intn(len(keys))]
+	q := s.chans[key]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(s.chans, key)
+	} else {
+		s.chans[key] = q[1:]
+	}
+	s.cache[key[1]][msg.Var] = msg.Val
+	return true
+}
+
+// rebroadcast re-sends process pi's own variable values to every reader —
+// the standard self-stabilizing message-passing discipline (processes
+// repeatedly transmit their state so corrupted caches are eventually
+// refreshed even when no write occurs).
+func (s *System) rebroadcast(pi int) {
+	for _, v := range s.sp.Procs[pi].Writes {
+		for _, reader := range s.readers[v] {
+			key := [2]int{pi, reader}
+			s.chans[key] = append(s.chans[key], update{Var: v, Val: s.vars[v]})
+		}
+	}
+}
+
+// Legitimate reports whether the authoritative state satisfies I.
+func (s *System) Legitimate() bool { return s.sp.Invariant.EvalBool(s.vars) }
+
+// Consistent reports whether every cache agrees with the authoritative
+// values and all channels are empty.
+func (s *System) Consistent() bool {
+	if len(s.chans) > 0 {
+		return false
+	}
+	for pi := range s.cache {
+		for _, v := range s.sp.Procs[pi].Reads {
+			if s.cache[pi][v] != s.vars[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Vars returns a copy of the authoritative state.
+func (s *System) Vars() protocol.State { return append(protocol.State(nil), s.vars...) }
+
+// Outcome of a message-passing run.
+type Outcome struct {
+	Converged bool
+	Steps     int
+}
+
+// Run interleaves process steps, message deliveries and periodic state
+// re-broadcasts under a random weakly-fair scheduler until the
+// authoritative state is legitimate with consistent caches, or maxSteps
+// elapse. Re-broadcasting is what makes the refinement self-stabilizing:
+// without it a corrupted cache whose owner never writes would stay stale
+// forever.
+func (s *System) Run(rng *rand.Rand, maxSteps int) Outcome {
+	for step := 0; step < maxSteps; step++ {
+		if s.Legitimate() && s.Consistent() {
+			return Outcome{Converged: true, Steps: step}
+		}
+		acted := false
+		switch rng.Intn(4) {
+		case 0, 1:
+			acted = s.deliverOne(rng)
+		case 2:
+			s.rebroadcast(rng.Intn(len(s.sp.Procs)))
+			acted = true
+		}
+		if !acted {
+			// Let a random enabled process move.
+			order := rng.Perm(len(s.sp.Procs))
+			for _, pi := range order {
+				if s.stepProcess(pi, rng) {
+					acted = true
+					break
+				}
+			}
+		}
+		if !acted {
+			s.deliverOne(rng)
+		}
+	}
+	return Outcome{Converged: false, Steps: maxSteps}
+}

@@ -1,0 +1,161 @@
+package channel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsyn/internal/channel"
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+)
+
+func actionGroups(sp *protocol.Spec) []protocol.Group {
+	var out []protocol.Group
+	for pi := range sp.Procs {
+		out = append(out, sp.ActionGroups(pi)...)
+	}
+	return out
+}
+
+func synthesized(t *testing.T, sp *protocol.Spec) []protocol.Group {
+	t.Helper()
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []protocol.Group
+	for _, g := range res.Protocol {
+		out = append(out, g.ProtocolGroup())
+	}
+	return out
+}
+
+func TestRejectsMultiWriterVariables(t *testing.T) {
+	// TR² has a two-writer turn variable in some designs; build a small
+	// two-writer spec directly.
+	sp := &protocol.Spec{
+		Name: "two-writer",
+		Vars: []protocol.Var{{Name: "x", Dom: 2}},
+		Procs: []protocol.Process{
+			{Name: "P", Reads: []int{0}, Writes: []int{0}},
+			{Name: "Q", Reads: []int{0}, Writes: []int{0}},
+		},
+		Invariant: protocol.True{},
+	}
+	if _, err := channel.New(sp, nil); err == nil {
+		t.Fatal("multi-writer variable should be rejected")
+	}
+}
+
+func TestDijkstraConvergesUnderMessagePassing(t *testing.T) {
+	sp := protocols.DijkstraTokenRing(4, 4)
+	sys, err := channel.New(sp, actionGroups(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	converged := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		sys.Randomize(rng, 6)
+		out := sys.Run(rng, 20000)
+		if out.Converged {
+			converged++
+		}
+	}
+	if converged != trials {
+		t.Fatalf("Dijkstra under message passing: %d/%d converged", converged, trials)
+	}
+}
+
+func TestSynthesizedColoringConvergesUnderMessagePassing(t *testing.T) {
+	sp := protocols.Coloring(5)
+	sys, err := channel.New(sp, synthesized(t, sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	const trials = 200
+	converged := 0
+	for i := 0; i < trials; i++ {
+		sys.Randomize(rng, 8)
+		if sys.Run(rng, 20000).Converged {
+			converged++
+		}
+	}
+	if converged != trials {
+		t.Fatalf("coloring under message passing: %d/%d converged", converged, trials)
+	}
+}
+
+func TestSynthesizedMatchingConvergesUnderMessagePassing(t *testing.T) {
+	sp := protocols.Matching(5)
+	sys, err := channel.New(sp, synthesized(t, sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	const trials = 200
+	converged := 0
+	for i := 0; i < trials; i++ {
+		sys.Randomize(rng, 8)
+		if sys.Run(rng, 50000).Converged {
+			converged++
+		}
+	}
+	// Stale caches can in principle livelock a run within the step budget;
+	// require an overwhelming majority to converge.
+	if converged < trials*95/100 {
+		t.Fatalf("matching under message passing: only %d/%d converged", converged, trials)
+	}
+}
+
+func TestConsistencyDetection(t *testing.T) {
+	sp := protocols.Coloring(4)
+	sys, err := channel.New(sp, synthesized(t, sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	sys.Randomize(rng, 0)
+	// Force consistency by delivering everything and syncing caches: run to
+	// convergence, then the invariant must hold on the authoritative state.
+	out := sys.Run(rng, 20000)
+	if !out.Converged {
+		t.Fatal("run did not converge")
+	}
+	// A converged run ends with the authoritative state legitimate; caches
+	// may remain (harmlessly) stale when the system quiesces before every
+	// corrupted cache entry is refreshed.
+	if !sys.Legitimate() {
+		t.Fatal("converged run must end legitimate")
+	}
+	if !sp.Invariant.EvalBool(sys.Vars()) {
+		t.Fatal("Vars() disagrees with Legitimate()")
+	}
+}
+
+func TestNonStabilizingGetsStuck(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	sys, err := channel.New(sp, actionGroups(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	stuck := 0
+	for i := 0; i < 100; i++ {
+		sys.Randomize(rng, 4)
+		if !sys.Run(rng, 20000).Converged {
+			stuck++
+		}
+	}
+	if stuck == 0 {
+		t.Fatal("the non-stabilizing TR should get stuck under message passing too")
+	}
+}

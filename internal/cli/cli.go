@@ -1,0 +1,59 @@
+// Package cli holds the small shared bits of the command-line tools:
+// resolving built-in protocol names and parsing schedules.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+)
+
+// Names lists the built-in protocol names.
+const Names = "tokenring, dijkstra, dijkstra3, matching, gouda-acharya, coloring, tworing"
+
+// BuildSpec resolves a built-in protocol name with parameters k and dom.
+func BuildSpec(name string, k, dom int) (*protocol.Spec, error) {
+	switch strings.ToLower(name) {
+	case "tokenring", "tr":
+		return protocols.TokenRing(k, dom), nil
+	case "dijkstra":
+		return protocols.DijkstraTokenRing(k, dom), nil
+	case "dijkstra3", "threestate":
+		return protocols.DijkstraThreeState(k), nil
+	case "matching", "mm":
+		return protocols.Matching(k), nil
+	case "gouda-acharya", "ga":
+		return protocols.GoudaAcharyaMatching(k), nil
+	case "coloring", "tc":
+		return protocols.Coloring(k), nil
+	case "tworing", "tr2":
+		return protocols.TwoRingTokenRing(), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (built-ins: %s)", name, Names)
+	}
+}
+
+// ParseSchedule parses "1,2,3,0" into a schedule slice; empty means default.
+func ParseSchedule(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad schedule entry %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseInts parses "5,10,15" into a slice of ints.
+func ParseInts(s string) ([]int, error) {
+	return ParseSchedule(s)
+}

@@ -1,0 +1,50 @@
+package cli
+
+import "testing"
+
+func TestBuildSpec(t *testing.T) {
+	cases := []struct {
+		name  string
+		procs int
+	}{
+		{"tokenring", 4}, {"tr", 4}, {"dijkstra", 4},
+		{"matching", 4}, {"mm", 4}, {"gouda-acharya", 4}, {"ga", 4},
+		{"coloring", 4}, {"tc", 4},
+		{"tworing", 8}, {"tr2", 8},
+	}
+	for _, tc := range cases {
+		sp, err := BuildSpec(tc.name, 4, 3)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(sp.Procs) != tc.procs {
+			t.Errorf("%s: %d processes, want %d", tc.name, len(sp.Procs), tc.procs)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", tc.name, err)
+		}
+	}
+	if _, err := BuildSpec("nope", 4, 3); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule("1, 2,3,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("got %v, want %v", s, want)
+		}
+	}
+	if s, err := ParseSchedule(""); err != nil || s != nil {
+		t.Error("empty schedule should be nil, nil")
+	}
+	if _, err := ParseSchedule("1,x"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's contribution: the rank-based
+// approximation of convergence (Section IV) and the sound three-pass
+// heuristic that adds strong convergence to non-stabilizing protocols
+// (Section V). The algorithms are written once against the Engine interface
+// and run unchanged on the explicit-state engine (internal/explicit) and the
+// BDD-based symbolic engine (internal/symbolic).
+package core
+
+import (
+	"time"
+
+	"stsyn/internal/protocol"
+)
+
+// Set is an opaque state predicate owned by an Engine. Sets are immutable
+// values: every operation returns a new Set.
+type Set interface{}
+
+// Group is a handle to a transition group owned by an Engine.
+type Group interface {
+	// Proc returns the index of the owning process.
+	Proc() int
+	// ProtocolGroup returns the specification-level identity of the group.
+	ProtocolGroup() protocol.Group
+}
+
+// Engine abstracts a state-space representation: a boolean algebra of state
+// predicates, the protocol's transition groups, image operations, and a
+// cycle oracle. Implementations are not safe for concurrent use; parallel
+// synthesis runs one engine per goroutine.
+type Engine interface {
+	// Spec returns the protocol specification the engine was built from.
+	Spec() *protocol.Spec
+
+	// Universe is the set of all states; Invariant the set I of legitimate
+	// states.
+	Universe() Set
+	Empty() Set
+	Invariant() Set
+
+	Or(a, b Set) Set
+	And(a, b Set) Set
+	Diff(a, b Set) Set
+	Not(a Set) Set
+	IsEmpty(a Set) bool
+	Equal(a, b Set) bool
+	// States returns the number of states in a (exact; float64 because
+	// symbolic state spaces exceed uint64).
+	States(a Set) float64
+
+	// ActionGroups returns δp as transition groups; CandidateGroups returns
+	// every group permitted by the topology, excluding no-ops.
+	ActionGroups() []Group
+	CandidateGroups() []Group
+
+	// GroupSrc returns the set of source states of g's transitions.
+	GroupSrc(g Group) Set
+	// GroupDstInto reports whether some transition of g ends in X.
+	GroupDstInto(g Group, X Set) bool
+	// GroupFromTo reports whether some transition of g starts in from and
+	// ends in to.
+	GroupFromTo(g Group, from, to Set) bool
+	// GroupWithin reports whether some transition of g starts and ends in X.
+	GroupWithin(g Group, X Set) bool
+
+	// Pre returns the states with a transition (under any group in gs) into
+	// X; Post the states reachable from X in one transition.
+	Pre(gs []Group, X Set) Set
+	Post(gs []Group, X Set) Set
+	// EnabledSources returns the union of the groups' source sets, i.e. the
+	// states where at least one group is enabled.
+	EnabledSources(gs []Group) Set
+
+	// CyclicSCCs returns the strongly connected components of the union of
+	// gs restricted to states in within, keeping only components that
+	// contain a cycle (size ≥ 2, or a self-loop).
+	CyclicSCCs(gs []Group, within Set) []Set
+
+	// PickState extracts one state from a non-empty set.
+	PickState(a Set) (protocol.State, bool)
+	// Singleton returns the set containing exactly the given state.
+	Singleton(s protocol.State) Set
+
+	// SetSize returns the representation size of a predicate (BDD nodes for
+	// the symbolic engine, state count for the explicit engine).
+	SetSize(a Set) int
+	// ProgramSize returns the representation size of a set of groups (shared
+	// BDD nodes / total transition count).
+	ProgramSize(gs []Group) int
+
+	// Stats returns cumulative engine counters.
+	Stats() *Stats
+}
+
+// Compactor is an optional Engine capability: reclaim representation
+// memory at a safe point. live lists every Set the caller still needs; the
+// result holds the migrated equivalents (order preserved). All other Sets
+// previously handed out become invalid. AddConvergence calls this (when
+// implemented) at rank-loop boundaries.
+type Compactor interface {
+	Compact(live []Set) []Set
+}
+
+// Stats aggregates the measurements the paper reports: how much time is
+// spent in SCC detection, and the space taken by SCC predicates.
+type Stats struct {
+	SCCTime      time.Duration // cumulative time inside CyclicSCCs
+	SCCCalls     int           // number of CyclicSCCs invocations
+	SCCCount     int           // number of non-trivial SCCs found
+	SCCSizeTotal int           // Σ SetSize over all SCCs found
+}
+
+// AvgSCCSize returns the average representation size of the SCCs found so
+// far (0 when none were found).
+func (s *Stats) AvgSCCSize() float64 {
+	if s.SCCCount == 0 {
+		return 0
+	}
+	return float64(s.SCCSizeTotal) / float64(s.SCCCount)
+}

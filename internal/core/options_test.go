@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocols"
+)
+
+func TestConvergenceString(t *testing.T) {
+	if core.Strong.String() != "strong" || core.Weak.String() != "weak" {
+		t.Error("Convergence.String wrong")
+	}
+}
+
+func TestLogOption(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	var lines []string
+	_, err := core.AddConvergence(e, core.Options{
+		Log: func(f string, a ...interface{}) {
+			lines = append(lines, f)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no trace emitted")
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "candidate batch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace lacks batch lines: %v", lines)
+	}
+}
+
+func TestResultMetricsPopulated(t *testing.T) {
+	e := newEngine(t, protocols.Matching(5))
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 || res.SCCTime <= 0 {
+		t.Error("timings not recorded")
+	}
+	if res.ProgramSize <= 0 {
+		t.Error("program size not recorded")
+	}
+	if res.SCCCount <= 0 || res.AvgSCCSize <= 0 {
+		t.Error("SCC metrics not recorded (matching must create SCCs)")
+	}
+	if res.MaxRank() <= 0 {
+		t.Error("ranks not recorded")
+	}
+	if res.PassCompleted < 1 || res.PassCompleted > 3 {
+		t.Errorf("PassCompleted = %d", res.PassCompleted)
+	}
+}
+
+// Deadlocks helper must agree with the definition: ¬I minus enabled states.
+func TestDeadlocksHelper(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	gs := e.ActionGroups()
+	d := core.Deadlocks(e, gs)
+	manual := e.Diff(e.Not(e.Invariant()), e.EnabledSources(gs))
+	if !e.Equal(d, manual) {
+		t.Error("Deadlocks disagrees with its definition")
+	}
+	if e.States(d) != 18 {
+		t.Errorf("TR(4,3) has %v deadlocks, want 18", e.States(d))
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// EngineFactory builds a fresh engine for one synthesis attempt. Engines
+// are not safe for concurrent use, so the parallel driver creates one per
+// schedule.
+type EngineFactory func() (Engine, error)
+
+// ErrSkipped marks attempts that were never started because another
+// schedule had already succeeded.
+var ErrSkipped = errors.New("attempt skipped: another schedule already succeeded")
+
+// Attempt is the outcome of one schedule's synthesis run.
+type Attempt struct {
+	Schedule []int
+	Result   *Result
+	Err      error
+}
+
+// TrySchedules realizes the paper's lightweight method (Figure 1): the
+// success of the heuristic depends on the recovery schedule, and schedules
+// are independent, so one heuristic instance is launched per schedule — the
+// paper suggests separate machines; here a bounded pool of goroutines.
+//
+// It returns the successful attempt with the lowest schedule index (for
+// determinism) along with every attempt's outcome. If no schedule succeeds,
+// the returned error is the first attempt's error.
+func TrySchedules(factory EngineFactory, opts Options, schedules [][]int, workers int) (*Attempt, []Attempt, error) {
+	if len(schedules) == 0 {
+		return nil, nil, errors.New("no schedules given")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	attempts := make([]Attempt, len(schedules))
+	var stop atomic.Bool
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for idx := range schedules {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			attempts[idx].Schedule = schedules[idx]
+			if stop.Load() {
+				attempts[idx].Err = ErrSkipped
+				return
+			}
+			e, err := factory()
+			if err != nil {
+				attempts[idx].Err = err
+				return
+			}
+			o := opts
+			o.Schedule = schedules[idx]
+			r, err := AddConvergence(e, o)
+			attempts[idx].Result = r
+			attempts[idx].Err = err
+			if err == nil {
+				stop.Store(true)
+			}
+		}(idx)
+	}
+	wg.Wait()
+	for i := range attempts {
+		if attempts[i].Err == nil {
+			return &attempts[i], attempts, nil
+		}
+	}
+	return nil, attempts, attempts[0].Err
+}

@@ -1,0 +1,63 @@
+package core
+
+import "stsyn/internal/protocol"
+
+// Pim computes the intermediate protocol p_im of Section IV: the transition
+// groups of p plus the weakest set of recovery groups permitted by the
+// read/write restrictions — every candidate group all of whose transitions
+// start outside I. The result preserves δp|I and the closure of I.
+func Pim(e Engine, pss []Group) []Group {
+	out := append([]Group(nil), pss...)
+	seen := make(map[protocol.Key]bool, len(pss))
+	for _, g := range pss {
+		seen[g.ProtocolGroup().Key()] = true
+	}
+	for _, g := range RecoveryCandidates(e) {
+		if k := g.ProtocolGroup().Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// RecoveryCandidates returns the candidate groups that satisfy constraint
+// C1: no transition of the group starts in I. Only these may ever be added
+// as recovery, because a groupmate starting in I would change δp|I.
+func RecoveryCandidates(e Engine) []Group {
+	I := e.Invariant()
+	var out []Group
+	for _, g := range e.CandidateGroups() {
+		if e.IsEmpty(e.And(e.GroupSrc(g), I)) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ComputeRanks implements the paper's ComputeRanks (Figure 2): a backward
+// breadth-first search from I over the transitions of pim. ranks[0] = I and
+// ranks[i] contains exactly the states whose shortest computation prefix of
+// pim to I has length i. infinite is the set of states with rank ∞: states
+// from which no computation prefix of pim reaches I. By Theorem IV.1,
+// infinite is empty iff a (weakly) stabilizing version of p exists.
+func ComputeRanks(e Engine, pim []Group) (ranks []Set, infinite Set) {
+	I := e.Invariant()
+	explored := I
+	ranks = []Set{I}
+	for {
+		frontier := e.Diff(e.Pre(pim, explored), explored)
+		if e.IsEmpty(frontier) {
+			break
+		}
+		ranks = append(ranks, frontier)
+		explored = e.Or(explored, frontier)
+	}
+	return ranks, e.Diff(e.Universe(), explored)
+}
+
+// Deadlocks returns the deadlock states of the given protocol: states
+// outside I with no outgoing transition.
+func Deadlocks(e Engine, pss []Group) Set {
+	return e.Diff(e.Not(e.Invariant()), e.EnabledSources(pss))
+}

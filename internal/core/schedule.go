@@ -1,0 +1,57 @@
+package core
+
+// DefaultSchedule returns the paper's default recovery schedule for k
+// processes: (P1, P2, …, Pk-1, P0), as used for the token ring example.
+func DefaultSchedule(k int) []int {
+	s := make([]int, k)
+	for i := 0; i < k-1; i++ {
+		s[i] = i + 1
+	}
+	s[k-1] = 0
+	return s
+}
+
+// IdentitySchedule returns (P0, P1, …, Pk-1).
+func IdentitySchedule(k int) []int {
+	s := make([]int, k)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// Rotations returns the k cyclic rotations of the identity schedule — a
+// cheap, diverse family of schedules to fan out over (the paper runs one
+// heuristic instance per schedule, Figure 1).
+func Rotations(k int) [][]int {
+	out := make([][]int, 0, k)
+	for r := 0; r < k; r++ {
+		s := make([]int, k)
+		for i := range s {
+			s[i] = (i + r) % k
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// AllSchedules returns every permutation of 0..k-1 in lexicographic order.
+// Use only for small k: there are k! of them.
+func AllSchedules(k int) [][]int {
+	var out [][]int
+	perm := IdentitySchedule(k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for j := i; j < k; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stsyn/internal/protocol"
+)
+
+// Convergence selects the property to add (Problem III.1).
+type Convergence int
+
+const (
+	// Strong convergence: from any state, every computation reaches I.
+	Strong Convergence = iota
+	// Weak convergence: from any state, some computation reaches I.
+	Weak
+)
+
+func (c Convergence) String() string {
+	if c == Weak {
+		return "weak"
+	}
+	return "strong"
+}
+
+// Options configures AddConvergence.
+type Options struct {
+	// Convergence is the property to add; the default is Strong.
+	Convergence Convergence
+	// Schedule is the recovery schedule: the order in which processes are
+	// given the chance to contribute recovery groups. nil uses the paper's
+	// default (P1, …, Pk-1, P0). Must be a permutation of 0..k-1.
+	Schedule []int
+	// CycleResolution selects how cycles created by a batch of recovery
+	// groups are resolved; the default is the paper's conservative batch
+	// removal.
+	CycleResolution CycleResolution
+	// Log, when non-nil, receives a progress trace of the heuristic
+	// (passes, batches, cycle resolutions).
+	Log func(format string, args ...interface{})
+}
+
+// CycleResolution selects a cycle-resolution strategy for Add_Recovery.
+type CycleResolution int
+
+const (
+	// BatchResolution is the paper's strategy (Identify_Resolve_Cycles,
+	// Figure 3): drop every added group with a transition inside an SCC of
+	// pss ∪ added. Simple, but an entire batch can annihilate itself when
+	// its groups form cycles only with each other.
+	BatchResolution CycleResolution = iota
+	// IncrementalResolution refines the strategy along the lines the
+	// paper's Section V names as future work ("more intelligent methods of
+	// cycle resolution"): groups flagged by the batch check are retried one
+	// at a time, keeping each group whose individual addition leaves
+	// pss|¬I acyclic. Strictly more groups survive; the result is still
+	// cycle-free by construction.
+	IncrementalResolution
+)
+
+// Failure modes of the heuristic.
+var (
+	// ErrNotClosed reports that I is not closed in p — a violated input
+	// assumption of Problem III.1.
+	ErrNotClosed = errors.New("invariant is not closed in the protocol")
+	// ErrUnresolvableCycle reports a non-progress cycle of p in ¬I whose
+	// groups have groupmates starting in I; such cycles cannot be removed
+	// without changing δp|I (preprocessing step of Section V).
+	ErrUnresolvableCycle = errors.New("protocol has a non-progress cycle outside I with groupmates inside I")
+	// ErrNoStabilizingVersion reports states of rank ∞: by Theorem IV.1 no
+	// stabilizing version of the protocol exists at all.
+	ErrNoStabilizingVersion = errors.New("states with rank ∞ exist; no stabilizing version exists (Theorem IV.1)")
+	// ErrDeadlocksRemain reports that the heuristic's three passes could not
+	// resolve every deadlock; the heuristic (which is sound but incomplete)
+	// declares failure.
+	ErrDeadlocksRemain = errors.New("unresolved deadlock states remain after pass 3")
+)
+
+// Result is the outcome of AddConvergence.
+type Result struct {
+	// Protocol is δpss: the groups of the synthesized protocol.
+	Protocol []Group
+	// Added are the recovery groups added to δp; Removed are initial groups
+	// of p removed by cycle preprocessing (possible only for groups lying
+	// entirely outside I).
+	Added   []Group
+	Removed []Group
+
+	// Ranks are the state predicates Rank[0..M] (Rank[0] = I).
+	Ranks []Set
+	// PassCompleted is the pass (1–3) in which the last deadlock was
+	// resolved, or 0 if p had no deadlocks to resolve.
+	PassCompleted int
+
+	// Measurements in the units the paper reports.
+	RankingTime time.Duration // time in ComputeRanks
+	SCCTime     time.Duration // cumulative time in SCC detection
+	TotalTime   time.Duration
+	ProgramSize int     // representation size of δpss
+	AvgSCCSize  float64 // average representation size of detected SCCs
+	SCCCount    int
+}
+
+// MaxRank returns M, the highest finite rank.
+func (r *Result) MaxRank() int { return len(r.Ranks) - 1 }
+
+type synthesizer struct {
+	e        Engine
+	I        Set
+	notI     Set
+	sched    []int
+	cycleRes CycleResolution
+	logf     func(format string, args ...interface{})
+
+	pss     []Group
+	inPss   map[protocol.Key]bool
+	enabled Set // cached union of the source sets of pss (incremental)
+
+	// Recovery candidates (constraint C1 pre-applied), per process.
+	candsByProc [][]Group
+
+	deadlocks Set
+}
+
+// AddConvergence runs the paper's algorithm: preprocessing (cycle check and
+// ranking), then — for strong convergence — the three passes of Section V.
+// On success the returned protocol is stabilizing to I by construction.
+func AddConvergence(e Engine, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	defer func() {
+		res.TotalTime = time.Since(start)
+		st := e.Stats()
+		res.SCCTime = st.SCCTime
+		res.AvgSCCSize = st.AvgSCCSize()
+		res.SCCCount = st.SCCCount
+	}()
+
+	k := len(e.Spec().Procs)
+	sched, err := normalizeSchedule(opts.Schedule, k)
+	if err != nil {
+		return res, err
+	}
+
+	s := &synthesizer{
+		e:        e,
+		I:        e.Invariant(),
+		notI:     e.Not(e.Invariant()),
+		sched:    sched,
+		cycleRes: opts.CycleResolution,
+		inPss:    make(map[protocol.Key]bool),
+		logf:     opts.Log,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...interface{}) {}
+	}
+	for _, g := range dedupeGroups(e.ActionGroups()) {
+		s.pss = append(s.pss, g)
+		s.inPss[g.ProtocolGroup().Key()] = true
+	}
+
+	// Input assumption: I closed in p.
+	for _, g := range s.pss {
+		if e.GroupFromTo(g, s.I, s.notI) {
+			return res, fmt.Errorf("%w: group %s", ErrNotClosed,
+				g.ProtocolGroup().Render(e.Spec()))
+		}
+	}
+
+	// Preprocessing: non-progress cycles of p in ¬I matter only for strong
+	// convergence. Cycle groups with groupmates in I are fatal; groups
+	// entirely outside I may be removed without violating δpss|I = δp|I.
+	if opts.Convergence == Strong {
+		if err := s.removeInitialCycles(res); err != nil {
+			return res, err
+		}
+	}
+
+	candidates := RecoveryCandidates(e)
+	s.candsByProc = make([][]Group, k)
+	for _, g := range candidates {
+		s.candsByProc[g.Proc()] = append(s.candsByProc[g.Proc()], g)
+	}
+
+	// Ranking (the approximation of convergence, Section IV).
+	t0 := time.Now()
+	pim := Pim(e, s.pss)
+	ranks, infinite := ComputeRanks(e, pim)
+	res.RankingTime = time.Since(t0)
+	res.Ranks = ranks
+	if !e.IsEmpty(infinite) {
+		st, _ := e.PickState(infinite)
+		return res, fmt.Errorf("%w: e.g. state %v", ErrNoStabilizingVersion, st)
+	}
+
+	if opts.Convergence == Weak {
+		// Theorem IV.1: pim itself is a weakly stabilizing version of p.
+		s.finish(res, pim)
+		return res, nil
+	}
+
+	s.enabled = e.EnabledSources(s.pss)
+	s.deadlocks = e.Diff(s.notI, s.enabled)
+	if e.IsEmpty(s.deadlocks) {
+		// p is already strongly converging after cycle preprocessing.
+		s.finish(res, s.pss)
+		return res, nil
+	}
+
+	for pass := 1; pass <= 2; pass++ {
+		for i := 1; i < len(ranks); i++ {
+			s.maybeCompact(ranks)
+			from := e.And(ranks[i], s.deadlocks)
+			if e.IsEmpty(from) {
+				continue
+			}
+			if s.addConvergence(from, ranks[i-1], pass) {
+				res.PassCompleted = pass
+				s.finish(res, s.pss)
+				return res, nil
+			}
+		}
+	}
+	// Pass 3: from any remaining deadlock to anywhere (constraint C2
+	// relaxed).
+	s.maybeCompact(ranks)
+	if s.addConvergence(s.deadlocks, e.Universe(), 3) {
+		res.PassCompleted = 3
+		s.finish(res, s.pss)
+		return res, nil
+	}
+
+	st, _ := e.PickState(s.deadlocks)
+	return res, fmt.Errorf("%w: %v deadlocks remain, e.g. state %v",
+		ErrDeadlocksRemain, e.States(s.deadlocks), st)
+}
+
+// removeInitialCycles implements the first preprocessing step of Section V.
+func (s *synthesizer) removeInitialCycles(res *Result) error {
+	sccs := s.e.CyclicSCCs(s.pss, s.notI)
+	if len(sccs) == 0 {
+		return nil
+	}
+	remove := make(map[protocol.Key]bool)
+	for _, scc := range sccs {
+		for _, g := range s.pss {
+			if !s.e.GroupWithin(g, scc) {
+				continue
+			}
+			if !s.e.IsEmpty(s.e.And(s.e.GroupSrc(g), s.I)) {
+				st, _ := s.e.PickState(scc)
+				return fmt.Errorf("%w: cycle through state %v uses group %s",
+					ErrUnresolvableCycle, st, g.ProtocolGroup().Render(s.e.Spec()))
+			}
+			remove[g.ProtocolGroup().Key()] = true
+		}
+	}
+	var kept []Group
+	for _, g := range s.pss {
+		if remove[g.ProtocolGroup().Key()] {
+			res.Removed = append(res.Removed, g)
+			delete(s.inPss, g.ProtocolGroup().Key())
+		} else {
+			kept = append(kept, g)
+		}
+	}
+	s.pss = kept
+	return nil
+}
+
+// addConvergence is the paper's Add_Convergence (Figure 3): give each
+// process, in schedule order, the chance to add recovery from From to To.
+// Returns true when every deadlock has been resolved.
+func (s *synthesizer) addConvergence(from, to Set, pass int) bool {
+	for _, proc := range s.sched {
+		s.addRecovery(proc, from, to, pass)
+		s.deadlocks = s.e.Diff(s.notI, s.enabled)
+		if s.e.IsEmpty(s.deadlocks) {
+			return true
+		}
+		// In pass 1 the ruled-out set is refreshed with the new deadlock
+		// states after each process (Figure 3, line 4); addRecovery reads
+		// s.deadlocks directly, so this happens automatically.
+	}
+	return false
+}
+
+// addRecovery is the paper's Add_Recovery: collect the groups of process
+// proc that contain a From→To transition and are not ruled out by the
+// current pass, then drop any that would close a cycle in ¬I
+// (Identify_Resolve_Cycles) and add the rest to pss.
+func (s *synthesizer) addRecovery(proc int, from, to Set, pass int) {
+	var added []Group
+	for _, g := range s.candsByProc[proc] {
+		if s.inPss[g.ProtocolGroup().Key()] {
+			continue
+		}
+		if !s.e.GroupFromTo(g, from, to) {
+			continue
+		}
+		// Constraint C4, enforced only in pass 1: no groupmate transition
+		// may reach a deadlock state.
+		if pass == 1 && s.e.GroupDstInto(g, s.deadlocks) {
+			continue
+		}
+		added = append(added, g)
+	}
+	if len(added) == 0 {
+		return
+	}
+	union := append(append([]Group(nil), s.pss...), added...)
+	bad := s.identifyResolveCycles(union, added)
+	kept := 0
+	var retry []Group
+	for _, g := range added {
+		if bad[g.ProtocolGroup().Key()] {
+			retry = append(retry, g)
+			continue
+		}
+		// Dropping edges cannot create cycles, so the unflagged groups stay
+		// jointly safe even after the flagged ones are removed.
+		s.accept(g)
+		kept++
+	}
+	recovered := 0
+	if s.cycleRes == IncrementalResolution {
+		// Retry the flagged groups one at a time against the grown pss.
+		for _, g := range retry {
+			trial := append(append([]Group(nil), s.pss...), g)
+			if len(s.e.CyclicSCCs(trial, s.notI)) == 0 {
+				s.accept(g)
+				recovered++
+			}
+		}
+	}
+	s.logf("pass %d proc %d: candidate batch %d, cycle-resolved away %d, kept %d (incremental retry recovered %d)",
+		pass, proc, len(added), len(added)-kept-recovered, kept+recovered, recovered)
+}
+
+// maybeCompact lets a Compactor engine reclaim memory at a safe point,
+// rebinding every live Set the synthesizer still holds.
+func (s *synthesizer) maybeCompact(ranks []Set) {
+	c, ok := s.e.(Compactor)
+	if !ok {
+		return
+	}
+	live := []Set{s.I, s.notI, s.enabled, s.deadlocks}
+	live = append(live, ranks...)
+	out := c.Compact(live)
+	s.I, s.notI, s.enabled, s.deadlocks = out[0], out[1], out[2], out[3]
+	copy(ranks, out[4:])
+}
+
+// accept adds a recovery group to pss.
+func (s *synthesizer) accept(g Group) {
+	s.pss = append(s.pss, g)
+	s.inPss[g.ProtocolGroup().Key()] = true
+	s.enabled = s.e.Or(s.enabled, s.e.GroupSrc(g))
+}
+
+// identifyResolveCycles is the paper's Identify_Resolve_Cycles: find the
+// SCCs of pss ∪ added restricted to ¬I and mark every *added* group with a
+// transition inside an SCC for removal (the conservative cycle resolution
+// the paper describes).
+func (s *synthesizer) identifyResolveCycles(union, added []Group) map[protocol.Key]bool {
+	bad := make(map[protocol.Key]bool)
+	for _, scc := range s.e.CyclicSCCs(union, s.notI) {
+		for _, g := range added {
+			if s.e.GroupWithin(g, scc) {
+				bad[g.ProtocolGroup().Key()] = true
+			}
+		}
+	}
+	return bad
+}
+
+// finish records the synthesized protocol and its measurements.
+func (s *synthesizer) finish(res *Result, pss []Group) {
+	res.Protocol = pss
+	initial := make(map[protocol.Key]bool)
+	for _, g := range dedupeGroups(s.e.ActionGroups()) {
+		initial[g.ProtocolGroup().Key()] = true
+	}
+	for _, g := range pss {
+		if !initial[g.ProtocolGroup().Key()] {
+			res.Added = append(res.Added, g)
+		}
+	}
+	res.ProgramSize = s.e.ProgramSize(pss)
+}
+
+func normalizeSchedule(sched []int, k int) ([]int, error) {
+	if sched == nil {
+		return DefaultSchedule(k), nil
+	}
+	if len(sched) != k {
+		return nil, fmt.Errorf("schedule has %d entries, want %d", len(sched), k)
+	}
+	seen := make([]bool, k)
+	for _, p := range sched {
+		if p < 0 || p >= k || seen[p] {
+			return nil, fmt.Errorf("schedule %v is not a permutation of 0..%d", sched, k-1)
+		}
+		seen[p] = true
+	}
+	return sched, nil
+}
+
+func dedupeGroups(gs []Group) []Group {
+	seen := make(map[protocol.Key]bool, len(gs))
+	var out []Group
+	for _, g := range gs {
+		if k := g.ProtocolGroup().Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}

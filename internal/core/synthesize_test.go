@@ -1,0 +1,466 @@
+package core_test
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/verify"
+)
+
+func newEngine(t *testing.T, sp *protocol.Spec) *explicit.Engine {
+	t.Helper()
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func keySet(gs []core.Group) map[protocol.Key]bool {
+	m := make(map[protocol.Key]bool, len(gs))
+	for _, g := range gs {
+		m[g.ProtocolGroup().Key()] = true
+	}
+	return m
+}
+
+func TestComputeRanksTokenRing(t *testing.T) {
+	// The paper: for TR(4,3), ComputeRanks finds two ranks covering ¬S1.
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	pim := core.Pim(e, e.ActionGroups())
+	ranks, infinite := core.ComputeRanks(e, pim)
+	if !e.IsEmpty(infinite) {
+		t.Fatalf("unexpected rank-∞ states: %v", e.States(infinite))
+	}
+	if got := len(ranks) - 1; got != 2 {
+		t.Errorf("M = %d, want 2", got)
+	}
+	// Ranks partition the state space.
+	total := 0.0
+	for _, r := range ranks {
+		total += e.States(r)
+	}
+	if total != e.States(e.Universe()) {
+		t.Errorf("ranks cover %v of %v states", total, e.States(e.Universe()))
+	}
+	for i := 0; i < len(ranks); i++ {
+		for j := i + 1; j < len(ranks); j++ {
+			if !e.IsEmpty(e.And(ranks[i], ranks[j])) {
+				t.Errorf("ranks %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+// TestTokenRingMatchesDijkstra reproduces the headline result of Section V:
+// with the recovery schedule (P1, P2, P3, P0) the heuristic synthesizes
+// exactly Dijkstra's token ring from the non-stabilizing TR.
+func TestTokenRingMatchesDijkstra(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	res, err := core.AddConvergence(e, core.Options{}) // default schedule P1,P2,P3,P0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("synthesized TR not strongly stabilizing: %s (witness %v)", v.Reason, v.Witness)
+	}
+	if v := verify.PreservesInvariantBehavior(e, res); !v.OK {
+		t.Fatalf("δpss|I changed: %s", v.Reason)
+	}
+
+	// The paper: pass 1 adds nothing, pass 2 completes the synthesis.
+	if res.PassCompleted != 2 {
+		t.Errorf("PassCompleted = %d, want 2", res.PassCompleted)
+	}
+
+	dj := newEngine(t, protocols.DijkstraTokenRing(4, 3))
+	got := keySet(res.Protocol)
+	want := keySet(dj.ActionGroups())
+	if len(got) != len(want) {
+		t.Fatalf("synthesized %d groups, Dijkstra has %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing Dijkstra group %q", k)
+		}
+	}
+}
+
+// Lemma IV.2: a synthesized protocol contains no transition that decreases
+// the rank by more than one.
+func TestRankDecreasingLemma(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := res.Ranks
+	for _, g := range res.Protocol {
+		for i := 2; i < len(ranks); i++ {
+			for j := 0; j < i-1; j++ {
+				if e.GroupFromTo(g, ranks[i], ranks[j]) {
+					t.Fatalf("group %s jumps from rank %d to rank %d",
+						g.ProtocolGroup().Render(e.Spec()), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestWeakConvergenceTokenRing(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	res, err := core.AddConvergence(e, core.Options{Convergence: core.Weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.WeaklyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("pim not weakly stabilizing: %s", v.Reason)
+	}
+	if v := verify.PreservesInvariantBehavior(e, res); !v.OK {
+		t.Fatalf("δpss|I changed: %s", v.Reason)
+	}
+}
+
+func TestMatchingSynthesis(t *testing.T) {
+	e := newEngine(t, protocols.Matching(5))
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("synthesized MM not strongly stabilizing: %s (witness %v)", v.Reason, v.Witness)
+	}
+	// Section VI-A: the synthesized MM protocol is silent in I_MM.
+	if v := verify.Silent(e, res.Protocol); !v.OK {
+		t.Errorf("synthesized MM not silent in I: witness %v", v.Witness)
+	}
+}
+
+func TestColoringSynthesis(t *testing.T) {
+	e := newEngine(t, protocols.Coloring(5))
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("synthesized coloring not strongly stabilizing: %s (witness %v)", v.Reason, v.Witness)
+	}
+	if v := verify.Silent(e, res.Protocol); !v.OK {
+		t.Errorf("synthesized coloring not silent in I: witness %v", v.Witness)
+	}
+}
+
+func TestTwoRingSynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TR² has 131072 states; skipped with -short")
+	}
+	e := newEngine(t, protocols.TwoRingTokenRing())
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("synthesized TR² not strongly stabilizing: %s (witness %v)", v.Reason, v.Witness)
+	}
+}
+
+// TestGoudaAcharyaFlaws reproduces (and extends) the design-flaw discovery
+// of Section VI-A. The paper reports that Gouda and Acharya's manually
+// designed matching protocol has a non-progress cycle outside I_MM starting
+// from ⟨left, self, left, self, left⟩. Checking the protocol exactly as
+// printed in the paper, our verifier additionally finds that it is not even
+// closed in I_MM (its "accept" actions mi=self ∧ m(i-1)=left → mi:=left
+// fire inside I_MM, where mi=self implies m(i-1)=left).
+func TestGoudaAcharyaFlaws(t *testing.T) {
+	e := newEngine(t, protocols.GoudaAcharyaMatching(5))
+	gs := e.ActionGroups()
+
+	// Flaw 1 (found by our verifier): closure of I_MM is violated.
+	if v := verify.Closure(e, gs); v.OK {
+		t.Error("expected the printed GA protocol to violate closure of I_MM")
+	}
+
+	// Flaw 2 (the paper's): non-progress cycles outside I_MM.
+	v := verify.CycleFree(e, gs)
+	if v.OK {
+		t.Fatal("expected a non-progress cycle in the GA protocol")
+	}
+	sccs := e.CyclicSCCs(gs, e.Not(e.Invariant()))
+	if len(sccs) == 0 {
+		t.Fatal("no SCCs reported")
+	}
+	cyc := verify.CycleWitness(e, gs, sccs[0])
+	if len(cyc) < 2 {
+		t.Fatalf("cycle witness too short: %v", cyc)
+	}
+	first, last := cyc[0], cyc[len(cyc)-1]
+	for i := range first {
+		if first[i] != last[i] {
+			t.Fatalf("witness does not close: %v … %v", first, last)
+		}
+	}
+
+	// The paper's start state ⟨L,S,L,S,L⟩ must reach a non-progress cycle.
+	L, S := protocols.MLeft, protocols.MSelf
+	paperState := protocol.State{L, S, L, S, L}
+	reach := e.Singleton(paperState)
+	for {
+		next := e.Or(reach, e.Post(gs, reach))
+		if e.Equal(next, reach) {
+			break
+		}
+		reach = next
+	}
+	hits := false
+	for _, scc := range sccs {
+		if !e.IsEmpty(e.And(scc, reach)) {
+			hits = true
+		}
+	}
+	if !hits {
+		t.Error("paper's state ⟨L,S,L,S,L⟩ does not reach a non-progress cycle")
+	}
+}
+
+func TestSynthesisRejectsGoudaAcharya(t *testing.T) {
+	// Running the heuristic on the flawed GA protocol must fail fast: the
+	// printed protocol violates the closure input assumption.
+	e := newEngine(t, protocols.GoudaAcharyaMatching(5))
+	_, err := core.AddConvergence(e, core.Options{})
+	if !errors.Is(err, core.ErrNotClosed) {
+		t.Fatalf("got error %v, want ErrNotClosed", err)
+	}
+}
+
+func TestErrNotClosed(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	// Break closure: invert the invariant.
+	sp.Invariant = protocol.Not{X: sp.Invariant}
+	e := newEngine(t, sp)
+	_, err := core.AddConvergence(e, core.Options{})
+	if !errors.Is(err, core.ErrNotClosed) {
+		t.Fatalf("got %v, want ErrNotClosed", err)
+	}
+}
+
+func TestErrNoStabilizingVersion(t *testing.T) {
+	// y is written by nobody, so states with y=1 can never reach I = (y=0).
+	sp := &protocol.Spec{
+		Name: "stuck",
+		Vars: []protocol.Var{{Name: "x", Dom: 2}, {Name: "y", Dom: 2}},
+		Procs: []protocol.Process{{
+			Name: "P", Reads: []int{0}, Writes: []int{0},
+		}},
+		Invariant: protocol.Eq{A: protocol.V{ID: 1}, B: protocol.C{Val: 0}},
+	}
+	e := newEngine(t, sp)
+	_, err := core.AddConvergence(e, core.Options{})
+	if !errors.Is(err, core.ErrNoStabilizingVersion) {
+		t.Fatalf("got %v, want ErrNoStabilizingVersion", err)
+	}
+}
+
+func TestErrUnresolvableCycle(t *testing.T) {
+	// P toggles x unconditionally; the toggle groups have sources both in
+	// I = (y=1) and outside it, and they form a cycle in ¬I.
+	toggle := protocol.Cond{
+		If:   protocol.Eq{A: protocol.V{ID: 0}, B: protocol.C{Val: 0}},
+		Then: protocol.C{Val: 1},
+		Else: protocol.C{Val: 0},
+	}
+	sp := &protocol.Spec{
+		Name: "toggle",
+		Vars: []protocol.Var{{Name: "x", Dom: 2}, {Name: "y", Dom: 2}},
+		Procs: []protocol.Process{{
+			Name: "P", Reads: []int{0}, Writes: []int{0},
+			Actions: []protocol.Action{{
+				Guard:   protocol.True{},
+				Assigns: []protocol.Assignment{{Var: 0, Expr: toggle}},
+			}},
+		}},
+		Invariant: protocol.Eq{A: protocol.V{ID: 1}, B: protocol.C{Val: 1}},
+	}
+	e := newEngine(t, sp)
+	_, err := core.AddConvergence(e, core.Options{})
+	if !errors.Is(err, core.ErrUnresolvableCycle) {
+		t.Fatalf("got %v, want ErrUnresolvableCycle", err)
+	}
+}
+
+func TestRemovableInitialCycle(t *testing.T) {
+	// P toggles x only while y=0 (outside I = y=1), so the cycle groups lie
+	// entirely in ¬I and may be removed; Q can then repair y.
+	toggle := protocol.Cond{
+		If:   protocol.Eq{A: protocol.V{ID: 0}, B: protocol.C{Val: 0}},
+		Then: protocol.C{Val: 1},
+		Else: protocol.C{Val: 0},
+	}
+	sp := &protocol.Spec{
+		Name: "removable-cycle",
+		Vars: []protocol.Var{{Name: "x", Dom: 2}, {Name: "y", Dom: 2}},
+		Procs: []protocol.Process{
+			{
+				Name: "P", Reads: []int{0, 1}, Writes: []int{0},
+				Actions: []protocol.Action{{
+					Guard:   protocol.Eq{A: protocol.V{ID: 1}, B: protocol.C{Val: 0}},
+					Assigns: []protocol.Assignment{{Var: 0, Expr: toggle}},
+				}},
+			},
+			{
+				Name: "Q", Reads: []int{1}, Writes: []int{1},
+			},
+		},
+		Invariant: protocol.Eq{A: protocol.V{ID: 1}, B: protocol.C{Val: 1}},
+	}
+	e := newEngine(t, sp)
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) == 0 {
+		t.Error("expected initial cycle groups to be removed")
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("not strongly stabilizing: %s", v.Reason)
+	}
+}
+
+// TestAlternativeTokenRingVersions reproduces the paper's report of several
+// distinct synthesized versions of Dijkstra's token ring (it mentions 3):
+// different recovery schedules yield different — all verified — stabilizing
+// protocols.
+func TestAlternativeTokenRingVersions(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	distinct := make(map[string]bool)
+	for _, sched := range core.AllSchedules(4) {
+		e := newEngine(t, sp)
+		res, err := core.AddConvergence(e, core.Options{Schedule: sched})
+		if err != nil {
+			continue
+		}
+		if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+			t.Fatalf("schedule %v produced unsound protocol: %s", sched, v.Reason)
+		}
+		keys := make([]string, 0, len(res.Protocol))
+		for _, g := range res.Protocol {
+			keys = append(keys, string(g.ProtocolGroup().Key()))
+		}
+		sort.Strings(keys)
+		distinct[strings.Join(keys, "|")] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("got %d distinct stabilizing TR versions, paper reports 3", len(distinct))
+	}
+}
+
+// TestTokenRing55ResolutionStrategies documents a finding of this
+// reproduction: the paper reports synthesizing the token ring with 5
+// processes and domain 5, but the conservative batch cycle resolution of
+// Figure 3 wipes out every useful recovery batch there (we checked all 120
+// schedules). The incremental refinement — retrying flagged groups one at a
+// time — synthesizes it.
+func TestTokenRing55ResolutionStrategies(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(5, 5))
+	_, err := core.AddConvergence(e, core.Options{})
+	if !errors.Is(err, core.ErrDeadlocksRemain) {
+		t.Fatalf("batch resolution: got %v, want ErrDeadlocksRemain", err)
+	}
+
+	e2 := newEngine(t, protocols.TokenRing(5, 5))
+	res, err := core.AddConvergence(e2, core.Options{CycleResolution: core.IncrementalResolution})
+	if err != nil {
+		t.Fatalf("incremental resolution failed: %v", err)
+	}
+	if v := verify.StronglyStabilizing(e2, res.Protocol); !v.OK {
+		t.Fatalf("TR(5,5) result not stabilizing: %s", v.Reason)
+	}
+	if v := verify.PreservesInvariantBehavior(e2, res); !v.OK {
+		t.Fatalf("TR(5,5) result changes δp|I: %s", v.Reason)
+	}
+}
+
+// Incremental resolution must never produce cyclic results even when it
+// keeps more groups.
+func TestIncrementalResolutionStaysSound(t *testing.T) {
+	for _, sp := range []*protocol.Spec{
+		protocols.Matching(5),
+		protocols.Coloring(5),
+		protocols.TokenRing(4, 4),
+	} {
+		e := newEngine(t, sp)
+		res, err := core.AddConvergence(e, core.Options{CycleResolution: core.IncrementalResolution})
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+			t.Fatalf("%s: %s", sp.Name, v.Reason)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(3, 3))
+	if _, err := core.AddConvergence(e, core.Options{Schedule: []int{0, 1}}); err == nil {
+		t.Error("short schedule accepted")
+	}
+	e2 := newEngine(t, protocols.TokenRing(3, 3))
+	if _, err := core.AddConvergence(e2, core.Options{Schedule: []int{0, 0, 1}}); err == nil {
+		t.Error("non-permutation schedule accepted")
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	if got := core.DefaultSchedule(4); got[0] != 1 || got[3] != 0 {
+		t.Errorf("DefaultSchedule(4) = %v", got)
+	}
+	if got := core.IdentitySchedule(3); got[0] != 0 || got[2] != 2 {
+		t.Errorf("IdentitySchedule(3) = %v", got)
+	}
+	if got := core.AllSchedules(4); len(got) != 24 {
+		t.Errorf("AllSchedules(4) has %d entries, want 24", len(got))
+	}
+	rot := core.Rotations(5)
+	if len(rot) != 5 {
+		t.Fatalf("Rotations(5) has %d entries", len(rot))
+	}
+	for _, r := range rot {
+		seen := make(map[int]bool)
+		for _, p := range r {
+			seen[p] = true
+		}
+		if len(seen) != 5 {
+			t.Errorf("rotation %v not a permutation", r)
+		}
+	}
+}
+
+func TestTrySchedulesParallel(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	factory := func() (core.Engine, error) { return explicit.New(sp, 0) }
+	best, attempts, err := core.TrySchedules(factory, core.Options{}, core.Rotations(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || best.Result == nil {
+		t.Fatal("no successful attempt")
+	}
+	if len(attempts) != 4 {
+		t.Fatalf("got %d attempts, want 4", len(attempts))
+	}
+	// Validate the winner on a fresh engine.
+	e := newEngine(t, sp)
+	// Re-run the winning schedule to obtain groups bound to this engine.
+	res, err := core.AddConvergence(e, core.Options{Schedule: best.Schedule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("winner not stabilizing: %s", v.Reason)
+	}
+}

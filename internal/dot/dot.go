@@ -1,0 +1,128 @@
+// Package dot renders small protocol state spaces as Graphviz digraphs:
+// states as nodes (legitimate states boxed, deadlocks highlighted, ranks as
+// color bands), transitions as edges labelled with the acting process. The
+// paper pitches STSyn as a companion to model-driven development
+// environments "for protocol design and visualization" (Section VIII) —
+// this is the visualization half.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+)
+
+// Options controls rendering.
+type Options struct {
+	// MaxStates aborts rendering for spaces larger than this (default 4096;
+	// beyond that the drawing is unreadable anyway).
+	MaxStates uint64
+	// Ranks, when non-nil, colors states by their rank (Rank[0]=I … ).
+	Ranks []core.Set
+	// HighlightDeadlocks marks deadlock states.
+	HighlightDeadlocks bool
+}
+
+// Graph renders the protocol's transition graph (δ given as engine-bound
+// groups) as a DOT digraph.
+func Graph(e core.Engine, groups []core.Group, opts Options) (string, error) {
+	sp := e.Spec()
+	max := opts.MaxStates
+	if max == 0 {
+		max = 4096
+	}
+	n, ok := sp.NumStates()
+	if !ok || n > max {
+		return "", fmt.Errorf("dot: state space too large to draw (%d states, limit %d)", n, max)
+	}
+	ix := protocol.NewIndexer(sp)
+	inv := e.Invariant()
+	var deadlocks core.Set
+	if opts.HighlightDeadlocks {
+		deadlocks = core.Deadlocks(e, groups)
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph protocol {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", sp.Name)
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+
+	// Nodes.
+	s := make(protocol.State, len(sp.Vars))
+	for i := uint64(0); i < n; i++ {
+		ix.Decode(i, s)
+		single := e.Singleton(s)
+		attrs := []string{fmt.Sprintf("label=%q", stateLabel(s))}
+		if !e.IsEmpty(e.And(single, inv)) {
+			attrs = append(attrs, "shape=box", "style=filled", "fillcolor=\"#c6e7c6\"")
+		} else if deadlocks != nil && !e.IsEmpty(e.And(single, deadlocks)) {
+			attrs = append(attrs, "shape=ellipse", "style=filled", "fillcolor=\"#f2b8b5\"")
+		} else {
+			attrs = append(attrs, "shape=ellipse")
+		}
+		if opts.Ranks != nil {
+			for r, set := range opts.Ranks {
+				if !e.IsEmpty(e.And(single, set)) {
+					attrs = append(attrs, fmt.Sprintf("xlabel=\"r%d\"", r))
+					break
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  s%d [%s];\n", i, strings.Join(attrs, ", "))
+	}
+
+	// Edges, deduplicated and labelled by process.
+	type edge struct {
+		from, to uint64
+	}
+	labels := make(map[edge]map[string]bool)
+	src := make(protocol.State, len(sp.Vars))
+	dst := make(protocol.State, len(sp.Vars))
+	for _, g := range groups {
+		pg := g.ProtocolGroup()
+		name := sp.Procs[pg.Proc].Name
+		for i := uint64(0); i < n; i++ {
+			ix.Decode(i, src)
+			if !pg.Matches(sp, src) {
+				continue
+			}
+			pg.Apply(sp, src, dst)
+			ed := edge{from: i, to: ix.Index(dst)}
+			if labels[ed] == nil {
+				labels[ed] = make(map[string]bool)
+			}
+			labels[ed][name] = true
+		}
+	}
+	edges := make([]edge, 0, len(labels))
+	for ed := range labels {
+		edges = append(edges, ed)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, ed := range edges {
+		var names []string
+		for name := range labels[ed] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", ed.from, ed.to, strings.Join(names, ","))
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+func stateLabel(s protocol.State) string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}

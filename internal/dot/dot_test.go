@@ -1,0 +1,79 @@
+package dot_test
+
+import (
+	"strings"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/dot"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocols"
+)
+
+func TestGraphTokenRing(t *testing.T) {
+	sp := protocols.TokenRing(3, 2) // 8 states — drawable
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dot.Graph(e, res.Protocol, dot.Options{
+		Ranks:              res.Ranks,
+		HighlightDeadlocks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"digraph protocol {",
+		"rankdir=LR",
+		"shape=box",     // legitimate states
+		"s0 ",           // node ids
+		"->",            // edges
+		"label=\"P",     // process labels on edges
+		"xlabel=\"r0\"", // rank annotations
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Every line must be well-formed-ish: no empty node names.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "s [") {
+			t.Errorf("malformed node line: %q", line)
+		}
+	}
+}
+
+func TestGraphEdgesMatchTransitions(t *testing.T) {
+	sp := protocols.TokenRing(3, 2)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dot.Graph(e, e.ActionGroups(), dot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The non-stabilizing TR(3,2) has 6 action groups (2 guard valuations
+	// per process) with 2 transitions each: 12 distinct edges.
+	edges := strings.Count(out, "->")
+	if edges != 12 {
+		t.Errorf("rendered %d edges, want 12", edges)
+	}
+}
+
+func TestGraphRefusesHugeSpaces(t *testing.T) {
+	sp := protocols.Coloring(12)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dot.Graph(e, e.ActionGroups(), dot.Options{}); err == nil {
+		t.Fatal("expected refusal for a 531441-state drawing")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLocalCorrectabilityMatchesPaperTable(t *testing.T) {
+	rows := LocalCorrectability()
+	want := map[string]bool{
+		"3-Coloring":      true,
+		"Matching":        false,
+		"Token Ring (TR)": false,
+		"Two-Ring TR":     false,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.CaseStudy]
+		if !ok {
+			t.Errorf("unexpected case study %q", r.CaseStudy)
+			continue
+		}
+		if r.LocallyCorrectable != w {
+			t.Errorf("%s: locally correctable = %v, paper says %v",
+				r.CaseStudy, r.LocallyCorrectable, w)
+		}
+	}
+	// Matching must come with a concrete counterexample state.
+	for _, r := range rows {
+		if r.CaseStudy == "Matching" && r.Witness == nil {
+			t.Error("matching verdict should carry a witness state")
+		}
+	}
+	if out := FormatCorrectability(rows); !strings.Contains(out, "3-Coloring") {
+		t.Error("formatting lost rows")
+	}
+}
+
+func TestSweepsSmall(t *testing.T) {
+	rows := ColoringSweep([]int{5, 6})
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Fatalf("coloring-%d failed: %s", r.K, r.Err)
+		}
+		if !r.Verified {
+			t.Errorf("coloring-%d not verified", r.K)
+		}
+		if r.ProgramSize <= 0 || r.TotalTime <= 0 {
+			t.Errorf("coloring-%d: missing measurements %+v", r.K, r)
+		}
+	}
+	rows = MatchingSweep([]int{5})
+	if rows[0].Err != "" || !rows[0].Verified {
+		t.Fatalf("matching-5 failed: %+v", rows[0])
+	}
+	if rows[0].SCCCount == 0 || rows[0].AvgSCCSize <= 0 {
+		t.Error("matching must report SCC space metrics (cycles form)")
+	}
+	rows = TokenRingSweep([]int{3, 4}, 4)
+	for _, r := range rows {
+		if r.Err != "" || !r.Verified {
+			t.Fatalf("token ring |D|=4 k=%d failed: %+v", r.K, r)
+		}
+	}
+	if out := FormatRows("fig", rows); !strings.Contains(out, "ranking") {
+		t.Error("FormatRows lost header")
+	}
+}
+
+func TestTokenRingStatesGrow(t *testing.T) {
+	rows := TokenRingSweep([]int{2, 3}, 4)
+	if rows[0].States != 16 || rows[1].States != 64 {
+		t.Errorf("state counts wrong: %v, %v", rows[0].States, rows[1].States)
+	}
+}

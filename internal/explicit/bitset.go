@@ -1,0 +1,139 @@
+// Package explicit is the explicit-state engine: state predicates are
+// bitsets over dense mixed-radix state indices, transition groups are
+// expanded on the fly, and cycles are found with an iterative Tarjan SCC.
+// It implements core.Engine for state spaces that fit in memory and serves
+// as the differential-testing oracle for the symbolic engine.
+package explicit
+
+import "math/bits"
+
+// Bitset is a fixed-size set of state indices. Bitsets are treated as
+// immutable values by the engine: operations allocate a fresh result.
+type Bitset struct {
+	words []uint64
+	n     uint64 // number of valid bits
+}
+
+// NewBitset returns an empty bitset over n states.
+func NewBitset(n uint64) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size.
+func (b *Bitset) Len() uint64 { return b.n }
+
+// Get reports whether index i is in the set.
+func (b *Bitset) Get(i uint64) bool { return b.words[i/64]>>(i%64)&1 == 1 }
+
+// Set adds index i (in-place; used only while constructing a fresh set).
+func (b *Bitset) Set(i uint64) { b.words[i/64] |= 1 << (i % 64) }
+
+// Clear removes index i (in-place; used only while constructing).
+func (b *Bitset) Clear(i uint64) { b.words[i/64] &^= 1 << (i % 64) }
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// Count returns the number of elements.
+func (b *Bitset) Count() uint64 {
+	var c uint64
+	for _, w := range b.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no elements.
+func (b *Bitset) IsEmpty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Or returns b ∪ o.
+func (b *Bitset) Or(o *Bitset) *Bitset {
+	c := NewBitset(b.n)
+	for i := range b.words {
+		c.words[i] = b.words[i] | o.words[i]
+	}
+	return c
+}
+
+// And returns b ∩ o.
+func (b *Bitset) And(o *Bitset) *Bitset {
+	c := NewBitset(b.n)
+	for i := range b.words {
+		c.words[i] = b.words[i] & o.words[i]
+	}
+	return c
+}
+
+// Diff returns b \ o.
+func (b *Bitset) Diff(o *Bitset) *Bitset {
+	c := NewBitset(b.n)
+	for i := range b.words {
+		c.words[i] = b.words[i] &^ o.words[i]
+	}
+	return c
+}
+
+// Not returns the complement of b within the universe.
+func (b *Bitset) Not() *Bitset {
+	c := NewBitset(b.n)
+	for i := range b.words {
+		c.words[i] = ^b.words[i]
+	}
+	c.trim()
+	return c
+}
+
+// trim zeroes the bits above n in the last word.
+func (b *Bitset) trim() {
+	if rem := b.n % 64; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// ForEach calls f for every element in ascending order; f returning false
+// stops the iteration early.
+func (b *Bitset) ForEach(f func(i uint64) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := uint64(bits.TrailingZeros64(w))
+			if !f(uint64(wi)*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// First returns the smallest element, or ok=false if empty.
+func (b *Bitset) First() (uint64, bool) {
+	for wi, w := range b.words {
+		if w != 0 {
+			return uint64(wi)*64 + uint64(bits.TrailingZeros64(w)), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,130 @@
+package explicit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func bitsetFrom(n uint64, elems ...uint64) *Bitset {
+	b := NewBitset(n)
+	for _, e := range elems {
+		b.Set(e)
+	}
+	return b
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(100)
+	if !b.IsEmpty() {
+		t.Fatal("new bitset not empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(99)
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	for _, i := range []uint64{0, 63, 64, 99} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(65) {
+		t.Error("unexpected bit set")
+	}
+	b.Clear(63)
+	if b.Get(63) || b.Count() != 3 {
+		t.Error("Clear failed")
+	}
+	if first, ok := b.First(); !ok || first != 0 {
+		t.Errorf("First = %d,%v; want 0,true", first, ok)
+	}
+}
+
+func TestBitsetNotRespectsUniverse(t *testing.T) {
+	b := NewBitset(70)
+	c := b.Not()
+	if c.Count() != 70 {
+		t.Fatalf("complement of empty has %d elements, want 70", c.Count())
+	}
+	if !c.Not().IsEmpty() {
+		t.Error("double complement of empty not empty")
+	}
+}
+
+func TestBitsetForEachOrder(t *testing.T) {
+	b := bitsetFrom(200, 5, 64, 128, 199)
+	var got []uint64
+	b.ForEach(func(i uint64) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []uint64{5, 64, 128, 199}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach yielded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach yielded %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	b.ForEach(func(uint64) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early stop visited %d, want 2", count)
+	}
+}
+
+// Property tests: bitset algebra agrees with map-of-uint64 set semantics.
+func TestBitsetAlgebraProperty(t *testing.T) {
+	const n = 130
+	mk := func(elems []uint64) (*Bitset, map[uint64]bool) {
+		b := NewBitset(n)
+		m := make(map[uint64]bool)
+		for _, e := range elems {
+			e %= n
+			b.Set(e)
+			m[e] = true
+		}
+		return b, m
+	}
+	f := func(xs, ys []uint64) bool {
+		bx, mx := mk(xs)
+		by, my := mk(ys)
+		or := bx.Or(by)
+		and := bx.And(by)
+		diff := bx.Diff(by)
+		not := bx.Not()
+		for i := uint64(0); i < n; i++ {
+			if or.Get(i) != (mx[i] || my[i]) {
+				return false
+			}
+			if and.Get(i) != (mx[i] && my[i]) {
+				return false
+			}
+			if diff.Get(i) != (mx[i] && !my[i]) {
+				return false
+			}
+			if not.Get(i) != !mx[i] {
+				return false
+			}
+		}
+		// Cardinalities and equality.
+		if or.Count() < bx.Count() || !bx.Equal(bx.Clone()) {
+			return false
+		}
+		if bx.Equal(by) {
+			for i := uint64(0); i < n; i++ {
+				if mx[i] != my[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,350 @@
+package explicit
+
+import (
+	"fmt"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+)
+
+// DefaultMaxStates bounds the state spaces the explicit engine accepts.
+// Larger protocols should use the symbolic engine.
+const DefaultMaxStates = 1 << 24
+
+// group is the engine-side representation of a transition group. Because
+// w ⊆ r, every transition in a group applies the same index delta; the group
+// is { (s, s+delta) : s matches the readable valuation }.
+type group struct {
+	pg      protocol.Group
+	id      int
+	srcBase uint64   // index contribution of the readable valuation
+	delta   uint64   // wrapping dst-src delta
+	unreadW []uint64 // index weights of the unreadable variables
+	unreadD []int    // domains of the unreadable variables
+	srcSet  *Bitset  // lazy cache of the source set
+}
+
+func (g *group) Proc() int                     { return g.pg.Proc }
+func (g *group) ProtocolGroup() protocol.Group { return g.pg }
+
+// Engine is the explicit-state implementation of core.Engine.
+type Engine struct {
+	sp *protocol.Spec
+	ix *protocol.Indexer
+	n  uint64
+
+	universe *Bitset
+	inv      *Bitset
+
+	actions    []core.Group
+	candidates []core.Group
+	all        []*group             // by dense id
+	byKey      map[protocol.Key]int // group key -> dense id
+
+	// Successor index: procTable[p][readKey] lists the groups of process p
+	// enabled at any state whose readable valuation has that key.
+	procTable  [][][]int // values are dense group ids
+	readWeight [][]uint64
+	readDom    [][]int
+
+	workers int // image-operation parallelism (0 = GOMAXPROCS)
+
+	stats core.Stats
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// New builds an explicit engine for sp. maxStates of 0 uses
+// DefaultMaxStates.
+func New(sp *protocol.Spec, maxStates uint64) (*Engine, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	n, ok := sp.NumStates()
+	if !ok || n > maxStates {
+		return nil, fmt.Errorf("explicit: state space of %s too large (limit %d)", sp.Name, maxStates)
+	}
+	e := &Engine{sp: sp, ix: protocol.NewIndexer(sp), n: n}
+	e.universe = NewBitset(n).Not()
+	e.byKey = make(map[protocol.Key]int)
+
+	e.inv = NewBitset(n)
+	s := make(protocol.State, len(sp.Vars))
+	for i := uint64(0); i < n; i++ {
+		e.ix.Decode(i, s)
+		if sp.Invariant.EvalBool(s) {
+			e.inv.Set(i)
+		}
+	}
+
+	// Per-process read-key machinery.
+	e.procTable = make([][][]int, len(sp.Procs))
+	e.readWeight = make([][]uint64, len(sp.Procs))
+	e.readDom = make([][]int, len(sp.Procs))
+	for pi := range sp.Procs {
+		p := &sp.Procs[pi]
+		doms := make([]int, len(p.Reads))
+		for i, id := range p.Reads {
+			doms[i] = sp.Vars[id].Dom
+		}
+		w := make([]uint64, len(p.Reads))
+		acc := uint64(1)
+		for i := len(doms) - 1; i >= 0; i-- {
+			w[i] = acc
+			acc *= uint64(doms[i])
+		}
+		e.readDom[pi] = doms
+		e.readWeight[pi] = w
+		e.procTable[pi] = make([][]int, acc)
+	}
+
+	for pi := range sp.Procs {
+		for _, pg := range sp.ActionGroups(pi) {
+			e.actions = append(e.actions, e.intern(pg))
+		}
+		for _, pg := range sp.CandidateGroups(pi) {
+			e.candidates = append(e.candidates, e.intern(pg))
+		}
+	}
+	return e, nil
+}
+
+// intern registers a protocol group, deduplicating by key, and indexes it
+// in the successor table.
+func (e *Engine) intern(pg protocol.Group) *group {
+	if id, ok := e.byKey[pg.Key()]; ok {
+		return e.all[id]
+	}
+	p := &e.sp.Procs[pg.Proc]
+	g := &group{pg: pg, id: len(e.all)}
+
+	readSet := make(map[int]bool, len(p.Reads))
+	var key uint64
+	for i, id := range p.Reads {
+		readSet[id] = true
+		g.srcBase += uint64(pg.ReadVals[i]) * e.varWeight(id)
+		key += uint64(pg.ReadVals[i]) * e.readWeight[pg.Proc][i]
+	}
+	for wi, id := range p.Writes {
+		old := pg.ReadVals[readIndex(p.Reads, id)]
+		g.delta += uint64(int64(pg.WriteVals[wi]-old)) * e.varWeight(id)
+	}
+	for id := range e.sp.Vars {
+		if !readSet[id] {
+			g.unreadW = append(g.unreadW, e.varWeight(id))
+			g.unreadD = append(g.unreadD, e.sp.Vars[id].Dom)
+		}
+	}
+	e.byKey[pg.Key()] = g.id
+	e.all = append(e.all, g)
+	e.procTable[pg.Proc][key] = append(e.procTable[pg.Proc][key], g.id)
+	return g
+}
+
+func (e *Engine) varWeight(id int) uint64 {
+	// Indexer exposes weights only via WithValue; recompute directly.
+	w := uint64(1)
+	for j := len(e.sp.Vars) - 1; j > id; j-- {
+		w *= uint64(e.sp.Vars[j].Dom)
+	}
+	return w
+}
+
+func readIndex(reads []int, id int) int {
+	for i, x := range reads {
+		if x == id {
+			return i
+		}
+	}
+	panic("explicit: write variable not in read set")
+}
+
+// forEachSrc enumerates the source indices of g.
+func (e *Engine) forEachSrc(g *group, f func(src uint64) bool) {
+	if len(g.unreadD) == 0 {
+		f(g.srcBase)
+		return
+	}
+	counters := make([]int, len(g.unreadD))
+	src := g.srcBase
+	for {
+		if !f(src) {
+			return
+		}
+		i := len(counters) - 1
+		for ; i >= 0; i-- {
+			counters[i]++
+			src += g.unreadW[i]
+			if counters[i] < g.unreadD[i] {
+				break
+			}
+			src -= uint64(g.unreadD[i]) * g.unreadW[i]
+			counters[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// sources returns (and caches) the bitset of g's transition sources.
+func (e *Engine) sources(g *group) *Bitset {
+	if g.srcSet == nil {
+		b := NewBitset(e.n)
+		e.forEachSrc(g, func(src uint64) bool { b.Set(src); return true })
+		g.srcSet = b
+	}
+	return g.srcSet
+}
+
+// --- core.Engine implementation -----------------------------------------
+
+func (e *Engine) Spec() *protocol.Spec { return e.sp }
+func (e *Engine) Universe() core.Set   { return e.universe }
+func (e *Engine) Empty() core.Set      { return NewBitset(e.n) }
+func (e *Engine) Invariant() core.Set  { return e.inv }
+
+func (e *Engine) Or(a, b core.Set) core.Set   { return a.(*Bitset).Or(b.(*Bitset)) }
+func (e *Engine) And(a, b core.Set) core.Set  { return a.(*Bitset).And(b.(*Bitset)) }
+func (e *Engine) Diff(a, b core.Set) core.Set { return a.(*Bitset).Diff(b.(*Bitset)) }
+func (e *Engine) Not(a core.Set) core.Set     { return a.(*Bitset).Not() }
+func (e *Engine) IsEmpty(a core.Set) bool     { return a.(*Bitset).IsEmpty() }
+func (e *Engine) Equal(a, b core.Set) bool    { return a.(*Bitset).Equal(b.(*Bitset)) }
+func (e *Engine) States(a core.Set) float64   { return float64(a.(*Bitset).Count()) }
+func (e *Engine) SetSize(a core.Set) int      { return int(a.(*Bitset).Count()) }
+
+func (e *Engine) ActionGroups() []core.Group    { return append([]core.Group(nil), e.actions...) }
+func (e *Engine) CandidateGroups() []core.Group { return append([]core.Group(nil), e.candidates...) }
+
+func (e *Engine) GroupSrc(g core.Group) core.Set {
+	return e.sources(g.(*group)).Clone()
+}
+
+func (e *Engine) GroupDstInto(g core.Group, X core.Set) bool {
+	x := X.(*Bitset)
+	found := false
+	gg := g.(*group)
+	e.forEachSrc(gg, func(src uint64) bool {
+		if x.Get(src + gg.delta) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (e *Engine) GroupFromTo(g core.Group, from, to core.Set) bool {
+	f, t := from.(*Bitset), to.(*Bitset)
+	found := false
+	gg := g.(*group)
+	e.forEachSrc(gg, func(src uint64) bool {
+		if f.Get(src) && t.Get(src+gg.delta) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (e *Engine) GroupWithin(g core.Group, X core.Set) bool {
+	return e.GroupFromTo(g, X, X)
+}
+
+func (e *Engine) Pre(gs []core.Group, X core.Set) core.Set {
+	x := X.(*Bitset)
+	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
+		e.forEachSrc(gg, func(src uint64) bool {
+			if x.Get(src + gg.delta) {
+				acc.Set(src)
+			}
+			return true
+		})
+	})
+}
+
+func (e *Engine) Post(gs []core.Group, X core.Set) core.Set {
+	x := X.(*Bitset)
+	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
+		e.forEachSrc(gg, func(src uint64) bool {
+			if x.Get(src) {
+				acc.Set(src + gg.delta)
+			}
+			return true
+		})
+	})
+}
+
+func (e *Engine) EnabledSources(gs []core.Group) core.Set {
+	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
+		src := e.sources(gg)
+		for i := range acc.words {
+			acc.words[i] |= src.words[i]
+		}
+	})
+}
+
+func (e *Engine) PickState(a core.Set) (protocol.State, bool) {
+	idx, ok := a.(*Bitset).First()
+	if !ok {
+		return nil, false
+	}
+	s := make(protocol.State, len(e.sp.Vars))
+	e.ix.Decode(idx, s)
+	return s, true
+}
+
+func (e *Engine) Singleton(s protocol.State) core.Set {
+	b := NewBitset(e.n)
+	b.Set(e.ix.Index(s))
+	return b
+}
+
+func (e *Engine) ProgramSize(gs []core.Group) int {
+	total := 0
+	for _, g := range gs {
+		n := 1
+		for _, d := range g.(*group).unreadD {
+			n *= d
+		}
+		total += n
+	}
+	return total
+}
+
+func (e *Engine) Stats() *core.Stats { return &e.stats }
+
+// readKey computes the successor-table key of state idx for process pi.
+func (e *Engine) readKey(idx uint64, pi int) uint64 {
+	var key uint64
+	for i, id := range e.sp.Procs[pi].Reads {
+		key += uint64(e.ix.Value(idx, id)) * e.readWeight[pi][i]
+	}
+	return key
+}
+
+// successors appends to buf the targets of transitions from idx under the
+// groups marked in inSet, restricted to states in within. It also reports
+// whether idx has a self-loop.
+func (e *Engine) successors(idx uint64, inSet []bool, within *Bitset, buf []uint64) ([]uint64, bool) {
+	self := false
+	for pi := range e.sp.Procs {
+		for _, gid := range e.procTable[pi][e.readKey(idx, pi)] {
+			if !inSet[gid] {
+				continue
+			}
+			dst := idx + e.all[gid].delta
+			if dst == idx {
+				self = true
+			}
+			if within.Get(dst) {
+				buf = append(buf, dst)
+			}
+		}
+	}
+	return buf, self
+}

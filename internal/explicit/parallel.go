@@ -1,0 +1,90 @@
+package explicit
+
+import (
+	"runtime"
+	"sync"
+
+	"stsyn/internal/core"
+)
+
+// The paper's conclusion lists "parallelization of our algorithms towards
+// exploiting the computational resources of computer clusters" as future
+// work. The explicit engine's image operations are embarrassingly parallel
+// across transition groups: each worker scans a slice of the groups into a
+// private bitset and the results are OR-reduced. The reduction is
+// deterministic (bitwise OR is commutative and associative), so parallel
+// and sequential engines produce identical results — the differential tests
+// rely on that.
+
+// parallelThreshold is the group count below which the sequential path is
+// used (goroutine fan-out costs more than it saves on tiny protocols).
+const parallelThreshold = 64
+
+// SetParallelism sets the number of workers used by Pre/Post/EnabledSources
+// (0 restores the default GOMAXPROCS; 1 forces sequential execution).
+func (e *Engine) SetParallelism(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	e.workers = workers
+}
+
+func (e *Engine) workerCount(ngroups int) int {
+	w := e.workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if ngroups < parallelThreshold || w <= 1 {
+		return 1
+	}
+	if w > ngroups {
+		w = ngroups
+	}
+	return w
+}
+
+// scanGroups partitions gs across workers; each worker folds its share into
+// a private bitset via fold, and the privates are OR-merged.
+func (e *Engine) scanGroups(gs []core.Group, fold func(g *group, acc *Bitset)) *Bitset {
+	nw := e.workerCount(len(gs))
+	if nw == 1 {
+		acc := NewBitset(e.n)
+		for _, g := range gs {
+			fold(g.(*group), acc)
+		}
+		return acc
+	}
+	privates := make([]*Bitset, nw)
+	var wg sync.WaitGroup
+	chunk := (len(gs) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(gs) {
+			hi = len(gs)
+		}
+		if lo >= hi {
+			privates[w] = NewBitset(e.n)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := NewBitset(e.n)
+			for _, g := range gs[lo:hi] {
+				fold(g.(*group), acc)
+			}
+			privates[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := privates[0]
+	for _, p := range privates[1:] {
+		if p != nil {
+			for i := range out.words {
+				out.words[i] |= p.words[i]
+			}
+		}
+	}
+	return out
+}

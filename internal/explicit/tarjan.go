@@ -1,0 +1,107 @@
+package explicit
+
+import (
+	"time"
+
+	"stsyn/internal/core"
+)
+
+// CyclicSCCs runs an iterative Tarjan strongly-connected-components search
+// over the union of gs restricted to states in within, returning only the
+// components that contain a cycle: size ≥ 2, or a single state with a
+// self-loop.
+func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
+	t0 := time.Now()
+	defer func() {
+		e.stats.SCCTime += time.Since(t0)
+		e.stats.SCCCalls++
+	}()
+
+	w := within.(*Bitset)
+	inSet := make([]bool, len(e.all))
+	for _, g := range gs {
+		inSet[g.(*group).id] = true
+	}
+
+	const unvisited = int32(-1)
+	index := make([]int32, e.n)
+	lowlink := make([]int32, e.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	onStack := NewBitset(e.n)
+	var sccStack []uint64
+	var next int32
+
+	type frame struct {
+		v     uint64
+		succs []uint64
+		i     int
+		self  bool
+	}
+	var frames []frame
+	var results []core.Set
+
+	visit := func(v uint64) frame {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		sccStack = append(sccStack, v)
+		onStack.Set(v)
+		succs, self := e.successors(v, inSet, w, nil)
+		return frame{v: v, succs: succs, self: self}
+	}
+
+	w.ForEach(func(start uint64) bool {
+		if index[start] != unvisited {
+			return true
+		}
+		frames = append(frames[:0], visit(start))
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				u := f.succs[f.i]
+				f.i++
+				if index[u] == unvisited {
+					frames = append(frames, visit(u))
+				} else if onStack.Get(u) && index[u] < lowlink[f.v] {
+					lowlink[f.v] = index[u]
+				}
+				continue
+			}
+			// Frame complete.
+			v, self := f.v, f.self
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// Pop the component rooted at v.
+				var members []uint64
+				for {
+					u := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack.Clear(u)
+					members = append(members, u)
+					if u == v {
+						break
+					}
+				}
+				if len(members) > 1 || self {
+					scc := NewBitset(e.n)
+					for _, u := range members {
+						scc.Set(u)
+					}
+					results = append(results, scc)
+					e.stats.SCCCount++
+					e.stats.SCCSizeTotal += len(members)
+				}
+			}
+		}
+		return true
+	})
+	return results
+}

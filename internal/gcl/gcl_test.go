@@ -1,0 +1,279 @@
+package gcl_test
+
+import (
+	"strings"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/gcl"
+	"stsyn/internal/pretty"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/verify"
+)
+
+const tokenRingSrc = `
+protocol TokenRing
+
+# Four counters modulo 3 on a unidirectional ring.
+var x0, x1, x2, x3 : 0..2
+
+process P0 reads x0, x3 writes x0 {
+    x0 == x3 -> x0 := x3 + 1
+}
+process P1 reads x0, x1 writes x1 {
+    x1 + 1 == x0 -> x1 := x0
+}
+process P2 reads x1, x2 writes x2 {
+    x2 + 1 == x1 -> x2 := x1
+}
+process P3 reads x2, x3 writes x3 {
+    x3 + 1 == x2 -> x3 := x2
+}
+
+invariant
+    (x1 == x0 && x2 == x1 && x3 == x2) ||
+    (x1 + 1 == x0 && x2 == x1 && x3 == x2) ||
+    (x1 == x0 && x2 + 1 == x1 && x3 == x2) ||
+    (x1 == x0 && x2 == x1 && x3 + 1 == x2)
+`
+
+func TestParseTokenRing(t *testing.T) {
+	sp, err := gcl.Parse("tr.stsyn", tokenRingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "TokenRing" || len(sp.Vars) != 4 || len(sp.Procs) != 4 {
+		t.Fatalf("unexpected shape: %s, %d vars, %d procs", sp.Name, len(sp.Vars), len(sp.Procs))
+	}
+	if sp.Vars[0].Dom != 3 {
+		t.Errorf("dom = %d, want 3", sp.Vars[0].Dom)
+	}
+}
+
+// TestParsedTokenRingSemantics checks the parsed protocol is semantically
+// identical to the built-in generator: same invariant and same transition
+// groups.
+func TestParsedTokenRingSemantics(t *testing.T) {
+	parsed, err := gcl.Parse("tr.stsyn", tokenRingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin := protocols.TokenRing(4, 3)
+
+	ix := protocol.NewIndexer(parsed)
+	s := make(protocol.State, 4)
+	for i := uint64(0); i < ix.Len(); i++ {
+		ix.Decode(i, s)
+		if parsed.Invariant.EvalBool(s) != builtin.Invariant.EvalBool(s) {
+			t.Fatalf("invariants disagree at %v", s)
+		}
+	}
+	pk := groupKeys(t, parsed)
+	bk := groupKeys(t, builtin)
+	if len(pk) != len(bk) {
+		t.Fatalf("group counts differ: %d vs %d", len(pk), len(bk))
+	}
+	for k := range bk {
+		if !pk[k] {
+			t.Fatalf("missing group %q in parsed protocol", k)
+		}
+	}
+}
+
+func groupKeys(t *testing.T, sp *protocol.Spec) map[protocol.Key]bool {
+	t.Helper()
+	out := make(map[protocol.Key]bool)
+	for pi := range sp.Procs {
+		for _, g := range sp.ActionGroups(pi) {
+			out[g.Key()] = true
+		}
+	}
+	return out
+}
+
+// TestParsedProtocolSynthesizes runs the full pipeline on a parsed spec.
+func TestParsedProtocolSynthesizes(t *testing.T) {
+	sp, err := gcl.Parse("tr.stsyn", tokenRingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("parsed TR synthesis not stabilizing: %s", v.Reason)
+	}
+}
+
+func TestParseOperatorsAndSugar(t *testing.T) {
+	src := `
+protocol Ops
+var a, b : 0..3
+var flag : 0..1
+process P reads a, b, flag writes a {
+    !(a == b) && (flag == 1 => a < b) -> a := b - 1
+    a <= b || false -> a := 2
+    true -> a := a + 1
+}
+invariant a == b
+`
+	sp, err := gcl.Parse("ops.stsyn", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Procs[0].Actions) != 3 {
+		t.Fatalf("got %d actions, want 3", len(sp.Procs[0].Actions))
+	}
+	// Spot-check semantics of the first guard.
+	g := sp.Procs[0].Actions[0].Guard
+	if g.EvalBool(protocol.State{1, 1, 0}) { // a==b → !(a==b) false
+		t.Error("guard should be false when a==b")
+	}
+	if !g.EvalBool(protocol.State{1, 2, 1}) { // a!=b, flag=1, a<b
+		t.Error("guard should hold at a=1,b=2,flag=1")
+	}
+	if g.EvalBool(protocol.State{3, 2, 1}) { // flag=1 but a>=b
+		t.Error("implication should fail at a=3,b=2,flag=1")
+	}
+	// b - 1 is modulo 4.
+	rhs := sp.Procs[0].Actions[0].Assigns[0].Expr
+	if got := rhs.EvalInt(protocol.State{0, 0, 0}); got != 3 {
+		t.Errorf("0-1 mod 4 = %d, want 3", got)
+	}
+}
+
+// TestPrettyParseRoundTrip cross-validates the pretty-printer against the
+// parser: render the synthesized token ring as guarded commands, feed the
+// text back through the parser, and demand the identical transition groups.
+func TestPrettyParseRoundTrip(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProc := make(map[int][]protocol.Group)
+	want := make(map[protocol.Key]bool)
+	for _, g := range res.Protocol {
+		pg := g.ProtocolGroup()
+		byProc[pg.Proc] = append(byProc[pg.Proc], pg)
+		want[pg.Key()] = true
+	}
+
+	// Rebuild a .stsyn source from the rendered commands.
+	var b strings.Builder
+	b.WriteString("protocol RoundTrip\nvar x0, x1, x2, x3 : 0..2\n")
+	names := sp.VarNames()
+	for pi := range sp.Procs {
+		p := &sp.Procs[pi]
+		b.WriteString("process " + p.Name + " reads ")
+		for i, id := range p.Reads {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(names[id])
+		}
+		b.WriteString(" writes ")
+		for i, id := range p.Writes {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(names[id])
+		}
+		b.WriteString(" {\n")
+		for _, cmd := range pretty.Process(sp, pi, byProc[pi]) {
+			b.WriteString("  " + cmd.Guard + " -> " + cmd.Effect + "\n")
+		}
+		b.WriteString("}\n")
+	}
+	b.WriteString("invariant (x1 == x0 && x2 == x1 && x3 == x2) || (x1 + 1 == x0 && x2 == x1 && x3 == x2) || (x1 == x0 && x2 + 1 == x1 && x3 == x2) || (x1 == x0 && x2 == x1 && x3 + 1 == x2)\n")
+
+	parsed, err := gcl.Parse("roundtrip.stsyn", b.String())
+	if err != nil {
+		t.Fatalf("re-parsing rendered protocol failed: %v\nsource:\n%s", err, b.String())
+	}
+	got := groupKeys(t, parsed)
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d groups, want %d\nsource:\n%s", len(got), len(want), b.String())
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("round trip lost group %q", k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing header", `var x : 0..1`, "must start with 'protocol"},
+		{"bad domain", `protocol P
+var x : 1..2`, "domains must start at 0"},
+		{"undeclared var", `protocol P
+var x : 0..1
+process Q reads x, y writes x { true -> x := 0 }
+invariant true`, "undeclared variable"},
+		{"duplicate var", `protocol P
+var x : 0..1
+var x : 0..1`, "already declared"},
+		{"mixed domains", `protocol P
+var x : 0..1
+var y : 0..2
+process Q reads x, y writes x { true -> x := x + y }
+invariant true`, "cannot mix domains"},
+		{"const arithmetic", `protocol P
+var x : 0..1
+process Q reads x writes x { true -> x := 1 + 1 }
+invariant true`, "needs at least one variable"},
+		{"write outside read", `protocol P
+var x, y : 0..1
+process Q reads x writes y { true -> y := 0 }
+invariant true`, "w ⊆ r"},
+		{"guard reads unreadable", `protocol P
+var x, y : 0..1
+process Q reads x writes x { y == 0 -> x := 0 }
+invariant true`, "undeclared"}, // y is declared; should be a validate error
+		{"stray token", `protocol P
+var x : 0..1
+process Q reads x writes x { true -> x := 0 }
+invariant true
+garbage`, "expected 'var'"},
+	}
+	for _, tc := range cases {
+		_, err := gcl.Parse(tc.name, tc.src)
+		if err == nil {
+			t.Errorf("%s: parse unexpectedly succeeded", tc.name)
+			continue
+		}
+		if tc.name == "guard reads unreadable" {
+			// This one is caught by Validate, with its own message.
+			if !strings.Contains(err.Error(), "unreadable") {
+				t.Errorf("%s: error %q does not mention unreadable variable", tc.name, err)
+			}
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := gcl.Parse("pos.stsyn", "protocol P\nvar x : 0..1\nprocess Q reads x writes x {\n  true -> x := @\n}\ninvariant true")
+	if err == nil || !strings.Contains(err.Error(), "4:") {
+		t.Errorf("error should carry line 4, got %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package gcl implements the textual input language of the tool: Dijkstra
+// guarded commands over finite-domain variables with explicit read/write
+// restrictions, the same shorthand the paper uses to present protocols.
+//
+// A specification looks like:
+//
+//	protocol TokenRing
+//
+//	# Four counters modulo 3.
+//	var x0, x1, x2, x3 : 0..2
+//
+//	process P0 reads x0, x3 writes x0 {
+//	    x0 == x3 -> x0 := x3 + 1
+//	}
+//	process P1 reads x0, x1 writes x1 {
+//	    x1 + 1 == x0 -> x1 := x0
+//	}
+//	...
+//
+//	invariant (x1 == x0 && x2 == x1 && x3 == x2) || ...
+//
+// Modular arithmetic (+, -) infers its modulus from the domains of the
+// variables involved; mixing domains in one sum is an error.
+package gcl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokSym // punctuation and operators, Text holds the symbol
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	val  int
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes src; it reports errors with line/column positions.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#' || (c == '/' && i+1 < n && src[i+1] == '/'):
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, l0, c0 := i, line, col
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], line: l0, col: c0})
+		case unicode.IsDigit(rune(c)):
+			start, l0, c0 := i, line, col
+			v := 0
+			for i < n && unicode.IsDigit(rune(src[i])) {
+				v = v*10 + int(src[i]-'0')
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokInt, text: src[start:i], val: v, line: l0, col: c0})
+		default:
+			l0, c0 := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "&&", "||", "->", ":=", "..", "=>", "<=":
+				toks = append(toks, token{kind: tokSym, text: two, line: l0, col: c0})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '(', ')', '{', '}', ',', ':', ';', '+', '-', '!', '<':
+				toks = append(toks, token{kind: tokSym, text: string(c), line: l0, col: c0})
+				advance(1)
+			default:
+				return nil, fmt.Errorf("%d:%d: unexpected character %q", line, col, string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}

@@ -1,0 +1,426 @@
+package gcl
+
+import (
+	"fmt"
+
+	"stsyn/internal/protocol"
+)
+
+// Parse parses a .stsyn guarded-command specification into a protocol
+// specification. name is used in error messages (typically the file name).
+func Parse(name, src string) (*protocol.Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s:%v", name, err)
+	}
+	p := &parser{name: name, toks: toks, varID: make(map[string]int)}
+	sp, err := p.spec()
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	return sp, nil
+}
+
+type parser struct {
+	name  string
+	toks  []token
+	pos   int
+	sp    *protocol.Spec
+	varID map[string]int
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d:%d: %s", p.name, t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSym || t.text != s {
+		return p.errf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, got %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	t := p.peek()
+	if t.kind == tokSym && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// spec parses the whole file.
+func (p *parser) spec() (*protocol.Spec, error) {
+	p.sp = &protocol.Spec{}
+	if !p.acceptKeyword("protocol") {
+		return nil, p.errf(p.peek(), "specification must start with 'protocol <name>'")
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	p.sp.Name = nameTok.text
+
+	for {
+		switch {
+		case p.acceptKeyword("var"):
+			if err := p.varDecl(); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("process"):
+			if err := p.processDecl(); err != nil {
+				return nil, err
+			}
+		case p.acceptKeyword("invariant"):
+			e, err := p.boolExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.sp.Invariant != nil {
+				return nil, p.errf(p.peek(), "duplicate invariant")
+			}
+			p.sp.Invariant = e
+		default:
+			t := p.peek()
+			if t.kind == tokEOF {
+				return p.sp, nil
+			}
+			return nil, p.errf(t, "expected 'var', 'process' or 'invariant', got %s", t)
+		}
+	}
+}
+
+// varDecl parses "name (, name)* : lo .. hi".
+func (p *parser) varDecl() error {
+	var names []token
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		names = append(names, t)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(":"); err != nil {
+		return err
+	}
+	lo := p.next()
+	if lo.kind != tokInt || lo.val != 0 {
+		return p.errf(lo, "domains must start at 0 (got %s)", lo)
+	}
+	if err := p.expectSym(".."); err != nil {
+		return err
+	}
+	hi := p.next()
+	if hi.kind != tokInt || hi.val < 0 {
+		return p.errf(hi, "expected domain upper bound, got %s", hi)
+	}
+	for _, t := range names {
+		if _, dup := p.varID[t.text]; dup {
+			return p.errf(t, "variable %q already declared", t.text)
+		}
+		p.varID[t.text] = len(p.sp.Vars)
+		p.sp.Vars = append(p.sp.Vars, protocol.Var{Name: t.text, Dom: hi.val + 1})
+	}
+	return nil
+}
+
+// processDecl parses "NAME reads list writes list { action* }".
+func (p *parser) processDecl() error {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	proc := protocol.Process{Name: nameTok.text}
+	if !p.acceptKeyword("reads") {
+		return p.errf(p.peek(), "expected 'reads'")
+	}
+	reads, err := p.varList()
+	if err != nil {
+		return err
+	}
+	if !p.acceptKeyword("writes") {
+		return p.errf(p.peek(), "expected 'writes'")
+	}
+	writes, err := p.varList()
+	if err != nil {
+		return err
+	}
+	proc.Reads = protocol.SortedIDs(reads...)
+	proc.Writes = protocol.SortedIDs(writes...)
+	if err := p.expectSym("{"); err != nil {
+		return err
+	}
+	for !p.acceptSym("}") {
+		a, err := p.action()
+		if err != nil {
+			return err
+		}
+		proc.Actions = append(proc.Actions, a)
+	}
+	p.sp.Procs = append(p.sp.Procs, proc)
+	return nil
+}
+
+func (p *parser) varList() ([]int, error) {
+	var ids []int
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		id, ok := p.varID[t.text]
+		if !ok {
+			return nil, p.errf(t, "undeclared variable %q", t.text)
+		}
+		ids = append(ids, id)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	return ids, nil
+}
+
+// action parses "guard -> assign (; assign)*".
+func (p *parser) action() (protocol.Action, error) {
+	guard, err := p.boolExpr()
+	if err != nil {
+		return protocol.Action{}, err
+	}
+	if err := p.expectSym("->"); err != nil {
+		return protocol.Action{}, err
+	}
+	var assigns []protocol.Assignment
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return protocol.Action{}, err
+		}
+		id, ok := p.varID[t.text]
+		if !ok {
+			return protocol.Action{}, p.errf(t, "undeclared variable %q", t.text)
+		}
+		if err := p.expectSym(":="); err != nil {
+			return protocol.Action{}, err
+		}
+		rhs, _, err := p.intExpr()
+		if err != nil {
+			return protocol.Action{}, err
+		}
+		assigns = append(assigns, protocol.Assignment{Var: id, Expr: rhs})
+		if !p.acceptSym(";") {
+			break
+		}
+	}
+	return protocol.Action{Guard: guard, Assigns: assigns}, nil
+}
+
+// Boolean grammar: implies (right assoc, lowest) > or > and > unary.
+func (p *parser) boolExpr() (protocol.BoolExpr, error) {
+	lhs, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSym("=>") {
+		rhs, err := p.boolExpr()
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Implies{A: lhs, B: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) orExpr() (protocol.BoolExpr, error) {
+	lhs, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("||") {
+		rhs, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = protocol.Disj(lhs, rhs)
+	}
+	return lhs, nil
+}
+
+func (p *parser) andExpr() (protocol.BoolExpr, error) {
+	lhs, err := p.boolUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("&&") {
+		rhs, err := p.boolUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = protocol.Conj(lhs, rhs)
+	}
+	return lhs, nil
+}
+
+func (p *parser) boolUnary() (protocol.BoolExpr, error) {
+	if p.acceptSym("!") {
+		x, err := p.boolUnary()
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Not{X: x}, nil
+	}
+	if p.acceptKeyword("true") {
+		return protocol.True{}, nil
+	}
+	if p.acceptKeyword("false") {
+		return protocol.False{}, nil
+	}
+	// Either a comparison or a parenthesized boolean expression; try the
+	// comparison first and backtrack.
+	mark := p.save()
+	if cmp, err := p.comparison(); err == nil {
+		return cmp, nil
+	}
+	p.restore(mark)
+	if p.acceptSym("(") {
+		e, err := p.boolExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(p.peek(), "expected boolean expression, got %s", p.peek())
+}
+
+func (p *parser) comparison() (protocol.BoolExpr, error) {
+	lhs, _, err := p.intExpr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	if op.kind != tokSym {
+		return nil, p.errf(op, "expected comparison operator, got %s", op)
+	}
+	rhs, _, err := p.intExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch op.text {
+	case "==":
+		return protocol.Eq{A: lhs, B: rhs}, nil
+	case "!=":
+		return protocol.Neq{A: lhs, B: rhs}, nil
+	case "<":
+		return protocol.Lt{A: lhs, B: rhs}, nil
+	case "<=":
+		return protocol.Not{X: protocol.Lt{A: rhs, B: lhs}}, nil
+	default:
+		return nil, p.errf(op, "expected comparison operator, got %s", op)
+	}
+}
+
+// intExpr parses modular additive expressions; the second return value is
+// the inferred domain (0 if the expression is a pure constant).
+func (p *parser) intExpr() (protocol.IntExpr, int, error) {
+	lhs, dom, err := p.intAtom()
+	if err != nil {
+		return nil, 0, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSym("+"):
+			op = "+"
+		case p.acceptSym("-"):
+			op = "-"
+		default:
+			return lhs, dom, nil
+		}
+		opTok := p.toks[p.pos-1]
+		rhs, rdom, err := p.intAtom()
+		if err != nil {
+			return nil, 0, err
+		}
+		mod, err := p.mergeDoms(opTok, dom, rdom)
+		if err != nil {
+			return nil, 0, err
+		}
+		if op == "+" {
+			lhs = protocol.AddMod{A: lhs, B: rhs, Mod: mod}
+		} else {
+			lhs = protocol.SubMod{A: lhs, B: rhs, Mod: mod}
+		}
+		dom = mod
+	}
+}
+
+func (p *parser) mergeDoms(t token, a, b int) (int, error) {
+	switch {
+	case a == 0 && b == 0:
+		return 0, p.errf(t, "modular arithmetic needs at least one variable operand to infer the modulus")
+	case a == 0:
+		return b, nil
+	case b == 0:
+		return a, nil
+	case a == b:
+		return a, nil
+	default:
+		return 0, p.errf(t, "cannot mix domains %d and %d in modular arithmetic", a, b)
+	}
+}
+
+func (p *parser) intAtom() (protocol.IntExpr, int, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		return protocol.C{Val: t.val}, 0, nil
+	case t.kind == tokIdent:
+		id, ok := p.varID[t.text]
+		if !ok {
+			return nil, 0, p.errf(t, "undeclared variable %q", t.text)
+		}
+		return protocol.V{ID: id}, p.sp.Vars[id].Dom, nil
+	case t.kind == tokSym && t.text == "(":
+		e, dom, err := p.intExpr()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, 0, err
+		}
+		return e, dom, nil
+	default:
+		return nil, 0, p.errf(t, "expected integer expression, got %s", t)
+	}
+}

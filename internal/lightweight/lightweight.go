@@ -1,0 +1,231 @@
+// Package lightweight implements the paper's overall method (Figure 1):
+// start from an instance of a protocol with a small number of processes,
+// add convergence automatically (fanning out one heuristic instance per
+// recovery schedule), and inductively increase the number of processes as
+// computational resources permit. The small synthesized instances "provide
+// valuable insights for designers as to how convergence should be added as
+// a protocol scales up"; this package mechanizes one such insight for ring
+// protocols — extracting the relative (index-independent) form of the
+// synthesized actions and re-instantiating it at a larger ring size, where
+// *verifying* the guessed protocol is far cheaper than synthesizing it.
+package lightweight
+
+import (
+	"fmt"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/symmetry"
+)
+
+// Instance is the outcome of one rung of the ladder.
+type Instance struct {
+	K        int
+	Schedule []int
+	Result   *core.Result
+	Err      error
+	Elapsed  time.Duration
+}
+
+// Config drives Climb.
+type Config struct {
+	// BuildSpec constructs the k-process instance of the protocol family.
+	BuildSpec func(k int) *protocol.Spec
+	// NewEngine builds an engine for an instance.
+	NewEngine func(sp *protocol.Spec) (core.Engine, error)
+	// Schedules lists the recovery schedules to fan out at size k; nil uses
+	// the paper's default schedule only.
+	Schedules func(k int) [][]int
+	// Options for each synthesis attempt (Schedule is overridden).
+	Options core.Options
+	// Workers bounds the parallel attempts per rung (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Climb synthesizes instances for k = from..to, stopping early when a rung
+// fails (the lightweight method's "as long as the available computational
+// resources permit" — here, as long as the heuristic keeps succeeding).
+func Climb(cfg Config, from, to int) []Instance {
+	var out []Instance
+	for k := from; k <= to; k++ {
+		start := time.Now()
+		inst := Instance{K: k}
+		sp := cfg.BuildSpec(k)
+		scheds := [][]int{nil}
+		if cfg.Schedules != nil {
+			scheds = cfg.Schedules(k)
+		}
+		factory := func() (core.Engine, error) { return cfg.NewEngine(sp) }
+		best, _, err := core.TrySchedules(factory, cfg.Options, scheds, cfg.Workers)
+		if err != nil {
+			inst.Err = err
+		} else {
+			inst.Schedule = best.Schedule
+			inst.Result = best.Result
+		}
+		inst.Elapsed = time.Since(start)
+		out = append(out, inst)
+		if inst.Err != nil {
+			break
+		}
+	}
+	return out
+}
+
+// RelGroup is a transition group in relative (ring-position independent)
+// form: readable offsets relative to the owning process, with the values
+// read and written.
+type RelGroup struct {
+	ReadOffsets  []int // e.g. [-1, 0, +1]
+	ReadVals     []int // parallel to ReadOffsets
+	WriteOffsets []int
+	WriteVals    []int
+}
+
+// ExtractRing converts the groups of process proc in a k-ring into relative
+// form. Ring variable i must be variable ID i, owned by process i.
+func ExtractRing(sp *protocol.Spec, groups []protocol.Group, proc, k int) ([]RelGroup, error) {
+	p := &sp.Procs[proc]
+	var out []RelGroup
+	for _, g := range groups {
+		if g.Proc != proc {
+			continue
+		}
+		rg := RelGroup{
+			ReadOffsets:  make([]int, len(p.Reads)),
+			ReadVals:     append([]int(nil), g.ReadVals...),
+			WriteOffsets: make([]int, len(p.Writes)),
+			WriteVals:    append([]int(nil), g.WriteVals...),
+		}
+		for i, id := range p.Reads {
+			off, err := relOffset(id, proc, k)
+			if err != nil {
+				return nil, err
+			}
+			rg.ReadOffsets[i] = off
+		}
+		for i, id := range p.Writes {
+			off, err := relOffset(id, proc, k)
+			if err != nil {
+				return nil, err
+			}
+			rg.WriteOffsets[i] = off
+		}
+		out = append(out, rg)
+	}
+	return out, nil
+}
+
+// relOffset maps variable id to its signed ring offset from proc.
+func relOffset(id, proc, k int) (int, error) {
+	if id >= k {
+		return 0, fmt.Errorf("lightweight: variable %d is not a ring variable", id)
+	}
+	d := ((id-proc)%k + k) % k
+	if d > k/2 {
+		d -= k
+	}
+	if d < -2 || d > 2 {
+		return 0, fmt.Errorf("lightweight: offset %d too far for a ring locality", d)
+	}
+	return d, nil
+}
+
+// instantiate builds the concrete group of process proc in a k2-ring from a
+// relative group. The target spec's read/write orders are respected.
+func instantiate(sp2 *protocol.Spec, rg RelGroup, proc, k2 int) protocol.Group {
+	p := &sp2.Procs[proc]
+	g := protocol.Group{
+		Proc:      proc,
+		ReadVals:  make([]int, len(p.Reads)),
+		WriteVals: make([]int, len(p.Writes)),
+	}
+	for i, off := range rg.ReadOffsets {
+		id := ((proc+off)%k2 + k2) % k2
+		g.ReadVals[indexOf(p.Reads, id)] = rg.ReadVals[i]
+	}
+	for i, off := range rg.WriteOffsets {
+		id := ((proc+off)%k2 + k2) % k2
+		g.WriteVals[indexOf(p.Writes, id)] = rg.WriteVals[i]
+	}
+	return g
+}
+
+func indexOf(ids []int, id int) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	panic("lightweight: instantiated variable outside the target locality")
+}
+
+// GeneralizeRing lifts a synthesized k-ring protocol to k2 processes:
+// processes 0..split-1 keep their own (relative) rules, and every process
+// from split onward uses the relative rule of the template process. The
+// caller should verify the result — generalization is a conjecture, exactly
+// as the paper frames it.
+func GeneralizeRing(buildSpec func(int) *protocol.Spec, k int, groups []protocol.Group,
+	split, template, k2 int) ([]protocol.Group, error) {
+	if k2 < k {
+		return nil, fmt.Errorf("lightweight: cannot shrink from %d to %d processes", k, k2)
+	}
+	sp := buildSpec(k)
+	sp2 := buildSpec(k2)
+	var out []protocol.Group
+	for proc := 0; proc < split; proc++ {
+		rgs, err := ExtractRing(sp, groups, proc, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, rg := range rgs {
+			out = append(out, instantiate(sp2, rg, proc, k2))
+		}
+	}
+	tmpl, err := ExtractRing(sp, groups, template, k)
+	if err != nil {
+		return nil, err
+	}
+	for proc := split; proc < k2; proc++ {
+		for _, rg := range tmpl {
+			out = append(out, instantiate(sp2, rg, proc, k2))
+		}
+	}
+	return out, nil
+}
+
+// AutoGeneralizeRing picks split and template automatically from the
+// rotation-symmetry classes of the synthesized protocol: the largest class
+// extends to fill the new ring, everything before it keeps its own rules.
+// It fails when the class structure has no contiguous extensible suffix —
+// the situation the paper reports for the (asymmetric) matching protocol.
+func AutoGeneralizeRing(buildSpec func(int) *protocol.Spec, k int, groups []protocol.Group,
+	k2 int) ([]protocol.Group, error) {
+	sp := buildSpec(k)
+	classes, err := symmetry.Classes(sp, groups, symmetry.Rotation(sp, k))
+	if err != nil {
+		return nil, err
+	}
+	best := -1
+	for i, c := range classes {
+		if best < 0 || len(c) > len(classes[best]) {
+			best = i
+		}
+	}
+	cls := classes[best]
+	if len(cls) < 2 {
+		return nil, fmt.Errorf("lightweight: no extensible symmetry class (classes %v); the protocol is asymmetric", classes)
+	}
+	// The class must be the contiguous suffix split..k-1.
+	split := cls[0]
+	for i, p := range cls {
+		if p != split+i {
+			return nil, fmt.Errorf("lightweight: largest class %v is not contiguous", cls)
+		}
+	}
+	if cls[len(cls)-1] != k-1 {
+		return nil, fmt.Errorf("lightweight: largest class %v does not reach the end of the ring", cls)
+	}
+	return GeneralizeRing(buildSpec, k, groups, split, split, k2)
+}

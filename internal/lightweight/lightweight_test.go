@@ -1,0 +1,191 @@
+package lightweight_test
+
+import (
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/lightweight"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/symbolic"
+	"stsyn/internal/verify"
+)
+
+func explicitEngine(sp *protocol.Spec) (core.Engine, error) { return explicit.New(sp, 0) }
+
+func synthesize(t *testing.T, sp *protocol.Spec) []protocol.Group {
+	t.Helper()
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []protocol.Group
+	for _, g := range res.Protocol {
+		out = append(out, g.ProtocolGroup())
+	}
+	return out
+}
+
+func TestClimbColoring(t *testing.T) {
+	cfg := lightweight.Config{
+		BuildSpec: protocols.Coloring,
+		NewEngine: explicitEngine,
+		Workers:   2,
+	}
+	rungs := lightweight.Climb(cfg, 3, 6)
+	if len(rungs) != 4 {
+		t.Fatalf("got %d rungs, want 4", len(rungs))
+	}
+	for _, r := range rungs {
+		if r.Err != nil {
+			t.Fatalf("coloring-%d failed: %v", r.K, r.Err)
+		}
+		if r.Result == nil || len(r.Result.Protocol) == 0 {
+			t.Fatalf("coloring-%d produced no protocol", r.K)
+		}
+	}
+}
+
+func TestClimbStopsOnFailure(t *testing.T) {
+	// TR with fixed domain 3 fails beyond k=4 under the default schedule;
+	// the ladder must stop at the first failing rung.
+	cfg := lightweight.Config{
+		BuildSpec: func(k int) *protocol.Spec { return protocols.TokenRing(k, 3) },
+		NewEngine: explicitEngine,
+		Workers:   2,
+	}
+	rungs := lightweight.Climb(cfg, 3, 8)
+	if len(rungs) == 6 {
+		t.Fatal("expected the ladder to stop early")
+	}
+	last := rungs[len(rungs)-1]
+	if last.Err == nil {
+		t.Fatal("last rung should carry the failure")
+	}
+	for _, r := range rungs[:len(rungs)-1] {
+		if r.Err != nil {
+			t.Fatalf("intermediate rung %d failed: %v", r.K, r.Err)
+		}
+	}
+}
+
+// TestGeneralizeColoring mechanizes the paper's "insights for scaling up":
+// synthesize the 6-ring coloring protocol, lift its middle rule to a
+// 12-ring, and verify the conjecture — much cheaper than synthesizing the
+// 12-ring from scratch.
+func TestGeneralizeColoring(t *testing.T) {
+	const k, k2 = 6, 12
+	groups := synthesize(t, protocols.Coloring(k))
+	gen, err := lightweight.AutoGeneralizeRing(protocols.Coloring, k, groups, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := explicit.New(protocols.Coloring(k2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := bindGroups(t, e2, gen)
+	if v := verify.StronglyStabilizing(e2, bound); !v.OK {
+		t.Fatalf("generalized coloring-%d not stabilizing: %s (witness %v)", k2, v.Reason, v.Witness)
+	}
+}
+
+// TestGeneralizeColoringSymbolic verifies the generalization at a size
+// where only the symbolic engine is practical.
+func TestGeneralizeColoringSymbolic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("symbolic verification of coloring-18 skipped in -short mode")
+	}
+	const k, k2 = 6, 18
+	groups := synthesize(t, protocols.Coloring(k))
+	gen, err := lightweight.AutoGeneralizeRing(protocols.Coloring, k, groups, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := symbolic.New(protocols.Coloring(k2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := bindGroups(t, e2, gen)
+	if v := verify.StronglyStabilizing(e2, bound); !v.OK {
+		t.Fatalf("generalized coloring-%d not stabilizing: %s", k2, v.Reason)
+	}
+}
+
+// TestGeneralizeDijkstraNeedsLargerDomain reproduces the paper's caveat
+// that "for some protocols, the generated SS versions cannot easily be
+// generalized": lifting the synthesized TR(4,3) (= Dijkstra's ring) to 5
+// processes with the same domain 3 yields a protocol that is NOT
+// stabilizing — Dijkstra's ring needs dom ≥ k.
+func TestGeneralizeDijkstraNeedsLargerDomain(t *testing.T) {
+	build := func(k int) *protocol.Spec { return protocols.TokenRing(k, 3) }
+	groups := synthesize(t, build(4))
+	gen, err := lightweight.AutoGeneralizeRing(build, 4, groups, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := explicit.New(build(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := bindGroups(t, e2, gen)
+	if v := verify.StronglyStabilizing(e2, bound); v.OK {
+		t.Fatal("TR(5,3) generalization should fail verification (dom < k)")
+	}
+}
+
+// TestGeneralizeMatchingRejected: the synthesized MM protocol is asymmetric,
+// so the automatic generalization must refuse rather than guess.
+func TestGeneralizeMatchingRejected(t *testing.T) {
+	groups := synthesize(t, protocols.Matching(5))
+	if _, err := lightweight.AutoGeneralizeRing(protocols.Matching, 5, groups, 7); err == nil {
+		t.Fatal("expected generalization of the asymmetric MM protocol to be rejected")
+	}
+}
+
+func TestExtractRingOffsets(t *testing.T) {
+	sp := protocols.Coloring(5)
+	// A group of P0 (reads c4, c0, c1): offsets -1, 0, +1.
+	g := protocol.Group{Proc: 0, ReadVals: []int{1, 2, 0}, WriteVals: []int{2}} // c0=1,c1=2,c4=0
+	rgs, err := lightweight.ExtractRing(sp, []protocol.Group{g}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rgs) != 1 {
+		t.Fatalf("got %d relative groups", len(rgs))
+	}
+	offsets := map[int]int{} // offset -> value
+	for i, off := range rgs[0].ReadOffsets {
+		offsets[off] = rgs[0].ReadVals[i]
+	}
+	// c0 (offset 0) = 1, c1 (offset +1) = 2, c4 (offset -1) = 0.
+	if offsets[0] != 1 || offsets[1] != 2 || offsets[-1] != 0 {
+		t.Fatalf("wrong relative valuation: %+v", rgs[0])
+	}
+}
+
+// bindGroups resolves spec-level groups to engine handles by key.
+func bindGroups(t *testing.T, e core.Engine, pgs []protocol.Group) []core.Group {
+	t.Helper()
+	byKey := make(map[protocol.Key]core.Group)
+	for _, g := range e.CandidateGroups() {
+		byKey[g.ProtocolGroup().Key()] = g
+	}
+	for _, g := range e.ActionGroups() {
+		byKey[g.ProtocolGroup().Key()] = g
+	}
+	var out []core.Group
+	for _, pg := range pgs {
+		g, ok := byKey[pg.Key()]
+		if !ok {
+			t.Fatalf("group %v not realizable on the target engine", pg)
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package pretty_test
+
+import (
+	"strings"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/pretty"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+)
+
+func TestDijkstraRendersLikeThePaper(t *testing.T) {
+	sp := protocols.DijkstraTokenRing(4, 3)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []protocol.Group
+	for _, g := range e.ActionGroups() {
+		groups = append(groups, g.ProtocolGroup())
+	}
+	out := pretty.Protocol(sp, groups)
+	for _, want := range []string{
+		"x1 != x0 -> x1 := x0",
+		"x2 != x1 -> x2 := x1",
+		"x3 != x2 -> x3 := x2",
+		"x0 == x3 -> x0 := x3 + 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSynthesizedTokenRingRendersLikeDijkstra(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []protocol.Group
+	for _, g := range res.Protocol {
+		groups = append(groups, g.ProtocolGroup())
+	}
+	out := pretty.Protocol(sp, groups)
+	if !strings.Contains(out, "x1 != x0 -> x1 := x0") {
+		t.Errorf("synthesized TR should print like Dijkstra's protocol, got:\n%s", out)
+	}
+}
+
+func TestRecoveryActionRenders(t *testing.T) {
+	// The TR pass-2 recovery action: xj == x(j-1)+1 → xj := x(j-1).
+	sp := protocols.TokenRing(4, 3)
+	var groups []protocol.Group
+	for a := 0; a < 3; a++ {
+		groups = append(groups, protocol.Group{
+			Proc:      1,
+			ReadVals:  []int{a, (a + 1) % 3}, // x0=a, x1=a+1
+			WriteVals: []int{a},
+		})
+	}
+	cmds := pretty.Process(sp, 1, groups)
+	if len(cmds) != 1 {
+		t.Fatalf("want a single merged command, got %v", cmds)
+	}
+	if cmds[0].Guard != "x1 == x0 + 1" {
+		t.Errorf("guard = %q, want %q", cmds[0].Guard, "x1 == x0 + 1")
+	}
+	if cmds[0].Effect != "x1 := x0" {
+		t.Errorf("effect = %q, want %q", cmds[0].Effect, "x1 := x0")
+	}
+}
+
+func TestConstantEffectAndCubeGuard(t *testing.T) {
+	// P0 of Matching(5) reads m0, m1, m4 (sorted by variable ID); ReadVals
+	// are parallel to that order.
+	sp := protocols.Matching(5)
+	groups := []protocol.Group{
+		{Proc: 0, ReadVals: []int{0, 0, 0}, WriteVals: []int{2}},
+		{Proc: 0, ReadVals: []int{0, 0, 1}, WriteVals: []int{2}},
+	}
+	cmds := pretty.Process(sp, 0, groups)
+	if len(cmds) != 1 {
+		t.Fatalf("want one command, got %d: %v", len(cmds), cmds)
+	}
+	if cmds[0].Effect != "m0 := 2" {
+		t.Errorf("effect = %q, want %q", cmds[0].Effect, "m0 := 2")
+	}
+	// m0==0 and m1==0 are fixed, m4 merged over {0,1}.
+	if !strings.Contains(cmds[0].Guard, "m4 in {0,1}") {
+		t.Errorf("guard = %q, want merged m4 values", cmds[0].Guard)
+	}
+}
+
+func TestFullDomainBecomesDontCare(t *testing.T) {
+	sp := protocols.Matching(5)
+	var groups []protocol.Group
+	for v := 0; v < 3; v++ {
+		groups = append(groups, protocol.Group{
+			Proc: 0, ReadVals: []int{0, 1, v}, WriteVals: []int{2}, // m4 = v
+		})
+	}
+	cmds := pretty.Process(sp, 0, groups)
+	if len(cmds) != 1 {
+		t.Fatalf("want one command, got %v", cmds)
+	}
+	if strings.Contains(cmds[0].Guard, "m4") {
+		t.Errorf("m4 should be don't-care in %q", cmds[0].Guard)
+	}
+	if !strings.Contains(cmds[0].Guard, "m0 == 0") || !strings.Contains(cmds[0].Guard, "m1 == 1") {
+		t.Errorf("guard = %q, want m0==0 && m1==1", cmds[0].Guard)
+	}
+}
+
+func TestEmptyProcessRenders(t *testing.T) {
+	sp := protocols.Matching(5)
+	out := pretty.Protocol(sp, nil)
+	if !strings.Contains(out, "(no actions)") {
+		t.Errorf("expected placeholder for empty processes, got:\n%s", out)
+	}
+}

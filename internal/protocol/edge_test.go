@@ -1,0 +1,94 @@
+package protocol
+
+import "testing"
+
+func TestNumStatesOverflow(t *testing.T) {
+	sp := &Spec{Name: "huge"}
+	for i := 0; i < 100; i++ {
+		sp.Vars = append(sp.Vars, Var{Name: "v" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Dom: 256})
+	}
+	if _, ok := sp.NumStates(); ok {
+		t.Error("256^100 should overflow uint64")
+	}
+	small := &Spec{Vars: []Var{{Name: "x", Dom: 7}, {Name: "y", Dom: 11}}}
+	if n, ok := small.NumStates(); !ok || n != 77 {
+		t.Errorf("NumStates = %d,%v; want 77,true", n, ok)
+	}
+}
+
+func TestActionGroupsSkipOutOfDomainWrites(t *testing.T) {
+	// An assignment that would leave the domain (x := x+5 with plain AddMod
+	// over a larger modulus) must disable the action for those valuations
+	// rather than produce an invalid group.
+	sp := &Spec{
+		Name: "oob",
+		Vars: []Var{{Name: "x", Dom: 3}},
+		Procs: []Process{{
+			Name: "P", Reads: []int{0}, Writes: []int{0},
+			Actions: []Action{{
+				Guard: True{},
+				// (x + 3) mod 5 yields 3 or 4 for x ∈ {0,1}: out of domain.
+				Assigns: []Assignment{{Var: 0, Expr: AddMod{A: V{ID: 0}, B: C{Val: 3}, Mod: 5}}},
+			}},
+		}},
+		Invariant: True{},
+	}
+	gs := sp.ActionGroups(0)
+	// Only x=2 maps to (2+3)%5=0 inside the domain.
+	if len(gs) != 1 {
+		t.Fatalf("got %d groups, want 1", len(gs))
+	}
+	if gs[0].ReadVals[0] != 2 || gs[0].WriteVals[0] != 0 {
+		t.Errorf("unexpected group %v", gs[0])
+	}
+}
+
+func TestActionGroupsNondeterminism(t *testing.T) {
+	// Two actions enabled at the same valuation yield two groups.
+	sp := &Spec{
+		Name: "nondet",
+		Vars: []Var{{Name: "x", Dom: 3}},
+		Procs: []Process{{
+			Name: "P", Reads: []int{0}, Writes: []int{0},
+			Actions: []Action{
+				{Guard: Eq{A: V{ID: 0}, B: C{Val: 0}}, Assigns: []Assignment{{Var: 0, Expr: C{Val: 1}}}},
+				{Guard: Eq{A: V{ID: 0}, B: C{Val: 0}}, Assigns: []Assignment{{Var: 0, Expr: C{Val: 2}}}},
+			},
+		}},
+		Invariant: True{},
+	}
+	gs := sp.ActionGroups(0)
+	if len(gs) != 2 {
+		t.Fatalf("got %d groups, want 2 (nondeterministic choice)", len(gs))
+	}
+}
+
+func TestActionGroupsDeduplicate(t *testing.T) {
+	// Identical actions produce one group, not two.
+	a := Action{Guard: Eq{A: V{ID: 0}, B: C{Val: 0}}, Assigns: []Assignment{{Var: 0, Expr: C{Val: 1}}}}
+	sp := &Spec{
+		Name: "dup",
+		Vars: []Var{{Name: "x", Dom: 3}},
+		Procs: []Process{{
+			Name: "P", Reads: []int{0}, Writes: []int{0},
+			Actions: []Action{a, a},
+		}},
+		Invariant: True{},
+	}
+	if gs := sp.ActionGroups(0); len(gs) != 1 {
+		t.Fatalf("got %d groups, want 1", len(gs))
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	got := SortedIDs(3, 1, 3, 0, 1)
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("SortedIDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedIDs = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package protocol defines the formal model of the paper: finite-state
+// protocols as tuples ⟨V, δ, Π, T⟩ of variables with finite domains,
+// transitions given by guarded commands, processes, and a topology expressed
+// as per-process read/write restrictions on variables.
+//
+// Guards and assignment right-hand sides are small expression ASTs so that
+// both the explicit-state engine (direct evaluation) and the symbolic engine
+// (compilation to BDDs) can interpret the same specification.
+package protocol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State is a valuation of all protocol variables, indexed by variable ID.
+type State []int
+
+// IntExpr is an integer-valued expression over protocol variables.
+type IntExpr interface {
+	// EvalInt evaluates the expression in state s.
+	EvalInt(s State) int
+	// CollectVars adds every variable ID referenced by the expression to set.
+	CollectVars(set map[int]bool)
+	// String renders the expression using the given variable names.
+	Render(names []string) string
+}
+
+// BoolExpr is a boolean-valued expression over protocol variables.
+type BoolExpr interface {
+	EvalBool(s State) bool
+	CollectVars(set map[int]bool)
+	Render(names []string) string
+}
+
+// V references variable id as an integer expression.
+type V struct{ ID int }
+
+// C is an integer constant.
+type C struct{ Val int }
+
+// AddMod is (A + B) mod Mod.
+type AddMod struct {
+	A, B IntExpr
+	Mod  int
+}
+
+// SubMod is (A - B) mod Mod, always non-negative.
+type SubMod struct {
+	A, B IntExpr
+	Mod  int
+}
+
+// Cond is a conditional integer expression: if If then Then else Else.
+type Cond struct {
+	If         BoolExpr
+	Then, Else IntExpr
+}
+
+func (e V) EvalInt(s State) int { return s[e.ID] }
+func (e C) EvalInt(State) int   { return e.Val }
+func (e AddMod) EvalInt(s State) int {
+	return ((e.A.EvalInt(s)+e.B.EvalInt(s))%e.Mod + e.Mod) % e.Mod
+}
+func (e SubMod) EvalInt(s State) int {
+	return ((e.A.EvalInt(s)-e.B.EvalInt(s))%e.Mod + e.Mod) % e.Mod
+}
+func (e Cond) EvalInt(s State) int {
+	if e.If.EvalBool(s) {
+		return e.Then.EvalInt(s)
+	}
+	return e.Else.EvalInt(s)
+}
+
+func (e V) CollectVars(set map[int]bool) { set[e.ID] = true }
+func (e C) CollectVars(map[int]bool)     {}
+func (e AddMod) CollectVars(set map[int]bool) {
+	e.A.CollectVars(set)
+	e.B.CollectVars(set)
+}
+func (e SubMod) CollectVars(set map[int]bool) {
+	e.A.CollectVars(set)
+	e.B.CollectVars(set)
+}
+func (e Cond) CollectVars(set map[int]bool) {
+	e.If.CollectVars(set)
+	e.Then.CollectVars(set)
+	e.Else.CollectVars(set)
+}
+
+func (e V) Render(names []string) string { return names[e.ID] }
+func (e C) Render([]string) string       { return fmt.Sprintf("%d", e.Val) }
+func (e AddMod) Render(names []string) string {
+	return fmt.Sprintf("(%s + %s mod %d)", e.A.Render(names), e.B.Render(names), e.Mod)
+}
+func (e SubMod) Render(names []string) string {
+	return fmt.Sprintf("(%s - %s mod %d)", e.A.Render(names), e.B.Render(names), e.Mod)
+}
+func (e Cond) Render(names []string) string {
+	return fmt.Sprintf("(if %s then %s else %s)",
+		e.If.Render(names), e.Then.Render(names), e.Else.Render(names))
+}
+
+// True and False are constant boolean expressions.
+type True struct{}
+type False struct{}
+
+// Eq compares two integer expressions for equality; Neq for inequality.
+type Eq struct{ A, B IntExpr }
+type Neq struct{ A, B IntExpr }
+
+// Lt is A < B on plain integer values.
+type Lt struct{ A, B IntExpr }
+
+// And, Or are n-ary conjunction/disjunction; Not is negation;
+// Implies is material implication.
+type And struct{ Xs []BoolExpr }
+type Or struct{ Xs []BoolExpr }
+type Not struct{ X BoolExpr }
+type Implies struct{ A, B BoolExpr }
+
+func (True) EvalBool(State) bool    { return true }
+func (False) EvalBool(State) bool   { return false }
+func (e Eq) EvalBool(s State) bool  { return e.A.EvalInt(s) == e.B.EvalInt(s) }
+func (e Neq) EvalBool(s State) bool { return e.A.EvalInt(s) != e.B.EvalInt(s) }
+func (e Lt) EvalBool(s State) bool  { return e.A.EvalInt(s) < e.B.EvalInt(s) }
+func (e Not) EvalBool(s State) bool { return !e.X.EvalBool(s) }
+func (e And) EvalBool(s State) bool {
+	for _, x := range e.Xs {
+		if !x.EvalBool(s) {
+			return false
+		}
+	}
+	return true
+}
+func (e Or) EvalBool(s State) bool {
+	for _, x := range e.Xs {
+		if x.EvalBool(s) {
+			return true
+		}
+	}
+	return false
+}
+func (e Implies) EvalBool(s State) bool { return !e.A.EvalBool(s) || e.B.EvalBool(s) }
+
+func (True) CollectVars(map[int]bool)  {}
+func (False) CollectVars(map[int]bool) {}
+func (e Eq) CollectVars(set map[int]bool) {
+	e.A.CollectVars(set)
+	e.B.CollectVars(set)
+}
+func (e Neq) CollectVars(set map[int]bool) {
+	e.A.CollectVars(set)
+	e.B.CollectVars(set)
+}
+func (e Lt) CollectVars(set map[int]bool) {
+	e.A.CollectVars(set)
+	e.B.CollectVars(set)
+}
+func (e Not) CollectVars(set map[int]bool) { e.X.CollectVars(set) }
+func (e And) CollectVars(set map[int]bool) {
+	for _, x := range e.Xs {
+		x.CollectVars(set)
+	}
+}
+func (e Or) CollectVars(set map[int]bool) {
+	for _, x := range e.Xs {
+		x.CollectVars(set)
+	}
+}
+func (e Implies) CollectVars(set map[int]bool) {
+	e.A.CollectVars(set)
+	e.B.CollectVars(set)
+}
+
+func (True) Render([]string) string  { return "true" }
+func (False) Render([]string) string { return "false" }
+func (e Eq) Render(names []string) string {
+	return fmt.Sprintf("%s == %s", e.A.Render(names), e.B.Render(names))
+}
+func (e Neq) Render(names []string) string {
+	return fmt.Sprintf("%s != %s", e.A.Render(names), e.B.Render(names))
+}
+func (e Lt) Render(names []string) string {
+	return fmt.Sprintf("%s < %s", e.A.Render(names), e.B.Render(names))
+}
+func (e Not) Render(names []string) string { return "!(" + e.X.Render(names) + ")" }
+func (e And) Render(names []string) string { return renderJoin(e.Xs, " && ", names) }
+func (e Or) Render(names []string) string  { return renderJoin(e.Xs, " || ", names) }
+func (e Implies) Render(names []string) string {
+	return fmt.Sprintf("(%s => %s)", e.A.Render(names), e.B.Render(names))
+}
+
+func renderJoin(xs []BoolExpr, sep string, names []string) string {
+	if len(xs) == 0 {
+		if sep == " && " {
+			return "true"
+		}
+		return "false"
+	}
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = x.Render(names)
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Conj builds an n-ary conjunction, flattening nested Ands.
+func Conj(xs ...BoolExpr) BoolExpr {
+	flat := make([]BoolExpr, 0, len(xs))
+	for _, x := range xs {
+		if a, ok := x.(And); ok {
+			flat = append(flat, a.Xs...)
+		} else {
+			flat = append(flat, x)
+		}
+	}
+	return And{Xs: flat}
+}
+
+// Disj builds an n-ary disjunction, flattening nested Ors.
+func Disj(xs ...BoolExpr) BoolExpr {
+	flat := make([]BoolExpr, 0, len(xs))
+	for _, x := range xs {
+		if o, ok := x.(Or); ok {
+			flat = append(flat, o.Xs...)
+		} else {
+			flat = append(flat, x)
+		}
+	}
+	return Or{Xs: flat}
+}

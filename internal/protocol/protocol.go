@@ -1,0 +1,207 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Var is a protocol variable with the finite domain {0, …, Dom-1}.
+type Var struct {
+	Name string
+	Dom  int
+}
+
+// Assignment assigns the value of Expr to variable Var (atomically with the
+// other assignments of the same action).
+type Assignment struct {
+	Var  int
+	Expr IntExpr
+}
+
+// Action is a guarded command grd → stmt. The guard may only read the
+// owning process's readable variables; the statement may only write its
+// writable variables (and read readable ones).
+type Action struct {
+	Guard   BoolExpr
+	Assigns []Assignment
+}
+
+// Process is a protocol process with its locality: the variables it may read
+// and the subset of those it may write, plus its guarded-command actions.
+type Process struct {
+	Name    string
+	Reads   []int // sorted variable IDs
+	Writes  []int // sorted variable IDs, subset of Reads
+	Actions []Action
+}
+
+// Spec is a protocol specification ⟨V, δ, Π, T⟩ together with the predicate
+// I of legitimate states (closed in δ by assumption; checked by the
+// verifier). δ is given by the actions of the processes; T by the read/write
+// sets.
+type Spec struct {
+	Name      string
+	Vars      []Var
+	Procs     []Process
+	Invariant BoolExpr
+}
+
+// NumStates returns the size of the state space, and ok=false if it
+// overflows uint64.
+func (sp *Spec) NumStates() (n uint64, ok bool) {
+	n = 1
+	for _, v := range sp.Vars {
+		d := uint64(v.Dom)
+		if d != 0 && n > math.MaxUint64/d {
+			return 0, false
+		}
+		n *= d
+	}
+	return n, true
+}
+
+// VarNames returns the variable names indexed by variable ID.
+func (sp *Spec) VarNames() []string {
+	names := make([]string, len(sp.Vars))
+	for i, v := range sp.Vars {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// Validate checks the structural well-formedness of the specification:
+// positive domains, sorted and in-range read/write sets, w ⊆ r, guards and
+// assignment right-hand sides reading only readable variables, assignment
+// targets being writable, and the invariant being present.
+func (sp *Spec) Validate() error {
+	if len(sp.Vars) == 0 {
+		return fmt.Errorf("protocol %q has no variables", sp.Name)
+	}
+	if len(sp.Procs) == 0 {
+		return fmt.Errorf("protocol %q has no processes", sp.Name)
+	}
+	if sp.Invariant == nil {
+		return fmt.Errorf("protocol %q has no invariant", sp.Name)
+	}
+	seen := make(map[string]bool)
+	for i, v := range sp.Vars {
+		if v.Dom < 1 {
+			return fmt.Errorf("variable %q has empty domain %d", v.Name, v.Dom)
+		}
+		if v.Name == "" {
+			return fmt.Errorf("variable %d has no name", i)
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("duplicate variable name %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	ivars := make(map[int]bool)
+	sp.Invariant.CollectVars(ivars)
+	for id := range ivars {
+		if id < 0 || id >= len(sp.Vars) {
+			return fmt.Errorf("invariant references unknown variable id %d", id)
+		}
+	}
+	pseen := make(map[string]bool)
+	for pi := range sp.Procs {
+		p := &sp.Procs[pi]
+		if p.Name == "" {
+			return fmt.Errorf("process %d has no name", pi)
+		}
+		if pseen[p.Name] {
+			return fmt.Errorf("duplicate process name %q", p.Name)
+		}
+		pseen[p.Name] = true
+		if err := checkVarSet(p.Reads, len(sp.Vars)); err != nil {
+			return fmt.Errorf("process %s reads: %v", p.Name, err)
+		}
+		if err := checkVarSet(p.Writes, len(sp.Vars)); err != nil {
+			return fmt.Errorf("process %s writes: %v", p.Name, err)
+		}
+		if len(p.Writes) == 0 {
+			return fmt.Errorf("process %s writes no variables", p.Name)
+		}
+		readSet := make(map[int]bool, len(p.Reads))
+		for _, id := range p.Reads {
+			readSet[id] = true
+		}
+		for _, id := range p.Writes {
+			if !readSet[id] {
+				return fmt.Errorf("process %s writes unreadable variable %s (w ⊆ r required)",
+					p.Name, sp.Vars[id].Name)
+			}
+		}
+		for ai, a := range p.Actions {
+			if a.Guard == nil {
+				return fmt.Errorf("process %s action %d has nil guard", p.Name, ai)
+			}
+			gvars := make(map[int]bool)
+			a.Guard.CollectVars(gvars)
+			for id := range gvars {
+				if !readSet[id] {
+					return fmt.Errorf("process %s action %d guard reads unreadable variable %s",
+						p.Name, ai, sp.Vars[id].Name)
+				}
+			}
+			if len(a.Assigns) == 0 {
+				return fmt.Errorf("process %s action %d has no assignments", p.Name, ai)
+			}
+			targets := make(map[int]bool)
+			for _, as := range a.Assigns {
+				wok := false
+				for _, id := range p.Writes {
+					if id == as.Var {
+						wok = true
+					}
+				}
+				if !wok {
+					return fmt.Errorf("process %s action %d assigns non-writable variable id %d",
+						p.Name, ai, as.Var)
+				}
+				if targets[as.Var] {
+					return fmt.Errorf("process %s action %d assigns variable %s twice",
+						p.Name, ai, sp.Vars[as.Var].Name)
+				}
+				targets[as.Var] = true
+				avars := make(map[int]bool)
+				as.Expr.CollectVars(avars)
+				for id := range avars {
+					if !readSet[id] {
+						return fmt.Errorf("process %s action %d reads unreadable variable %s",
+							p.Name, ai, sp.Vars[id].Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkVarSet(ids []int, n int) error {
+	for i, id := range ids {
+		if id < 0 || id >= n {
+			return fmt.Errorf("variable id %d out of range", id)
+		}
+		if i > 0 && ids[i-1] >= id {
+			return fmt.Errorf("ids must be strictly sorted, got %v", ids)
+		}
+	}
+	return nil
+}
+
+// SortedIDs returns a sorted copy of ids with duplicates removed; a
+// convenience for building Reads/Writes sets.
+func SortedIDs(ids ...int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	w := 0
+	for i, id := range out {
+		if i == 0 || out[w-1] != id {
+			out[w] = id
+			w++
+		}
+	}
+	return out[:w]
+}

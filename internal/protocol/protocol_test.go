@@ -1,0 +1,275 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tr4 builds the running example of the paper: the 4-process token ring
+// with domain {0,1,2}.
+func tr4() *Spec {
+	const k, dom = 4, 3
+	sp := &Spec{Name: "token-ring"}
+	for i := 0; i < k; i++ {
+		sp.Vars = append(sp.Vars, Var{Name: "x" + string(rune('0'+i)), Dom: dom})
+	}
+	// P0: x0 == x3 -> x0 := x3 + 1
+	sp.Procs = append(sp.Procs, Process{
+		Name:   "P0",
+		Reads:  SortedIDs(0, k-1),
+		Writes: []int{0},
+		Actions: []Action{{
+			Guard:   Eq{V{0}, V{k - 1}},
+			Assigns: []Assignment{{Var: 0, Expr: AddMod{V{k - 1}, C{1}, dom}}},
+		}},
+	})
+	// Pj: xj + 1 == x(j-1) -> xj := x(j-1)
+	for j := 1; j < k; j++ {
+		sp.Procs = append(sp.Procs, Process{
+			Name:   "P" + string(rune('0'+j)),
+			Reads:  SortedIDs(j-1, j),
+			Writes: []int{j},
+			Actions: []Action{{
+				Guard:   Eq{AddMod{V{j}, C{1}, dom}, V{j - 1}},
+				Assigns: []Assignment{{Var: j, Expr: V{j - 1}}},
+			}},
+		})
+	}
+	sp.Invariant = True{} // placeholder; group tests do not use it
+	return sp
+}
+
+func TestValidateTR(t *testing.T) {
+	if err := tr4().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := tr4()
+
+	bad := *base
+	bad.Invariant = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil invariant accepted")
+	}
+
+	bad = *base
+	bad.Procs = append([]Process(nil), base.Procs...)
+	bad.Procs[1].Writes = []int{2} // P1 may not read x2
+	if err := bad.Validate(); err == nil {
+		t.Error("write outside read set accepted")
+	}
+
+	bad = *base
+	bad.Procs = append([]Process(nil), base.Procs...)
+	bad.Procs[1].Actions = []Action{{
+		Guard:   Eq{V{3}, C{0}}, // P1 cannot read x3
+		Assigns: []Assignment{{Var: 1, Expr: C{0}}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("guard over unreadable variable accepted")
+	}
+
+	bad = *base
+	bad.Vars = append([]Var(nil), base.Vars...)
+	bad.Vars[0].Dom = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("empty domain accepted")
+	}
+
+	bad = *base
+	bad.Vars = append([]Var(nil), base.Vars...)
+	bad.Vars[1].Name = bad.Vars[0].Name
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate variable name accepted")
+	}
+}
+
+func TestValuations(t *testing.T) {
+	var got [][]int
+	Valuations([]int{2, 3}, func(v []int) {
+		got = append(got, append([]int(nil), v...))
+	})
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d valuations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("valuation %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestActionGroupsTR(t *testing.T) {
+	sp := tr4()
+	// Each Pj (j>=1) reads two dom-3 variables: 9 readable valuations, of
+	// which exactly 3 satisfy xj+1 == x(j-1). Same count for P0's x0 == x3.
+	for pi := range sp.Procs {
+		gs := sp.ActionGroups(pi)
+		if len(gs) != 3 {
+			t.Errorf("process %d: got %d action groups, want 3", pi, len(gs))
+		}
+		for _, g := range gs {
+			if g.IsNoop(sp) {
+				t.Errorf("process %d: action group %v is a no-op", pi, g)
+			}
+		}
+	}
+	if n := len(sp.AllActionGroups()); n != 12 {
+		t.Errorf("AllActionGroups: got %d, want 12", n)
+	}
+}
+
+func TestCandidateGroupsTR(t *testing.T) {
+	sp := tr4()
+	// 9 readable valuations × 3 write values, minus 9 no-ops = 18.
+	for pi := range sp.Procs {
+		gs := sp.CandidateGroups(pi)
+		if len(gs) != 18 {
+			t.Errorf("process %d: got %d candidate groups, want 18", pi, len(gs))
+		}
+		seen := make(map[Key]bool)
+		for _, g := range gs {
+			if g.IsNoop(sp) {
+				t.Errorf("candidate group %v is a no-op", g)
+			}
+			k := g.Key()
+			if seen[k] {
+				t.Errorf("duplicate candidate group key %q", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestGroupApplyMatches(t *testing.T) {
+	sp := tr4()
+	g := Group{Proc: 1, ReadVals: []int{2, 1}, WriteVals: []int{2}} // x0=2, x1=1 -> x1:=2
+	s := State{2, 1, 0, 0}
+	if !g.Matches(sp, s) {
+		t.Fatal("state should match group")
+	}
+	dst := make(State, 4)
+	g.Apply(sp, s, dst)
+	want := State{2, 2, 0, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", dst, want)
+		}
+	}
+	if g.Matches(sp, State{0, 1, 0, 0}) {
+		t.Error("state with x0=0 should not match group requiring x0=2")
+	}
+}
+
+func TestUnreadCount(t *testing.T) {
+	sp := tr4()
+	for pi := range sp.Procs {
+		if n := sp.UnreadCount(pi); n != 9 { // two unreadable dom-3 variables
+			t.Errorf("process %d: UnreadCount = %d, want 9", pi, n)
+		}
+	}
+}
+
+func TestIndexerRoundTrip(t *testing.T) {
+	sp := tr4()
+	ix := NewIndexer(sp)
+	if ix.Len() != 81 {
+		t.Fatalf("Len = %d, want 81", ix.Len())
+	}
+	s := make(State, 4)
+	for idx := uint64(0); idx < ix.Len(); idx++ {
+		ix.Decode(idx, s)
+		if got := ix.Index(s); got != idx {
+			t.Fatalf("roundtrip failed: %d -> %v -> %d", idx, s, got)
+		}
+		for id := 0; id < 4; id++ {
+			if ix.Value(idx, id) != s[id] {
+				t.Fatalf("Value(%d,%d) = %d, want %d", idx, id, ix.Value(idx, id), s[id])
+			}
+		}
+	}
+}
+
+func TestIndexerWithValue(t *testing.T) {
+	sp := tr4()
+	ix := NewIndexer(sp)
+	f := func(idx uint64, id uint8, v uint8) bool {
+		i := idx % ix.Len()
+		vid := int(id) % 4
+		val := int(v) % 3
+		got := ix.WithValue(i, vid, val)
+		s := make(State, 4)
+		ix.Decode(i, s)
+		s[vid] = val
+		return got == ix.Index(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	s := State{2, 0, 1}
+	cases := []struct {
+		e    BoolExpr
+		want bool
+	}{
+		{True{}, true},
+		{False{}, false},
+		{Eq{V{0}, C{2}}, true},
+		{Neq{V{0}, V{1}}, true},
+		{Lt{V{1}, V{2}}, true},
+		{Conj(Eq{V{0}, C{2}}, Eq{V{1}, C{0}}), true},
+		{Conj(Eq{V{0}, C{2}}, Eq{V{1}, C{1}}), false},
+		{Disj(Eq{V{0}, C{0}}, Eq{V{2}, C{1}}), true},
+		{Disj(Eq{V{0}, C{0}}, Eq{V{2}, C{0}}), false},
+		{Not{Eq{V{0}, C{2}}}, false},
+		{Implies{Eq{V{0}, C{2}}, Eq{V{1}, C{1}}}, false},
+		{Implies{Eq{V{0}, C{0}}, Eq{V{1}, C{1}}}, true},
+		{Eq{AddMod{V{0}, C{1}, 3}, C{0}}, true}, // (2+1) mod 3 == 0
+		{Eq{SubMod{V{1}, C{1}, 3}, C{2}}, true}, // (0-1) mod 3 == 2
+		{Eq{Cond{Eq{V{1}, C{0}}, V{0}, V{2}}, C{2}}, true},
+		{Eq{Cond{Eq{V{1}, C{1}}, V{0}, V{2}}, C{1}}, true},
+	}
+	for i, c := range cases {
+		if got := c.e.EvalBool(s); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v",
+				i, c.e.Render([]string{"a", "b", "c"}), got, c.want)
+		}
+	}
+}
+
+func TestExprCollectVars(t *testing.T) {
+	e := Conj(Eq{AddMod{V{0}, V{3}, 4}, C{1}}, Disj(Neq{V{2}, C{0}}))
+	set := make(map[int]bool)
+	e.CollectVars(set)
+	for _, id := range []int{0, 2, 3} {
+		if !set[id] {
+			t.Errorf("variable %d not collected", id)
+		}
+	}
+	if set[1] {
+		t.Error("variable 1 wrongly collected")
+	}
+	if len(set) != 3 {
+		t.Errorf("collected %d vars, want 3", len(set))
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	sp := tr4()
+	names := sp.VarNames()
+	e := Conj(Eq{V{0}, V{3}}, Not{Lt{V{1}, C{2}}})
+	if got := e.Render(names); got == "" {
+		t.Error("empty render")
+	}
+	g := Group{Proc: 0, ReadVals: []int{1, 2}, WriteVals: []int{0}}
+	if got := g.Render(sp); got == "" {
+		t.Error("empty group render")
+	}
+}

@@ -1,0 +1,198 @@
+// Package protocols contains parametric generators for the paper's case
+// studies: Dijkstra's token ring (Section II), maximal matching on a
+// bidirectional ring (Section VI-A, including Gouda and Acharya's manually
+// designed protocol whose flaw the paper exposes), three coloring on a ring
+// (Section VI-B), and the two-ring token ring (Section VI-C).
+package protocols
+
+import (
+	"fmt"
+
+	"stsyn/internal/protocol"
+)
+
+func v(id int) protocol.V                  { return protocol.V{ID: id} }
+func c(val int) protocol.C                 { return protocol.C{Val: val} }
+func eq(a, b protocol.IntExpr) protocol.Eq { return protocol.Eq{A: a, B: b} }
+func plus1(id, mod int) protocol.IntExpr {
+	return protocol.AddMod{A: v(id), B: c(1), Mod: mod}
+}
+
+// TokenRing builds the non-stabilizing k-process token ring with the given
+// domain size (the paper's running example uses k=4, dom=3):
+//
+//	P0: x0 == x(k-1) → x0 := x(k-1) + 1  (mod dom)
+//	Pj: xj + 1 == x(j-1) → xj := x(j-1)   for 1 ≤ j < k
+//
+// The invariant S1 holds exactly when one token exists.
+func TokenRing(k, dom int) *protocol.Spec {
+	if k < 2 || dom < 2 {
+		panic("protocols: TokenRing requires k ≥ 2 and dom ≥ 2")
+	}
+	sp := &protocol.Spec{Name: fmt.Sprintf("token-ring-%d-%d", k, dom)}
+	for i := 0; i < k; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{Name: fmt.Sprintf("x%d", i), Dom: dom})
+	}
+	sp.Procs = append(sp.Procs, protocol.Process{
+		Name:   "P0",
+		Reads:  protocol.SortedIDs(0, k-1),
+		Writes: []int{0},
+		Actions: []protocol.Action{{
+			Guard:   eq(v(0), v(k-1)),
+			Assigns: []protocol.Assignment{{Var: 0, Expr: plus1(k-1, dom)}},
+		}},
+	})
+	for j := 1; j < k; j++ {
+		sp.Procs = append(sp.Procs, protocol.Process{
+			Name:   fmt.Sprintf("P%d", j),
+			Reads:  protocol.SortedIDs(j-1, j),
+			Writes: []int{j},
+			Actions: []protocol.Action{{
+				Guard:   eq(plus1(j, dom), v(j-1)),
+				Assigns: []protocol.Assignment{{Var: j, Expr: v(j - 1)}},
+			}},
+		})
+	}
+	sp.Invariant = tokenRingInvariant(k, dom)
+	return sp
+}
+
+// tokenRingInvariant is S1: exactly one process holds a token. One disjunct
+// per token holder; holder 0 is the all-equal configuration.
+func tokenRingInvariant(k, dom int) protocol.BoolExpr {
+	var disj []protocol.BoolExpr
+	for holder := 0; holder < k; holder++ {
+		var conj []protocol.BoolExpr
+		for j := 1; j < k; j++ {
+			if j == holder {
+				conj = append(conj, eq(plus1(j, dom), v(j-1)))
+			} else {
+				conj = append(conj, eq(v(j), v(j-1)))
+			}
+		}
+		disj = append(disj, protocol.Conj(conj...))
+	}
+	return protocol.Disj(disj...)
+}
+
+// DijkstraTokenRing builds Dijkstra's self-stabilizing token ring — the
+// protocol the paper's heuristic re-derives automatically:
+//
+//	P0: x0 == x(k-1) → x0 := x(k-1) + 1  (mod dom)
+//	Pj: xj != x(j-1) → xj := x(j-1)       for 1 ≤ j < k
+func DijkstraTokenRing(k, dom int) *protocol.Spec {
+	sp := TokenRing(k, dom)
+	sp.Name = fmt.Sprintf("dijkstra-token-ring-%d-%d", k, dom)
+	for j := 1; j < k; j++ {
+		sp.Procs[j].Actions = []protocol.Action{{
+			Guard:   protocol.Neq{A: v(j), B: v(j - 1)},
+			Assigns: []protocol.Assignment{{Var: j, Expr: v(j - 1)}},
+		}}
+	}
+	return sp
+}
+
+// Pointer values of the maximal-matching protocol.
+const (
+	MLeft  = 0
+	MRight = 1
+	MSelf  = 2
+)
+
+// Matching builds the non-stabilizing (empty) maximal-matching protocol on
+// a bidirectional ring of k processes. Process Pi owns mi ∈ {left, right,
+// self} and reads the pointers of both neighbors. The target invariant is
+// I_MM = ∀i: LC_i with
+//
+//	LC_i ≡ (mi=left  ⇒ m(i-1)=right) ∧
+//	       (mi=right ⇒ m(i+1)=left)  ∧
+//	       (mi=self  ⇒ m(i-1)=left ∧ m(i+1)=right)
+func Matching(k int) *protocol.Spec {
+	if k < 3 {
+		panic("protocols: Matching requires k ≥ 3")
+	}
+	sp := &protocol.Spec{Name: fmt.Sprintf("matching-%d", k)}
+	for i := 0; i < k; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{Name: fmt.Sprintf("m%d", i), Dom: 3})
+	}
+	for i := 0; i < k; i++ {
+		sp.Procs = append(sp.Procs, protocol.Process{
+			Name:   fmt.Sprintf("P%d", i),
+			Reads:  protocol.SortedIDs((i+k-1)%k, i, (i+1)%k),
+			Writes: []int{i},
+		})
+	}
+	var conj []protocol.BoolExpr
+	for i := 0; i < k; i++ {
+		left, right := (i+k-1)%k, (i+1)%k
+		conj = append(conj,
+			protocol.Implies{A: eq(v(i), c(MLeft)), B: eq(v(left), c(MRight))},
+			protocol.Implies{A: eq(v(i), c(MRight)), B: eq(v(right), c(MLeft))},
+			protocol.Implies{A: eq(v(i), c(MSelf)),
+				B: protocol.Conj(eq(v(left), c(MLeft)), eq(v(right), c(MRight)))},
+		)
+	}
+	sp.Invariant = protocol.Conj(conj...)
+	return sp
+}
+
+// GoudaAcharyaMatching builds the manually designed maximal-matching
+// protocol of Gouda and Acharya which the paper found to contain a
+// non-progress cycle (Section VI-A):
+//
+//	mi = left  ∧ m(i-1) = left  → mi := self
+//	mi = right ∧ m(i+1) = right → mi := self
+//	mi = self  ∧ m(i-1) = left  → mi := left
+//	mi = self  ∧ m(i+1) = right → mi := right
+func GoudaAcharyaMatching(k int) *protocol.Spec {
+	sp := Matching(k)
+	sp.Name = fmt.Sprintf("gouda-acharya-matching-%d", k)
+	for i := 0; i < k; i++ {
+		left, right := (i+k-1)%k, (i+1)%k
+		sp.Procs[i].Actions = []protocol.Action{
+			{
+				Guard:   protocol.Conj(eq(v(i), c(MLeft)), eq(v(left), c(MLeft))),
+				Assigns: []protocol.Assignment{{Var: i, Expr: c(MSelf)}},
+			},
+			{
+				Guard:   protocol.Conj(eq(v(i), c(MRight)), eq(v(right), c(MRight))),
+				Assigns: []protocol.Assignment{{Var: i, Expr: c(MSelf)}},
+			},
+			{
+				Guard:   protocol.Conj(eq(v(i), c(MSelf)), eq(v(left), c(MLeft))),
+				Assigns: []protocol.Assignment{{Var: i, Expr: c(MLeft)}},
+			},
+			{
+				Guard:   protocol.Conj(eq(v(i), c(MSelf)), eq(v(right), c(MRight))),
+				Assigns: []protocol.Assignment{{Var: i, Expr: c(MRight)}},
+			},
+		}
+	}
+	return sp
+}
+
+// Coloring builds the non-stabilizing (empty) three-coloring protocol on a
+// ring of k processes: Pi owns color ci ∈ {0,1,2} and reads both neighbors.
+// The target invariant is ∀i: c(i-1) != ci (proper coloring).
+func Coloring(k int) *protocol.Spec {
+	if k < 3 {
+		panic("protocols: Coloring requires k ≥ 3")
+	}
+	sp := &protocol.Spec{Name: fmt.Sprintf("coloring-%d", k)}
+	for i := 0; i < k; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{Name: fmt.Sprintf("c%d", i), Dom: 3})
+	}
+	for i := 0; i < k; i++ {
+		sp.Procs = append(sp.Procs, protocol.Process{
+			Name:   fmt.Sprintf("P%d", i),
+			Reads:  protocol.SortedIDs((i+k-1)%k, i, (i+1)%k),
+			Writes: []int{i},
+		})
+	}
+	var conj []protocol.BoolExpr
+	for i := 0; i < k; i++ {
+		conj = append(conj, protocol.Neq{A: v((i + k - 1) % k), B: v(i)})
+	}
+	sp.Invariant = protocol.Conj(conj...)
+	return sp
+}

@@ -1,0 +1,187 @@
+package protocols
+
+import (
+	"testing"
+
+	"stsyn/internal/protocol"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	specs := []*protocol.Spec{
+		TokenRing(4, 3),
+		TokenRing(5, 5),
+		DijkstraTokenRing(4, 3),
+		Matching(5),
+		Matching(11),
+		GoudaAcharyaMatching(5),
+		Coloring(3),
+		Coloring(40),
+		TwoRingTokenRing(),
+	}
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+	}
+}
+
+func TestTokenRingInvariantStates(t *testing.T) {
+	// S1 has dom·k states: one per token position and base value.
+	for _, tc := range []struct{ k, dom int }{{3, 3}, {4, 3}, {4, 4}, {5, 5}} {
+		sp := TokenRing(tc.k, tc.dom)
+		ix := protocol.NewIndexer(sp)
+		count := 0
+		s := make(protocol.State, tc.k)
+		for i := uint64(0); i < ix.Len(); i++ {
+			ix.Decode(i, s)
+			if sp.Invariant.EvalBool(s) {
+				count++
+			}
+		}
+		if count != tc.k*tc.dom {
+			t.Errorf("TR(%d,%d): |S1| = %d, want %d", tc.k, tc.dom, count, tc.k*tc.dom)
+		}
+	}
+}
+
+func TestTokenRingPaperStates(t *testing.T) {
+	sp := TokenRing(4, 3)
+	in := protocol.State{1, 0, 0, 0}  // P1 has the token (paper example)
+	out := protocol.State{0, 0, 1, 2} // paper's deadlock state
+	if !sp.Invariant.EvalBool(in) {
+		t.Error("⟨1,0,0,0⟩ should satisfy S1")
+	}
+	if sp.Invariant.EvalBool(out) {
+		t.Error("⟨0,0,1,2⟩ should not satisfy S1")
+	}
+}
+
+func TestMatchingInvariantExamples(t *testing.T) {
+	sp := Matching(5)
+	L, R, S := MLeft, MRight, MSelf
+	cases := []struct {
+		s    protocol.State
+		want bool
+	}{
+		{protocol.State{S, R, L, R, L}, true},  // P0 self, P1-P2 and P3-P4 matched
+		{protocol.State{R, L, S, R, L}, true},  // P0-P1 and P3-P4 matched, P2 self
+		{protocol.State{L, S, L, S, L}, false}, // paper's cycle start
+		{protocol.State{S, S, S, S, S}, false}, // all self: maximality violated
+		{protocol.State{L, R, L, R, L}, false}, // mismatched pointers
+	}
+	for _, tc := range cases {
+		if got := sp.Invariant.EvalBool(tc.s); got != tc.want {
+			t.Errorf("I_MM(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestMatchingInvariantNonEmpty(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 6, 7} {
+		sp := Matching(k)
+		ix := protocol.NewIndexer(sp)
+		s := make(protocol.State, k)
+		found := false
+		for i := uint64(0); i < ix.Len() && !found; i++ {
+			ix.Decode(i, s)
+			found = sp.Invariant.EvalBool(s)
+		}
+		if !found {
+			t.Errorf("I_MM empty for k=%d", k)
+		}
+	}
+}
+
+func TestColoringInvariant(t *testing.T) {
+	sp := Coloring(5)
+	if !sp.Invariant.EvalBool(protocol.State{0, 1, 2, 0, 1}) {
+		t.Error("proper coloring rejected")
+	}
+	if sp.Invariant.EvalBool(protocol.State{0, 0, 1, 2, 1}) {
+		t.Error("adjacent equal colors accepted")
+	}
+	// Ring closure: first/last adjacency counts.
+	if sp.Invariant.EvalBool(protocol.State{0, 1, 0, 1, 0}) {
+		t.Error("wrap-around conflict accepted")
+	}
+}
+
+func TestEmptyProtocolsHaveNoActions(t *testing.T) {
+	for _, sp := range []*protocol.Spec{Matching(5), Coloring(5)} {
+		for _, p := range sp.Procs {
+			if len(p.Actions) != 0 {
+				t.Errorf("%s %s: non-stabilizing protocol should be empty", sp.Name, p.Name)
+			}
+		}
+	}
+}
+
+func TestTwoRingLegitimateCount(t *testing.T) {
+	sp := TwoRingTokenRing()
+	ix := protocol.NewIndexer(sp)
+	if ix.Len() != 131072 { // 4^8 · 2
+		t.Fatalf("state space = %d, want 131072", ix.Len())
+	}
+	s := make(protocol.State, len(sp.Vars))
+	count := 0
+	for i := uint64(0); i < ix.Len(); i++ {
+		ix.Decode(i, s)
+		if sp.Invariant.EvalBool(s) {
+			count++
+		}
+	}
+	// 8 token positions × 4 base values.
+	if count != 32 {
+		t.Errorf("|I| = %d, want 32", count)
+	}
+}
+
+func TestTwoRingLegitimateCycle(t *testing.T) {
+	// Follow the deterministic legitimate execution for two full rounds and
+	// check it stays inside I with exactly one enabled process per state.
+	sp := TwoRingTokenRing()
+	s := make(protocol.State, len(sp.Vars)) // all zero…
+	s[8] = 1                                // …with turn=1: the PA0-token state
+	if !sp.Invariant.EvalBool(s) {
+		t.Fatal("initial state not legitimate")
+	}
+	for step := 0; step < 16; step++ {
+		var enabled []int
+		var next protocol.State
+		for pi := range sp.Procs {
+			for _, a := range sp.Procs[pi].Actions {
+				if a.Guard.EvalBool(s) {
+					enabled = append(enabled, pi)
+					next = append(protocol.State(nil), s...)
+					for _, as := range a.Assigns {
+						next[as.Var] = as.Expr.EvalInt(s)
+					}
+				}
+			}
+		}
+		if len(enabled) != 1 {
+			t.Fatalf("step %d: %d processes enabled at %v, want 1", step, len(enabled), s)
+		}
+		if !sp.Invariant.EvalBool(next) {
+			t.Fatalf("step %d: closure violated at %v -> %v", step, s, next)
+		}
+		s = next
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	for name, f := range map[string]func(){
+		"TokenRing": func() { TokenRing(1, 3) },
+		"Matching":  func() { Matching(2) },
+		"Coloring":  func() { Coloring(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted invalid parameters", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,85 @@
+package protocols_test
+
+import (
+	"testing"
+
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/symbolic"
+	"stsyn/internal/verify"
+)
+
+func TestDijkstraThreeStateStabilizes(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 7} {
+		sp := protocols.DijkstraThreeState(n)
+		e, err := explicit.New(sp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := verify.StronglyStabilizing(e, e.ActionGroups()); !v.OK {
+			t.Fatalf("n=%d: %s (witness %v)", n, v.Reason, v.Witness)
+		}
+		// |I| grows linearly: 12n - 15 legitimate states (verified counts).
+		if got, want := e.States(e.Invariant()), float64(12*n-15); got != want {
+			t.Errorf("n=%d: |I| = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDijkstraThreeStateSymbolic(t *testing.T) {
+	sp := protocols.DijkstraThreeState(6)
+	se, err := symbolic.New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(se, se.ActionGroups()); !v.OK {
+		t.Fatalf("symbolic check failed: %s", v.Reason)
+	}
+}
+
+// TestDijkstraThreeStateVariantRefuted documents the verifier-guided
+// reconstruction: dropping the top machine's read of the bottom (turning
+// the system into a pure chain where the top copies like a middle machine)
+// yields a protocol the checker refutes — the checker is what discriminated
+// the correct rule set from plausible mis-rememberings.
+func TestDijkstraThreeStateVariantRefuted(t *testing.T) {
+	const n = 4
+	sp := protocols.DijkstraThreeState(n)
+	p1 := func(id int) protocol.IntExpr {
+		return protocol.AddMod{A: protocol.V{ID: id}, B: protocol.C{Val: 1}, Mod: 3}
+	}
+	top := n - 1
+	sp.Procs[top] = protocol.Process{
+		Name:  sp.Procs[top].Name,
+		Reads: protocol.SortedIDs(top-1, top), Writes: []int{top},
+		Actions: []protocol.Action{{
+			Guard:   protocol.Eq{A: p1(top), B: protocol.V{ID: top - 1}},
+			Assigns: []protocol.Assignment{{Var: top, Expr: protocol.V{ID: top - 1}}},
+		}},
+	}
+	sp.Invariant = protocols.ExactlyOnePrivilege(sp)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.StronglyStabilizing(e, e.ActionGroups()); v.OK {
+		t.Error("the chain variant should not verify")
+	}
+}
+
+func TestDijkstraThreeStateTopLocality(t *testing.T) {
+	// The top machine's locality includes the bottom machine — the non-ring
+	// shape that makes this a distinct topology case study.
+	sp := protocols.DijkstraThreeState(5)
+	top := sp.Procs[4]
+	found := false
+	for _, id := range top.Reads {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("top machine must read the bottom machine's variable")
+	}
+}

@@ -1,0 +1,133 @@
+package protocols
+
+import "stsyn/internal/protocol"
+
+// TwoRingDomain is the domain of the ring variables of TR².
+const TwoRingDomain = 4
+
+// TwoRingTokenRing builds the non-stabilizing two-ring token ring (TR²) of
+// Section VI-C: two 4-process unidirectional rings A and B coupled at their
+// 0-processes, plus a boolean turn variable. Ring A's coupling process
+// executes only when turn = 1 and ring B's only when turn = 0. The paper
+// leaves the concrete action set to its technical report; this
+// reconstruction realizes the token definitions given in the paper:
+//
+//	PA0 has the token iff a0 = a3 ∧ b0 = b3 ∧ a0 = b0
+//	PAi has the token iff a(i-1) = ai ⊕ 1            (1 ≤ i ≤ 3)
+//	PB0 has the token iff b0 = b3 ∧ a0 = a3 ∧ b0 ⊕ 1 = a0
+//	PBi has the token iff b(i-1) = bi ⊕ 1            (1 ≤ i ≤ 3)
+//
+// Actions: PA0 increments a0 when it holds the token and turn = 1, handing
+// control to ring B by resetting turn; PAi (i ≥ 1) copies a(i-1) when it
+// holds the token. PB0 and PBi mirror ring A with the roles of turn
+// reversed. In the legitimate states exactly one process is enabled and the
+// token circulates A-ring, B-ring, A-ring, … forever.
+func TwoRingTokenRing() *protocol.Spec {
+	const (
+		n   = 4
+		dom = TwoRingDomain
+	)
+	// Variable layout: a0..a3 = ids 0..3, b0..b3 = ids 4..7, turn = id 8.
+	a := func(i int) int { return i }
+	b := func(i int) int { return n + i }
+	const turn = 2 * n
+
+	sp := &protocol.Spec{Name: "two-ring-token-ring"}
+	for i := 0; i < n; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{Name: "a" + string(rune('0'+i)), Dom: dom})
+	}
+	for i := 0; i < n; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{Name: "b" + string(rune('0'+i)), Dom: dom})
+	}
+	sp.Vars = append(sp.Vars, protocol.Var{Name: "turn", Dom: 2})
+
+	// PA0: turn=1 ∧ token → a0 := a0 ⊕ 1; turn := 0.
+	sp.Procs = append(sp.Procs, protocol.Process{
+		Name:   "PA0",
+		Reads:  protocol.SortedIDs(a(0), a(3), b(0), b(3), turn),
+		Writes: protocol.SortedIDs(a(0), turn),
+		Actions: []protocol.Action{{
+			Guard: protocol.Conj(eq(v(turn), c(1)),
+				eq(v(a(0)), v(a(3))), eq(v(b(0)), v(b(3))), eq(v(a(0)), v(b(0)))),
+			Assigns: []protocol.Assignment{
+				{Var: a(0), Expr: plus1(a(0), dom)},
+				{Var: turn, Expr: c(0)},
+			},
+		}},
+	})
+	// PA1..PA3: copy the predecessor's value when holding the token.
+	for i := 1; i < n; i++ {
+		sp.Procs = append(sp.Procs, protocol.Process{
+			Name:   "PA" + string(rune('0'+i)),
+			Reads:  protocol.SortedIDs(a(i-1), a(i)),
+			Writes: []int{a(i)},
+			Actions: []protocol.Action{{
+				Guard:   eq(v(a(i-1)), plus1(a(i), dom)),
+				Assigns: []protocol.Assignment{{Var: a(i), Expr: v(a(i - 1))}},
+			}},
+		})
+	}
+	// PB0: turn=0 ∧ token → b0 := b0 ⊕ 1; turn := 1.
+	sp.Procs = append(sp.Procs, protocol.Process{
+		Name:   "PB0",
+		Reads:  protocol.SortedIDs(b(0), b(3), a(0), a(3), turn),
+		Writes: protocol.SortedIDs(b(0), turn),
+		Actions: []protocol.Action{{
+			Guard: protocol.Conj(eq(v(turn), c(0)),
+				eq(v(b(0)), v(b(3))), eq(v(a(0)), v(a(3))), eq(plus1(b(0), dom), v(a(0)))),
+			Assigns: []protocol.Assignment{
+				{Var: b(0), Expr: plus1(b(0), dom)},
+				{Var: turn, Expr: c(1)},
+			},
+		}},
+	})
+	for i := 1; i < n; i++ {
+		sp.Procs = append(sp.Procs, protocol.Process{
+			Name:   "PB" + string(rune('0'+i)),
+			Reads:  protocol.SortedIDs(b(i-1), b(i)),
+			Writes: []int{b(i)},
+			Actions: []protocol.Action{{
+				Guard:   eq(v(b(i-1)), plus1(b(i), dom)),
+				Assigns: []protocol.Assignment{{Var: b(i), Expr: v(b(i - 1))}},
+			}},
+		})
+	}
+
+	// Legitimate states: exactly one token with turn in the matching phase.
+	uniform := func(ids []int) protocol.BoolExpr {
+		var cj []protocol.BoolExpr
+		for i := 1; i < len(ids); i++ {
+			cj = append(cj, eq(v(ids[i-1]), v(ids[i])))
+		}
+		return protocol.Conj(cj...)
+	}
+	aIDs := []int{a(0), a(1), a(2), a(3)}
+	bIDs := []int{b(0), b(1), b(2), b(3)}
+
+	var disj []protocol.BoolExpr
+	// Token at PA0 (waiting to fire): rings uniform and equal, turn=1.
+	disj = append(disj, protocol.Conj(eq(v(turn), c(1)),
+		uniform(aIDs), uniform(bIDs), eq(v(a(0)), v(b(0)))))
+	// Token at PAj (1 ≤ j ≤ 3): PA0 already fired, so turn=0; ring B
+	// uniform and equal to ring A's stale suffix.
+	for j := 1; j < n; j++ {
+		disj = append(disj, protocol.Conj(eq(v(turn), c(0)),
+			uniform(bIDs), uniform(aIDs[:j]), uniform(aIDs[j:]),
+			eq(v(a(j-1)), plus1(a(j), dom)),
+			eq(v(a(3)), v(b(0)))))
+	}
+	// Token at PB0 (waiting to fire): rings uniform, ring B one behind,
+	// turn=0.
+	disj = append(disj, protocol.Conj(eq(v(turn), c(0)),
+		uniform(aIDs), uniform(bIDs), eq(plus1(b(0), dom), v(a(0)))))
+	// Token at PBj (1 ≤ j ≤ 3): PB0 already fired, so turn=1; ring A
+	// uniform and equal to ring B's fresh prefix.
+	for j := 1; j < n; j++ {
+		disj = append(disj, protocol.Conj(eq(v(turn), c(1)),
+			uniform(aIDs), uniform(bIDs[:j]), uniform(bIDs[j:]),
+			eq(v(b(j-1)), plus1(b(j), dom)),
+			eq(v(b(0)), v(a(0)))))
+	}
+	sp.Invariant = protocol.Disj(disj...)
+	return sp
+}

@@ -1,0 +1,205 @@
+// Package sim is a concrete-execution simulator: it runs random
+// interleavings of a protocol's transition groups from arbitrary (fault-
+// injected) states and measures convergence to the legitimate states. The
+// synthesizer proves stabilization; the simulator provides the matching
+// operational picture — convergence-time distributions under a random
+// scheduler — and doubles as a statistical cross-check in the tests.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stsyn/internal/protocol"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	MaxSteps int   // abort after this many steps (0 = 64·|vars|·maxDom)
+	Seed     int64 // RNG seed
+	Trace    bool  // record the visited states
+}
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+const (
+	// Converged: the run reached a legitimate state.
+	Converged Outcome = iota
+	// Deadlocked: an illegitimate state with no enabled group.
+	Deadlocked
+	// Exhausted: MaxSteps steps without reaching I (a possible livelock).
+	Exhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Converged:
+		return "converged"
+	case Deadlocked:
+		return "deadlocked"
+	default:
+		return "exhausted"
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Outcome Outcome
+	Steps   int
+	Final   protocol.State
+	Trace   []protocol.State // only when Config.Trace
+}
+
+// Runner simulates a fixed protocol efficiently across many runs.
+type Runner struct {
+	sp     *protocol.Spec
+	groups []protocol.Group
+	byProc [][]protocol.Group
+}
+
+// NewRunner prepares a simulator for the given protocol (δ given as
+// transition groups, e.g. a synthesis result).
+func NewRunner(sp *protocol.Spec, groups []protocol.Group) *Runner {
+	r := &Runner{sp: sp, groups: groups, byProc: make([][]protocol.Group, len(sp.Procs))}
+	for _, g := range groups {
+		r.byProc[g.Proc] = append(r.byProc[g.Proc], g)
+	}
+	return r
+}
+
+// enabled collects the groups enabled at s into buf.
+func (r *Runner) enabled(s protocol.State, buf []protocol.Group) []protocol.Group {
+	buf = buf[:0]
+	for _, g := range r.groups {
+		if g.Matches(r.sp, s) {
+			buf = append(buf, g)
+		}
+	}
+	return buf
+}
+
+// Run executes one random interleaving from start.
+func (r *Runner) Run(start protocol.State, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxDom := 2
+		for _, v := range r.sp.Vars {
+			if v.Dom > maxDom {
+				maxDom = v.Dom
+			}
+		}
+		maxSteps = 64 * len(r.sp.Vars) * maxDom
+	}
+	s := append(protocol.State(nil), start...)
+	res := Result{}
+	if cfg.Trace {
+		res.Trace = append(res.Trace, append(protocol.State(nil), s...))
+	}
+	var buf []protocol.Group
+	for step := 0; ; step++ {
+		if r.sp.Invariant.EvalBool(s) {
+			res.Outcome = Converged
+			res.Steps = step
+			break
+		}
+		if step >= maxSteps {
+			res.Outcome = Exhausted
+			res.Steps = step
+			break
+		}
+		buf = r.enabled(s, buf)
+		if len(buf) == 0 {
+			res.Outcome = Deadlocked
+			res.Steps = step
+			break
+		}
+		g := buf[rng.Intn(len(buf))]
+		g.Apply(r.sp, s, s)
+		if cfg.Trace {
+			res.Trace = append(res.Trace, append(protocol.State(nil), s...))
+		}
+	}
+	res.Final = s
+	return res
+}
+
+// RandomState draws a uniformly random state — the standard model of a
+// burst of transient faults setting every variable arbitrarily.
+func RandomState(sp *protocol.Spec, rng *rand.Rand) protocol.State {
+	s := make(protocol.State, len(sp.Vars))
+	for i, v := range sp.Vars {
+		s[i] = rng.Intn(v.Dom)
+	}
+	return s
+}
+
+// InjectFaults flips n randomly chosen variables of s to random values,
+// modelling a bounded transient fault.
+func InjectFaults(sp *protocol.Spec, s protocol.State, n int, rng *rand.Rand) protocol.State {
+	out := append(protocol.State(nil), s...)
+	for i := 0; i < n; i++ {
+		id := rng.Intn(len(sp.Vars))
+		out[id] = rng.Intn(sp.Vars[id].Dom)
+	}
+	return out
+}
+
+// Stats aggregates many runs from random fault states.
+type Stats struct {
+	Trials     int
+	Converged  int
+	Deadlocked int
+	Exhausted  int
+	TotalSteps int // across converged runs
+	MaxSteps   int // slowest converged run
+}
+
+// Rate returns the fraction of runs that converged.
+func (st Stats) Rate() float64 {
+	if st.Trials == 0 {
+		return 0
+	}
+	return float64(st.Converged) / float64(st.Trials)
+}
+
+// MeanSteps returns the average convergence time of the converged runs.
+func (st Stats) MeanSteps() float64 {
+	if st.Converged == 0 {
+		return 0
+	}
+	return float64(st.TotalSteps) / float64(st.Converged)
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("%d/%d converged (%.1f%%), mean %.1f steps, max %d; %d deadlocked, %d exhausted",
+		st.Converged, st.Trials, 100*st.Rate(), st.MeanSteps(), st.MaxSteps,
+		st.Deadlocked, st.Exhausted)
+}
+
+// Estimate runs trials simulations from uniformly random states.
+func (r *Runner) Estimate(trials int, cfg Config) Stats {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var st Stats
+	st.Trials = trials
+	for i := 0; i < trials; i++ {
+		runCfg := cfg
+		runCfg.Seed = rng.Int63()
+		runCfg.Trace = false
+		res := r.Run(RandomState(r.sp, rng), runCfg)
+		switch res.Outcome {
+		case Converged:
+			st.Converged++
+			st.TotalSteps += res.Steps
+			if res.Steps > st.MaxSteps {
+				st.MaxSteps = res.Steps
+			}
+		case Deadlocked:
+			st.Deadlocked++
+		case Exhausted:
+			st.Exhausted++
+		}
+	}
+	return st
+}

@@ -1,0 +1,143 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/sim"
+)
+
+func actionGroups(t *testing.T, sp *protocol.Spec) []protocol.Group {
+	t.Helper()
+	var out []protocol.Group
+	for pi := range sp.Procs {
+		out = append(out, sp.ActionGroups(pi)...)
+	}
+	return out
+}
+
+func TestDijkstraAlwaysConverges(t *testing.T) {
+	sp := protocols.DijkstraTokenRing(5, 5)
+	r := sim.NewRunner(sp, actionGroups(t, sp))
+	st := r.Estimate(500, sim.Config{Seed: 1})
+	if st.Converged != st.Trials {
+		t.Fatalf("Dijkstra TR must always converge: %s", st)
+	}
+	if st.MeanSteps() <= 0 {
+		t.Error("non-legitimate random starts should take steps to converge")
+	}
+}
+
+func TestNonStabilizingTokenRingDeadlocks(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	r := sim.NewRunner(sp, actionGroups(t, sp))
+	st := r.Estimate(500, sim.Config{Seed: 2})
+	if st.Deadlocked == 0 {
+		t.Fatalf("non-stabilizing TR should deadlock in some runs: %s", st)
+	}
+}
+
+func TestGoudaAcharyaLivelocks(t *testing.T) {
+	sp := protocols.GoudaAcharyaMatching(5)
+	r := sim.NewRunner(sp, actionGroups(t, sp))
+	st := r.Estimate(500, sim.Config{Seed: 3, MaxSteps: 2000})
+	if st.Converged == st.Trials {
+		t.Fatalf("flawed GA protocol should not always converge: %s", st)
+	}
+}
+
+func TestSynthesizedProtocolConverges(t *testing.T) {
+	sp := protocols.Matching(5)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []protocol.Group
+	for _, g := range res.Protocol {
+		groups = append(groups, g.ProtocolGroup())
+	}
+	r := sim.NewRunner(sp, groups)
+	st := r.Estimate(500, sim.Config{Seed: 4})
+	if st.Converged != st.Trials {
+		t.Fatalf("synthesized MM must always converge: %s", st)
+	}
+}
+
+func TestRunTraceAndOutcomes(t *testing.T) {
+	sp := protocols.DijkstraTokenRing(4, 4)
+	r := sim.NewRunner(sp, actionGroups(t, sp))
+	res := r.Run(protocol.State{3, 1, 2, 0}, sim.Config{Seed: 5, Trace: true})
+	if res.Outcome != sim.Converged {
+		t.Fatalf("run did not converge: %v", res.Outcome)
+	}
+	if len(res.Trace) != res.Steps+1 {
+		t.Errorf("trace has %d states for %d steps", len(res.Trace), res.Steps)
+	}
+	// Every consecutive pair in the trace must be a real transition.
+	for i := 1; i < len(res.Trace); i++ {
+		prev, next := res.Trace[i-1], res.Trace[i]
+		ok := false
+		for _, g := range actionGroups(t, sp) {
+			if !g.Matches(sp, prev) {
+				continue
+			}
+			dst := make(protocol.State, len(prev))
+			g.Apply(sp, prev, dst)
+			same := true
+			for j := range dst {
+				if dst[j] != next[j] {
+					same = false
+				}
+			}
+			if same {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("trace step %d: %v -> %v is not a transition", i, prev, next)
+		}
+	}
+	// A legitimate start converges in zero steps.
+	res = r.Run(protocol.State{0, 0, 0, 0}, sim.Config{Seed: 6})
+	if res.Outcome != sim.Converged || res.Steps != 0 {
+		t.Errorf("legitimate start: %v after %d steps", res.Outcome, res.Steps)
+	}
+}
+
+func TestInjectFaults(t *testing.T) {
+	sp := protocols.DijkstraTokenRing(4, 3)
+	rng := rand.New(rand.NewSource(7))
+	base := protocol.State{1, 1, 1, 1}
+	faulty := sim.InjectFaults(sp, base, 2, rng)
+	if len(faulty) != len(base) {
+		t.Fatal("length changed")
+	}
+	for i, v := range faulty {
+		if v < 0 || v >= sp.Vars[i].Dom {
+			t.Fatalf("fault produced out-of-domain value %d", v)
+		}
+	}
+	// Original must be untouched.
+	for i, v := range base {
+		if v != 1 {
+			t.Fatalf("base mutated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if sim.Converged.String() != "converged" ||
+		sim.Deadlocked.String() != "deadlocked" ||
+		sim.Exhausted.String() != "exhausted" {
+		t.Error("Outcome strings wrong")
+	}
+}

@@ -1,0 +1,58 @@
+package symbolic
+
+import (
+	"stsyn/internal/bdd"
+	"stsyn/internal/core"
+)
+
+// DefaultCompactionThreshold is the main-manager node count above which
+// Compact actually rebuilds (below it the call is a no-op).
+const DefaultCompactionThreshold = 1 << 22
+
+// SetCompactionThreshold overrides the node count that triggers compaction
+// (0 restores the default; useful to force compaction in tests).
+func (e *Engine) SetCompactionThreshold(n int) { e.compactAt = n }
+
+// Compact implements core.Compactor: when the node store has grown past
+// the threshold, every long-lived BDD — the engine's own structures plus
+// the caller's live sets — is migrated into a fresh manager and the old
+// store is dropped wholesale (the BDD package has no per-node garbage
+// collector; this is the scoped-lifetime alternative, the same idea the
+// SCC detector uses per call). Any Set not listed in live is invalidated.
+//
+// The returned slice holds the migrated live sets, order preserved.
+func (e *Engine) Compact(live []core.Set) []core.Set {
+	threshold := e.compactAt
+	if threshold == 0 {
+		threshold = DefaultCompactionThreshold
+	}
+	if e.m.Size() <= threshold {
+		return live
+	}
+	fresh := bdd.New(e.m.NumVars())
+	memo := make(map[bdd.Ref]bdd.Ref)
+	mv := func(r bdd.Ref) bdd.Ref { return fresh.CopyFrom(e.m, r, memo) }
+
+	e.valid = mv(e.valid)
+	e.inv = mv(e.inv)
+	for _, row := range e.cmp.eqc {
+		for i, r := range row {
+			row[i] = mv(r)
+		}
+	}
+	for _, g := range e.byKey {
+		g.src = mv(g.src)
+		g.writeCube = mv(g.writeCube)
+		g.writeVars = mv(g.writeVars)
+		if g.rel != bdd.False {
+			g.rel = mv(g.rel)
+		}
+	}
+	out := make([]core.Set, len(live))
+	for i, s := range live {
+		out[i] = mv(s.(bdd.Ref))
+	}
+	e.cmp.m = fresh
+	e.m = fresh
+	return out
+}

@@ -1,0 +1,105 @@
+package symbolic_test
+
+import (
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/symbolic"
+	"stsyn/internal/verify"
+)
+
+func TestCompactPreservesSets(t *testing.T) {
+	sp := protocols.Coloring(6)
+	e, err := symbolic.New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetCompactionThreshold(1) // force compaction on every call
+	inv := e.Invariant()
+	notInv := e.Not(inv)
+	pre := e.Pre(e.CandidateGroups(), inv)
+
+	out := e.Compact([]core.Set{inv, notInv, pre})
+	inv2, notInv2, pre2 := out[0], out[1], out[2]
+
+	if e.States(inv2) != e.States(e.Invariant()) {
+		t.Error("invariant state count changed across compaction")
+	}
+	// Membership must be preserved for every state.
+	ix := protocol.NewIndexer(sp)
+	s := make(protocol.State, len(sp.Vars))
+	for i := uint64(0); i < ix.Len(); i += 7 { // sample
+		ix.Decode(i, s)
+		single := e.Singleton(s)
+		if e.IsEmpty(e.And(inv2, single)) != !sp.Invariant.EvalBool(s) {
+			t.Fatalf("invariant membership changed at %v", s)
+		}
+		inNot := !e.IsEmpty(e.And(notInv2, single))
+		if inNot == sp.Invariant.EvalBool(s) {
+			t.Fatalf("¬invariant membership changed at %v", s)
+		}
+	}
+	if e.IsEmpty(pre2) {
+		t.Error("pre-image lost by compaction")
+	}
+}
+
+func TestCompactBelowThresholdIsNoop(t *testing.T) {
+	e, err := symbolic.New(protocols.TokenRing(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetCompactionThreshold(1 << 30)
+	inv := e.Invariant()
+	out := e.Compact([]core.Set{inv})
+	if out[0] != inv {
+		t.Error("no-op compaction must return the sets unchanged")
+	}
+}
+
+// TestSynthesisWithForcedCompaction runs the heuristic with compaction
+// forced at every safe point and demands the identical result.
+func TestSynthesisWithForcedCompaction(t *testing.T) {
+	for _, sp := range []*protocol.Spec{
+		protocols.Matching(5),
+		protocols.Coloring(6),
+		protocols.TokenRing(4, 3),
+	} {
+		plain, err := symbolic.New(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rPlain, err := core.AddConvergence(plain, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		compacted, err := symbolic.New(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compacted.SetCompactionThreshold(1)
+		rComp, err := core.AddConvergence(compacted, core.Options{})
+		if err != nil {
+			t.Fatalf("%s with compaction: %v", sp.Name, err)
+		}
+
+		want := make(map[protocol.Key]bool)
+		for _, g := range rPlain.Protocol {
+			want[g.ProtocolGroup().Key()] = true
+		}
+		if len(want) != len(rComp.Protocol) {
+			t.Fatalf("%s: %d vs %d groups", sp.Name, len(want), len(rComp.Protocol))
+		}
+		for _, g := range rComp.Protocol {
+			if !want[g.ProtocolGroup().Key()] {
+				t.Fatalf("%s: compaction changed the synthesized protocol", sp.Name)
+			}
+		}
+		if v := verify.StronglyStabilizing(compacted, rComp.Protocol); !v.OK {
+			t.Fatalf("%s: post-compaction verification failed: %s", sp.Name, v.Reason)
+		}
+	}
+}

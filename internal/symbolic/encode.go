@@ -1,0 +1,188 @@
+// Package symbolic is the BDD-backed engine: state predicates are BDDs over
+// a binary encoding of the protocol variables, transition groups are
+// (source-cube, write-cube) pairs whose image operations reduce to cube
+// cofactors, and non-progress cycles are found with a Gentilini-style
+// skeleton-based symbolic SCC enumeration after trimming to the cycle core.
+// This is the engine that scales to the paper's largest experiments (three
+// coloring with 40 processes, ~3^40 states).
+package symbolic
+
+import (
+	"math/bits"
+
+	"stsyn/internal/bdd"
+	"stsyn/internal/protocol"
+)
+
+// layout maps protocol variables to BDD variable levels. Each protocol
+// variable v with domain d gets ⌈log₂ d⌉ bits, most significant first.
+// Current-state and next-state bits are interleaved (current at even
+// levels); next-state bits are used only to build faithful transition
+// relations for the BDD-node space metric.
+type layout struct {
+	sp       *protocol.Spec
+	bitsOf   []int // bits per protocol variable
+	firstBit []int // index of the variable's first bit (bit space, not level)
+	total    int   // total current-state bits
+}
+
+func newLayout(sp *protocol.Spec) *layout {
+	l := &layout{sp: sp}
+	l.bitsOf = make([]int, len(sp.Vars))
+	l.firstBit = make([]int, len(sp.Vars))
+	for i, v := range sp.Vars {
+		n := bits.Len(uint(v.Dom - 1))
+		if n == 0 {
+			n = 1 // domain of size 1 still gets one (constant-0) bit
+		}
+		l.bitsOf[i] = n
+		l.firstBit[i] = l.total
+		l.total += n
+	}
+	return l
+}
+
+// curLevel returns the BDD level of bit b (0 = MSB) of variable id in the
+// current state; nextLevel the corresponding next-state level.
+func (l *layout) curLevel(id, b int) int  { return 2 * (l.firstBit[id] + b) }
+func (l *layout) nextLevel(id, b int) int { return 2*(l.firstBit[id]+b) + 1 }
+
+// valueLits returns the literal cube fixing variable id to val in the
+// current state (or the next state when next is true).
+func (l *layout) valueLits(id, val int, next bool) []bdd.Literal {
+	n := l.bitsOf[id]
+	lits := make([]bdd.Literal, n)
+	for b := 0; b < n; b++ {
+		lvl := l.curLevel(id, b)
+		if next {
+			lvl = l.nextLevel(id, b)
+		}
+		lits[b] = bdd.Literal{Var: lvl, Val: val>>(n-1-b)&1 == 1}
+	}
+	return lits
+}
+
+// compiler turns expression ASTs into BDDs over the current-state bits.
+type compiler struct {
+	l   *layout
+	m   *bdd.Manager
+	eqc [][]bdd.Ref // eqc[id][val] = BDD of "variable id has value val"
+}
+
+func newCompiler(l *layout, m *bdd.Manager) *compiler {
+	c := &compiler{l: l, m: m}
+	c.eqc = make([][]bdd.Ref, len(l.sp.Vars))
+	for id, v := range l.sp.Vars {
+		c.eqc[id] = make([]bdd.Ref, v.Dom)
+		for val := 0; val < v.Dom; val++ {
+			c.eqc[id][val] = m.LiteralCube(l.valueLits(id, val, false))
+		}
+	}
+	return c
+}
+
+// valid returns the predicate excluding binary codepoints outside the
+// variable domains.
+func (c *compiler) valid() bdd.Ref {
+	r := bdd.True
+	for id := range c.l.sp.Vars {
+		dv := bdd.False
+		for _, eq := range c.eqc[id] {
+			dv = c.m.Or(dv, eq)
+		}
+		r = c.m.And(r, dv)
+	}
+	return r
+}
+
+// intExpr compiles an integer expression to a value→predicate table.
+func (c *compiler) intExpr(e protocol.IntExpr) map[int]bdd.Ref {
+	switch x := e.(type) {
+	case protocol.V:
+		out := make(map[int]bdd.Ref, len(c.eqc[x.ID]))
+		for val, eq := range c.eqc[x.ID] {
+			out[val] = eq
+		}
+		return out
+	case protocol.C:
+		return map[int]bdd.Ref{x.Val: bdd.True}
+	case protocol.AddMod:
+		return c.modArith(x.A, x.B, x.Mod, func(a, b int) int { return (a + b) % x.Mod })
+	case protocol.SubMod:
+		return c.modArith(x.A, x.B, x.Mod, func(a, b int) int { return ((a-b)%x.Mod + x.Mod) % x.Mod })
+	case protocol.Cond:
+		cond := c.boolExpr(x.If)
+		ncond := c.m.Not(cond)
+		out := make(map[int]bdd.Ref)
+		for val, p := range c.intExpr(x.Then) {
+			out[val] = c.m.Or(out[val], c.m.And(cond, p))
+		}
+		for val, p := range c.intExpr(x.Else) {
+			out[val] = c.m.Or(out[val], c.m.And(ncond, p))
+		}
+		return out
+	default:
+		panic("symbolic: unknown integer expression")
+	}
+}
+
+func (c *compiler) modArith(a, b protocol.IntExpr, mod int, op func(a, b int) int) map[int]bdd.Ref {
+	av := c.intExpr(a)
+	bv := c.intExpr(b)
+	out := make(map[int]bdd.Ref)
+	for v1, p1 := range av {
+		for v2, p2 := range bv {
+			val := op(v1, v2)
+			out[val] = c.m.Or(out[val], c.m.And(p1, p2))
+		}
+	}
+	return out
+}
+
+// boolExpr compiles a boolean expression to a predicate.
+func (c *compiler) boolExpr(e protocol.BoolExpr) bdd.Ref {
+	switch x := e.(type) {
+	case protocol.True:
+		return bdd.True
+	case protocol.False:
+		return bdd.False
+	case protocol.Eq:
+		return c.compare(x.A, x.B, func(a, b int) bool { return a == b })
+	case protocol.Neq:
+		return c.compare(x.A, x.B, func(a, b int) bool { return a != b })
+	case protocol.Lt:
+		return c.compare(x.A, x.B, func(a, b int) bool { return a < b })
+	case protocol.Not:
+		return c.m.Not(c.boolExpr(x.X))
+	case protocol.And:
+		r := bdd.True
+		for _, y := range x.Xs {
+			r = c.m.And(r, c.boolExpr(y))
+		}
+		return r
+	case protocol.Or:
+		r := bdd.False
+		for _, y := range x.Xs {
+			r = c.m.Or(r, c.boolExpr(y))
+		}
+		return r
+	case protocol.Implies:
+		return c.m.Imp(c.boolExpr(x.A), c.boolExpr(x.B))
+	default:
+		panic("symbolic: unknown boolean expression")
+	}
+}
+
+func (c *compiler) compare(a, b protocol.IntExpr, rel func(a, b int) bool) bdd.Ref {
+	av := c.intExpr(a)
+	bv := c.intExpr(b)
+	r := bdd.False
+	for v1, p1 := range av {
+		for v2, p2 := range bv {
+			if rel(v1, v2) {
+				r = c.m.Or(r, c.m.And(p1, p2))
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,272 @@
+package symbolic
+
+import (
+	"math"
+
+	"stsyn/internal/bdd"
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+)
+
+// group is the symbolic representation of a transition group. Because
+// w ⊆ r, the group's readable-valuation cube pins the written variables'
+// current values, so images are cube cofactors:
+//
+//	Post_g(X) = (∃ written-bits. X ∧ src) ∧ writeCube
+//	Pre_g(X)  = src ∧ X[written := WriteVals]   (a Restrict)
+type group struct {
+	pg        protocol.Group
+	src       bdd.Ref // readable-valuation cube ∧ valid — all source states
+	writeCube bdd.Ref // literal cube of the written variables' new values
+	writeVars bdd.Ref // positive cube of the written variables' bit levels
+	rel       bdd.Ref // lazily built relation over current×next bits (metrics)
+}
+
+func (g *group) Proc() int                     { return g.pg.Proc }
+func (g *group) ProtocolGroup() protocol.Group { return g.pg }
+
+// Engine is the BDD-backed implementation of core.Engine.
+type Engine struct {
+	sp  *protocol.Spec
+	l   *layout
+	m   *bdd.Manager
+	cmp *compiler
+
+	valid bdd.Ref
+	inv   bdd.Ref
+
+	actions    []core.Group
+	candidates []core.Group
+	byKey      map[protocol.Key]*group
+
+	nextBits float64 // number of next-state bit levels (for state counting)
+
+	sccAlg    SCCAlgorithm
+	compactAt int // node threshold for Compact (0 = default)
+
+	stats core.Stats
+}
+
+// SCCAlgorithm selects the symbolic SCC-enumeration algorithm.
+type SCCAlgorithm int
+
+const (
+	// Skeleton is the Gentilini-Piazza-Policriti algorithm the paper cites
+	// (forward sets with spine-set skeletons); the default.
+	Skeleton SCCAlgorithm = iota
+	// Lockstep is the Bloem-Gabow-Somenzi algorithm (simultaneous forward
+	// and backward growth from a seed, stopping at the first to converge).
+	Lockstep
+)
+
+// SetSCCAlgorithm selects the SCC enumeration algorithm (default Skeleton).
+func (e *Engine) SetSCCAlgorithm(a SCCAlgorithm) { e.sccAlg = a }
+
+var _ core.Engine = (*Engine)(nil)
+
+// New builds a symbolic engine for sp.
+func New(sp *protocol.Spec) (*Engine, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	l := newLayout(sp)
+	m := bdd.New(2 * l.total)
+	cmp := newCompiler(l, m)
+	e := &Engine{
+		sp: sp, l: l, m: m, cmp: cmp,
+		valid:    cmp.valid(),
+		byKey:    make(map[protocol.Key]*group),
+		nextBits: float64(l.total),
+	}
+	e.inv = m.And(cmp.boolExpr(sp.Invariant), e.valid)
+	for pi := range sp.Procs {
+		for _, pg := range sp.ActionGroups(pi) {
+			e.actions = append(e.actions, e.intern(pg))
+		}
+		for _, pg := range sp.CandidateGroups(pi) {
+			e.candidates = append(e.candidates, e.intern(pg))
+		}
+	}
+	return e, nil
+}
+
+// Manager exposes the underlying BDD manager (for space metrics).
+func (e *Engine) Manager() *bdd.Manager { return e.m }
+
+func (e *Engine) intern(pg protocol.Group) *group {
+	if g, ok := e.byKey[pg.Key()]; ok {
+		return g
+	}
+	p := &e.sp.Procs[pg.Proc]
+	var readLits, writeLits []bdd.Literal
+	var writeVarLevels []int
+	for i, id := range p.Reads {
+		readLits = append(readLits, e.l.valueLits(id, pg.ReadVals[i], false)...)
+	}
+	for i, id := range p.Writes {
+		writeLits = append(writeLits, e.l.valueLits(id, pg.WriteVals[i], false)...)
+		for b := 0; b < e.l.bitsOf[id]; b++ {
+			writeVarLevels = append(writeVarLevels, e.l.curLevel(id, b))
+		}
+	}
+	g := &group{
+		pg:        pg,
+		src:       e.m.And(e.m.LiteralCube(readLits), e.valid),
+		writeCube: e.m.LiteralCube(writeLits),
+		writeVars: e.m.Cube(writeVarLevels),
+	}
+	e.byKey[pg.Key()] = g
+	return g
+}
+
+// preGroup returns src ∧ X[written := new values].
+func (e *Engine) preGroup(g *group, x bdd.Ref) bdd.Ref {
+	return e.m.And(g.src, e.m.Restrict(x, g.writeCube))
+}
+
+// postGroup returns the successors of the sources of g inside X.
+func (e *Engine) postGroup(g *group, x bdd.Ref) bdd.Ref {
+	srcs := e.m.And(x, g.src)
+	if srcs == bdd.False {
+		return bdd.False
+	}
+	return e.m.And(e.m.Exists(srcs, g.writeVars), g.writeCube)
+}
+
+// --- core.Engine implementation -----------------------------------------
+
+func (e *Engine) Spec() *protocol.Spec { return e.sp }
+func (e *Engine) Universe() core.Set   { return e.valid }
+func (e *Engine) Empty() core.Set      { return bdd.False }
+func (e *Engine) Invariant() core.Set  { return e.inv }
+
+func (e *Engine) Or(a, b core.Set) core.Set   { return e.m.Or(a.(bdd.Ref), b.(bdd.Ref)) }
+func (e *Engine) And(a, b core.Set) core.Set  { return e.m.And(a.(bdd.Ref), b.(bdd.Ref)) }
+func (e *Engine) Diff(a, b core.Set) core.Set { return e.m.Diff(a.(bdd.Ref), b.(bdd.Ref)) }
+func (e *Engine) Not(a core.Set) core.Set     { return e.m.Diff(e.valid, a.(bdd.Ref)) }
+func (e *Engine) IsEmpty(a core.Set) bool     { return a.(bdd.Ref) == bdd.False }
+func (e *Engine) Equal(a, b core.Set) bool    { return a.(bdd.Ref) == b.(bdd.Ref) }
+
+func (e *Engine) States(a core.Set) float64 {
+	return e.m.SatCount(a.(bdd.Ref)) / math.Pow(2, e.nextBits)
+}
+
+func (e *Engine) SetSize(a core.Set) int { return e.m.DagSize(a.(bdd.Ref)) }
+
+func (e *Engine) ActionGroups() []core.Group    { return append([]core.Group(nil), e.actions...) }
+func (e *Engine) CandidateGroups() []core.Group { return append([]core.Group(nil), e.candidates...) }
+
+func (e *Engine) GroupSrc(g core.Group) core.Set { return g.(*group).src }
+
+func (e *Engine) GroupDstInto(g core.Group, X core.Set) bool {
+	return e.preGroup(g.(*group), X.(bdd.Ref)) != bdd.False
+}
+
+func (e *Engine) GroupFromTo(g core.Group, from, to core.Set) bool {
+	gg := g.(*group)
+	return e.m.And(from.(bdd.Ref), e.preGroup(gg, to.(bdd.Ref))) != bdd.False
+}
+
+func (e *Engine) GroupWithin(g core.Group, X core.Set) bool {
+	return e.GroupFromTo(g, X, X)
+}
+
+func (e *Engine) Pre(gs []core.Group, X core.Set) core.Set {
+	x := X.(bdd.Ref)
+	out := bdd.False
+	for _, g := range gs {
+		out = e.m.Or(out, e.preGroup(g.(*group), x))
+	}
+	return out
+}
+
+func (e *Engine) Post(gs []core.Group, X core.Set) core.Set {
+	x := X.(bdd.Ref)
+	out := bdd.False
+	for _, g := range gs {
+		out = e.m.Or(out, e.postGroup(g.(*group), x))
+	}
+	return out
+}
+
+func (e *Engine) EnabledSources(gs []core.Group) core.Set {
+	out := bdd.False
+	for _, g := range gs {
+		out = e.m.Or(out, g.(*group).src)
+	}
+	return out
+}
+
+func (e *Engine) PickState(a core.Set) (protocol.State, bool) {
+	cube := e.m.PickCube(a.(bdd.Ref))
+	if cube == nil {
+		return nil, false
+	}
+	s := make(protocol.State, len(e.sp.Vars))
+	for id := range e.sp.Vars {
+		n := e.l.bitsOf[id]
+		v := 0
+		for b := 0; b < n; b++ {
+			v <<= 1
+			if cube[e.l.curLevel(id, b)] == 1 {
+				v |= 1
+			}
+		}
+		s[id] = v
+	}
+	return s, true
+}
+
+func (e *Engine) Singleton(s protocol.State) core.Set {
+	var lits []bdd.Literal
+	for id, val := range s {
+		lits = append(lits, e.l.valueLits(id, val, false)...)
+	}
+	return e.m.LiteralCube(lits)
+}
+
+// ProgramSize returns the number of nodes of the shared multi-rooted BDD
+// holding one faithful transition relation per group (current and
+// next-state bits interleaved, unchanged variables constrained equal) —
+// the paper's "total program size" metric.
+func (e *Engine) ProgramSize(gs []core.Group) int {
+	roots := make([]bdd.Ref, 0, len(gs))
+	for _, g := range gs {
+		roots = append(roots, e.relation(g.(*group)))
+	}
+	return e.m.SharedDagSize(roots)
+}
+
+// relation builds (and caches) the group's transition relation.
+func (e *Engine) relation(g *group) bdd.Ref {
+	if g.rel != bdd.False {
+		return g.rel
+	}
+	p := &e.sp.Procs[g.pg.Proc]
+	written := make(map[int]bool, len(p.Writes))
+	var lits []bdd.Literal
+	for i, id := range p.Reads {
+		lits = append(lits, e.l.valueLits(id, g.pg.ReadVals[i], false)...)
+	}
+	for i, id := range p.Writes {
+		written[id] = true
+		lits = append(lits, e.l.valueLits(id, g.pg.WriteVals[i], true)...)
+	}
+	rel := e.m.LiteralCube(lits)
+	// Unwritten variables keep their values: conjoin bitwise equalities,
+	// bottom-up to keep intermediate BDDs small.
+	for id := len(e.sp.Vars) - 1; id >= 0; id-- {
+		if written[id] {
+			continue
+		}
+		for b := e.l.bitsOf[id] - 1; b >= 0; b-- {
+			cur := e.m.Var(e.l.curLevel(id, b))
+			nxt := e.m.Var(e.l.nextLevel(id, b))
+			rel = e.m.And(rel, e.m.Not(e.m.Xor(cur, nxt)))
+		}
+	}
+	g.rel = e.m.And(rel, e.valid)
+	return g.rel
+}
+
+func (e *Engine) Stats() *core.Stats { return &e.stats }

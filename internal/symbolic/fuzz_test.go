@@ -1,0 +1,248 @@
+package symbolic_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/symbolic"
+	"stsyn/internal/verify"
+)
+
+// randomSpec generates a small random protocol: 3-4 variables with domains
+// 2-3, 2-3 processes with random localities (w ⊆ r guaranteed), random
+// guarded commands, and a random invariant.
+func randomSpec(rng *rand.Rand, withActions bool) *protocol.Spec {
+	nv := 3 + rng.Intn(2)
+	sp := &protocol.Spec{Name: "fuzz"}
+	for i := 0; i < nv; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{
+			Name: "v" + string(rune('0'+i)),
+			Dom:  2 + rng.Intn(2),
+		})
+	}
+	np := 2 + rng.Intn(2)
+	for p := 0; p < np; p++ {
+		// Writes: one random variable; reads: the write plus 1-2 others.
+		w := rng.Intn(nv)
+		reads := map[int]bool{w: true}
+		for len(reads) < 2+rng.Intn(2) {
+			reads[rng.Intn(nv)] = true
+		}
+		var rs []int
+		for id := range reads {
+			rs = append(rs, id)
+		}
+		proc := protocol.Process{
+			Name:   "P" + string(rune('0'+p)),
+			Reads:  protocol.SortedIDs(rs...),
+			Writes: []int{w},
+		}
+		if withActions {
+			for a := 0; a < rng.Intn(3); a++ {
+				guard := randomBool(rng, sp, proc.Reads, 2)
+				val := rng.Intn(sp.Vars[w].Dom)
+				proc.Actions = append(proc.Actions, protocol.Action{
+					Guard:   guard,
+					Assigns: []protocol.Assignment{{Var: w, Expr: protocol.C{Val: val}}},
+				})
+			}
+		}
+		sp.Procs = append(sp.Procs, proc)
+	}
+	sp.Invariant = randomBool(rng, sp, allIDs(nv), 3)
+	return sp
+}
+
+func allIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// randomInt builds a random integer expression over variables of one
+// domain (modular arithmetic needs uniform moduli).
+func randomInt(rng *rand.Rand, sp *protocol.Spec, vars []int, depth int) (protocol.IntExpr, int) {
+	a := vars[rng.Intn(len(vars))]
+	dom := sp.Vars[a].Dom
+	if depth == 0 || rng.Intn(2) == 0 {
+		if rng.Intn(3) == 0 {
+			return protocol.C{Val: rng.Intn(dom)}, dom
+		}
+		return protocol.V{ID: a}, dom
+	}
+	// Pick a second operand of the same domain.
+	var same []int
+	for _, v := range vars {
+		if sp.Vars[v].Dom == dom {
+			same = append(same, v)
+		}
+	}
+	lhs, _ := randomInt(rng, sp, []int{a}, 0)
+	rhs, _ := randomInt(rng, sp, same, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return protocol.AddMod{A: lhs, B: rhs, Mod: dom}, dom
+	case 1:
+		return protocol.SubMod{A: lhs, B: rhs, Mod: dom}, dom
+	default:
+		return protocol.Cond{
+			If:   randomBool(rng, sp, vars, 0),
+			Then: lhs,
+			Else: rhs,
+		}, dom
+	}
+}
+
+func randomBool(rng *rand.Rand, sp *protocol.Spec, vars []int, depth int) protocol.BoolExpr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a, _ := randomInt(rng, sp, vars, 1)
+		b, _ := randomInt(rng, sp, vars, 1)
+		switch rng.Intn(3) {
+		case 0:
+			return protocol.Eq{A: a, B: b}
+		case 1:
+			return protocol.Neq{A: a, B: b}
+		default:
+			return protocol.Lt{A: a, B: b}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return protocol.Conj(randomBool(rng, sp, vars, depth-1), randomBool(rng, sp, vars, depth-1))
+	case 1:
+		return protocol.Disj(randomBool(rng, sp, vars, depth-1), randomBool(rng, sp, vars, depth-1))
+	case 2:
+		return protocol.Implies{A: randomBool(rng, sp, vars, depth-1), B: randomBool(rng, sp, vars, depth-1)}
+	default:
+		return protocol.Not{X: randomBool(rng, sp, vars, depth-1)}
+	}
+}
+
+// TestFuzzCompilerAgainstEvaluation checks the symbolic expression compiler
+// against direct evaluation: for random expressions (covering the whole
+// AST: modular arithmetic, conditionals, comparisons, connectives) the
+// compiled invariant must contain exactly the states the evaluator accepts.
+func TestFuzzCompilerAgainstEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 120; iter++ {
+		sp := randomSpec(rng, false)
+		sp.Invariant = randomBool(rng, sp, allIDs(len(sp.Vars)), 3)
+		se, err := symbolic.New(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv := se.Invariant()
+		ix := protocol.NewIndexer(sp)
+		s := make(protocol.State, len(sp.Vars))
+		for i := uint64(0); i < ix.Len(); i++ {
+			ix.Decode(i, s)
+			want := sp.Invariant.EvalBool(s)
+			got := !se.IsEmpty(se.And(inv, se.Singleton(s)))
+			if got != want {
+				t.Fatalf("iter %d: compiled invariant disagrees at %v (%s)",
+					iter, s, sp.Invariant.Render(sp.VarNames()))
+			}
+		}
+	}
+}
+
+// TestFuzzDifferentialSynthesis runs the synthesizer on random protocols
+// with both engines and demands identical outcomes: same error class, same
+// synthesized groups, and a machine-checked stabilization proof on success.
+func TestFuzzDifferentialSynthesis(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	succeeded, failed := 0, 0
+	for iter := 0; iter < 80; iter++ {
+		withActions := iter%2 == 1
+		sp := randomSpec(rng, withActions)
+		se, err := symbolic.New(sp)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		ee, err := explicit.New(sp, 0)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for _, resolution := range []core.CycleResolution{core.BatchResolution, core.IncrementalResolution} {
+			opts := core.Options{CycleResolution: resolution}
+			sres, serr := core.AddConvergence(se, opts)
+			eres, eerr := core.AddConvergence(ee, opts)
+
+			if (serr == nil) != (eerr == nil) {
+				t.Fatalf("iter %d: engines disagree: symbolic=%v explicit=%v", iter, serr, eerr)
+			}
+			if serr != nil {
+				for _, sentinel := range []error{core.ErrNotClosed, core.ErrNoStabilizingVersion,
+					core.ErrUnresolvableCycle, core.ErrDeadlocksRemain} {
+					if errors.Is(serr, sentinel) != errors.Is(eerr, sentinel) {
+						t.Fatalf("iter %d: different error classes: %v vs %v", iter, serr, eerr)
+					}
+				}
+				failed++
+				continue
+			}
+			succeeded++
+			skeys := make(map[protocol.Key]bool)
+			for _, g := range sres.Protocol {
+				skeys[g.ProtocolGroup().Key()] = true
+			}
+			if len(skeys) != len(eres.Protocol) {
+				t.Fatalf("iter %d: %d vs %d groups", iter, len(skeys), len(eres.Protocol))
+			}
+			for _, g := range eres.Protocol {
+				if !skeys[g.ProtocolGroup().Key()] {
+					t.Fatalf("iter %d: group mismatch", iter)
+				}
+			}
+			if v := verify.StronglyStabilizing(ee, eres.Protocol); !v.OK {
+				t.Fatalf("iter %d: result not stabilizing: %s (witness %v)", iter, v.Reason, v.Witness)
+			}
+			if v := verify.PreservesInvariantBehavior(ee, eres); !v.OK {
+				t.Fatalf("iter %d: δp|I changed: %s", iter, v.Reason)
+			}
+		}
+	}
+	if succeeded == 0 {
+		t.Error("fuzz never synthesized anything — generator too hostile")
+	}
+	if failed == 0 {
+		t.Error("fuzz never failed — generator too friendly to exercise error paths")
+	}
+	t.Logf("fuzz: %d successes, %d failures across engines/strategies", succeeded, failed)
+}
+
+// TestFuzzWeakSynthesis checks Theorem IV.1 end to end on random inputs:
+// whenever weak synthesis succeeds the result verifies as weakly
+// stabilizing, and whenever it fails with ErrNoStabilizingVersion even the
+// all-candidate protocol cannot weakly converge.
+func TestFuzzWeakSynthesis(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		sp := randomSpec(rng, false)
+		ee, err := explicit.New(sp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.AddConvergence(ee, core.Options{Convergence: core.Weak})
+		if err == nil {
+			if v := verify.WeaklyStabilizing(ee, res.Protocol); !v.OK {
+				t.Fatalf("iter %d: weak result not weakly stabilizing: %s", iter, v.Reason)
+			}
+			continue
+		}
+		if !errors.Is(err, core.ErrNoStabilizingVersion) {
+			t.Fatalf("iter %d: unexpected weak-mode error %v", iter, err)
+		}
+		// Completeness: even pim (every legal recovery group) fails.
+		pim := core.Pim(ee, ee.ActionGroups())
+		if v := verify.WeakConvergence(ee, pim); v.OK {
+			t.Fatalf("iter %d: ErrNoStabilizingVersion but pim weakly converges", iter)
+		}
+	}
+}

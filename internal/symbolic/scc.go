@@ -1,0 +1,264 @@
+package symbolic
+
+import (
+	"time"
+
+	"stsyn/internal/bdd"
+	"stsyn/internal/core"
+)
+
+// sccCtx runs cycle detection inside a throwaway scratch manager: the trim
+// and enumeration fixpoints generate enormous amounts of garbage, and the
+// main manager has no garbage collector. Inputs are migrated in, the (small)
+// resulting SCC predicates are migrated back, and the scratch manager is
+// dropped wholesale.
+type sccCtx struct {
+	e     *Engine
+	m     *bdd.Manager
+	src   []bdd.Ref // per group: source states
+	wcube []bdd.Ref // per group: written-values literal cube
+	wvars []bdd.Ref // per group: positive cube of written bit levels
+}
+
+// CyclicSCCs returns the non-trivial strongly connected components of the
+// union of gs restricted to states in within.
+//
+// It first trims `within` to its cycle core — the greatest set in which
+// every state lies on an infinite forward and backward path (states not in
+// the core cannot lie on any cycle) — and then enumerates the core's SCCs,
+// by default with the skeleton-based symbolic algorithm of Gentilini,
+// Piazza and Policriti which the paper's STSyn implementation uses
+// (SetSCCAlgorithm(Lockstep) switches to Bloem-Gabow-Somenzi lockstep
+// search). Trimming first is essential: without it the enumeration would
+// visit one trivial SCC per acyclic state.
+func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
+	t0 := time.Now()
+	defer func() {
+		e.stats.SCCTime += time.Since(t0)
+		e.stats.SCCCalls++
+	}()
+
+	ctx := &sccCtx{e: e, m: bdd.New(e.m.NumVars())}
+	memo := make(map[bdd.Ref]bdd.Ref)
+	for _, g := range gs {
+		gg := g.(*group)
+		ctx.src = append(ctx.src, ctx.m.CopyFrom(e.m, gg.src, memo))
+		ctx.wcube = append(ctx.wcube, ctx.m.CopyFrom(e.m, gg.writeCube, memo))
+		ctx.wvars = append(ctx.wvars, ctx.m.CopyFrom(e.m, gg.writeVars, memo))
+	}
+	c := ctx.m.CopyFrom(e.m, within.(bdd.Ref), memo)
+
+	// Forward trim with early exit: the greatest C with "every state has a
+	// successor in C". Empty ⇔ the graph restricted to within is acyclic —
+	// the common case while the heuristic is doing its job.
+	for {
+		next := ctx.m.And(c, ctx.pre(c))
+		if next == c {
+			break
+		}
+		c = next
+	}
+	if c == bdd.False {
+		return nil
+	}
+	// Backward trim as well (both fixpoints interleaved to convergence).
+	for {
+		next := ctx.m.And(c, ctx.m.And(ctx.pre(c), ctx.post(c)))
+		if next == c {
+			break
+		}
+		c = next
+	}
+
+	var out []core.Set
+	backMemo := make(map[bdd.Ref]bdd.Ref)
+	emit := func(scc bdd.Ref) {
+		if !ctx.hasInternalTransition(scc) {
+			return
+		}
+		back := e.m.CopyFrom(ctx.m, scc, backMemo)
+		out = append(out, back)
+		e.stats.SCCCount++
+		e.stats.SCCSizeTotal += e.m.DagSize(back)
+	}
+	if e.sccAlg == Lockstep {
+		ctx.lockstepEnum(c, emit)
+	} else {
+		ctx.skeletonEnum(c, emit)
+	}
+	return out
+}
+
+// skeletonEnum enumerates the SCCs of the subgraph induced by c with the
+// Gentilini-Piazza-Policriti skeleton algorithm (iterative; spine-sets
+// bound the number of symbolic steps, correctness needs only single-state
+// seeds).
+func (c *sccCtx) skeletonEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
+	type task struct{ v, s, n bdd.Ref }
+	stack := []task{{v: v0, s: bdd.False, n: bdd.False}}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.v == bdd.False {
+			continue
+		}
+		n, s := t.n, t.s
+		if n == bdd.False {
+			n = c.pickSingleton(t.v)
+			s = n
+		}
+		fw, s2, n2 := c.skelForward(t.v, n)
+		// SCC(n) = states of FW that reach n: grow backwards inside FW.
+		scc := n
+		for {
+			grow := c.m.Diff(c.m.And(c.pre(scc), fw), scc)
+			if grow == bdd.False {
+				break
+			}
+			scc = c.m.Or(scc, grow)
+		}
+		emit(scc)
+		// Remainder outside the forward set, spined by the predecessor of
+		// the SCC along the old spine.
+		s1 := c.m.Diff(s, scc)
+		n1 := c.m.And(c.pre(c.m.And(scc, s)), s1)
+		if n1 != bdd.False {
+			n1 = c.pickSingleton(n1)
+		} else {
+			s1 = bdd.False
+		}
+		stack = append(stack, task{v: c.m.Diff(t.v, fw), s: s1, n: n1})
+		// Remainder inside the forward set, spined by the skeleton suffix.
+		s2 = c.m.Diff(s2, scc)
+		n2 = c.m.Diff(n2, scc)
+		if n2 == bdd.False {
+			s2 = bdd.False
+		}
+		stack = append(stack, task{v: c.m.Diff(fw, scc), s: s2, n: n2})
+	}
+}
+
+// lockstepEnum enumerates SCCs with the Bloem-Gabow-Somenzi lockstep
+// algorithm: grow the forward and backward sets of a seed simultaneously;
+// when one converges, finish the other inside it; their intersection is
+// the seed's SCC.
+func (c *sccCtx) lockstepEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
+	stack := []bdd.Ref{v0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == bdd.False {
+			continue
+		}
+		seed := c.pickSingleton(v)
+		f, b := seed, seed
+		ffront, bfront := seed, seed
+		for ffront != bdd.False && bfront != bdd.False {
+			ffront = c.m.Diff(c.m.And(c.post(ffront), v), f)
+			f = c.m.Or(f, ffront)
+			bfront = c.m.Diff(c.m.And(c.pre(bfront), v), b)
+			b = c.m.Or(b, bfront)
+		}
+		var converged bdd.Ref
+		if ffront == bdd.False {
+			// Forward set converged first: finish backward inside it.
+			for {
+				grow := c.m.Diff(c.m.And(c.pre(b), f), b)
+				if grow == bdd.False {
+					break
+				}
+				b = c.m.Or(b, grow)
+			}
+			converged = f
+		} else {
+			for {
+				grow := c.m.Diff(c.m.And(c.post(f), b), f)
+				if grow == bdd.False {
+					break
+				}
+				f = c.m.Or(f, grow)
+			}
+			converged = b
+		}
+		scc := c.m.And(f, b)
+		emit(scc)
+		stack = append(stack, c.m.Diff(converged, scc))
+		stack = append(stack, c.m.Diff(v, converged))
+	}
+}
+
+// pre returns the states with a transition into x; post the states
+// reachable from x in one step.
+func (c *sccCtx) pre(x bdd.Ref) bdd.Ref {
+	out := bdd.False
+	for i := range c.src {
+		out = c.m.Or(out, c.m.And(c.src[i], c.m.Restrict(x, c.wcube[i])))
+	}
+	return out
+}
+
+func (c *sccCtx) post(x bdd.Ref) bdd.Ref {
+	out := bdd.False
+	for i := range c.src {
+		srcs := c.m.And(x, c.src[i])
+		if srcs == bdd.False {
+			continue
+		}
+		out = c.m.Or(out, c.m.And(c.m.Exists(srcs, c.wvars[i]), c.wcube[i]))
+	}
+	return out
+}
+
+// skelForward computes the forward set of n within v, together with a
+// skeleton: a path from n to a state n2 in the last BFS level.
+func (c *sccCtx) skelForward(v, n bdd.Ref) (fw, s2, n2 bdd.Ref) {
+	levels := []bdd.Ref{n}
+	fw = n
+	frontier := n
+	for {
+		next := c.m.Diff(c.m.And(c.post(frontier), v), fw)
+		if next == bdd.False {
+			break
+		}
+		levels = append(levels, next)
+		fw = c.m.Or(fw, next)
+		frontier = next
+	}
+	n2 = c.pickSingleton(levels[len(levels)-1])
+	s2 = n2
+	cur := n2
+	for i := len(levels) - 2; i >= 0; i-- {
+		cur = c.pickSingleton(c.m.And(c.pre(cur), levels[i]))
+		s2 = c.m.Or(s2, cur)
+	}
+	return fw, s2, n2
+}
+
+// hasInternalTransition reports whether some group has a transition with
+// both endpoints in scc (i.e. the component contains a cycle).
+func (c *sccCtx) hasInternalTransition(scc bdd.Ref) bool {
+	for i := range c.src {
+		pre := c.m.And(c.src[i], c.m.Restrict(scc, c.wcube[i]))
+		if c.m.And(scc, pre) != bdd.False {
+			return true
+		}
+	}
+	return false
+}
+
+// pickSingleton extracts one state of f as a full literal cube.
+func (c *sccCtx) pickSingleton(f bdd.Ref) bdd.Ref {
+	cube := c.m.PickCube(f)
+	if cube == nil {
+		panic("symbolic: pickSingleton on empty set")
+	}
+	l := c.e.l
+	lits := make([]bdd.Literal, 0, l.total)
+	for id := range c.e.sp.Vars {
+		for b := 0; b < l.bitsOf[id]; b++ {
+			lvl := l.curLevel(id, b)
+			lits = append(lits, bdd.Literal{Var: lvl, Val: cube[lvl] == 1})
+		}
+	}
+	return c.m.LiteralCube(lits)
+}

@@ -1,0 +1,217 @@
+// Package symmetry analyzes the structural symmetry of synthesized
+// protocols — the property the paper's Section VIII discusses: STSyn
+// sometimes produces protocols whose processes are identical up to renaming
+// (token ring, coloring) and sometimes asymmetric ones (maximal matching),
+// depending on the recovery schedule and the order recovery is added.
+//
+// Symmetry is checked against an explicit protocol automorphism: a
+// permutation of the variables together with the induced permutation of
+// processes. For ring topologies the generator is rotation by one.
+package symmetry
+
+import (
+	"fmt"
+	"sort"
+
+	"stsyn/internal/protocol"
+)
+
+// Automorphism is a candidate structural symmetry of a protocol: VarPerm
+// maps each variable ID to its image and ProcPerm each process index to its
+// image.
+type Automorphism struct {
+	VarPerm  []int
+	ProcPerm []int
+}
+
+// Rotation returns the rotation-by-one automorphism for a protocol whose
+// first k variables and processes are arranged in a ring (variable i owned
+// by process i). Extra non-ring variables (beyond k) map to themselves.
+func Rotation(sp *protocol.Spec, k int) Automorphism {
+	vp := make([]int, len(sp.Vars))
+	for i := range vp {
+		if i < k {
+			vp[i] = (i + 1) % k
+		} else {
+			vp[i] = i
+		}
+	}
+	pp := make([]int, len(sp.Procs))
+	for i := range pp {
+		if i < k {
+			pp[i] = (i + 1) % k
+		} else {
+			pp[i] = i
+		}
+	}
+	return Automorphism{VarPerm: vp, ProcPerm: pp}
+}
+
+// Valid reports whether the automorphism respects the protocol's structure:
+// domains are preserved and each process's read/write sets map onto its
+// image's.
+func (a Automorphism) Valid(sp *protocol.Spec) error {
+	if len(a.VarPerm) != len(sp.Vars) || len(a.ProcPerm) != len(sp.Procs) {
+		return fmt.Errorf("symmetry: permutation size mismatch")
+	}
+	for v, w := range a.VarPerm {
+		if sp.Vars[v].Dom != sp.Vars[w].Dom {
+			return fmt.Errorf("symmetry: variables %s and %s have different domains",
+				sp.Vars[v].Name, sp.Vars[w].Name)
+		}
+	}
+	for pi, pj := range a.ProcPerm {
+		if !sameIDSet(mapIDs(sp.Procs[pi].Reads, a.VarPerm), sp.Procs[pj].Reads) {
+			return fmt.Errorf("symmetry: reads of %s do not map onto reads of %s",
+				sp.Procs[pi].Name, sp.Procs[pj].Name)
+		}
+		if !sameIDSet(mapIDs(sp.Procs[pi].Writes, a.VarPerm), sp.Procs[pj].Writes) {
+			return fmt.Errorf("symmetry: writes of %s do not map onto writes of %s",
+				sp.Procs[pi].Name, sp.Procs[pj].Name)
+		}
+	}
+	return nil
+}
+
+func mapIDs(ids, perm []int) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = perm[id]
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sameIDSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply maps a transition group through the automorphism: the group of
+// process π(p) obtained by renaming every variable.
+func (a Automorphism) Apply(sp *protocol.Spec, g protocol.Group) protocol.Group {
+	src := &sp.Procs[g.Proc]
+	dstIdx := a.ProcPerm[g.Proc]
+	dst := &sp.Procs[dstIdx]
+	out := protocol.Group{
+		Proc:      dstIdx,
+		ReadVals:  make([]int, len(dst.Reads)),
+		WriteVals: make([]int, len(dst.Writes)),
+	}
+	for i, id := range src.Reads {
+		out.ReadVals[indexOf(dst.Reads, a.VarPerm[id])] = g.ReadVals[i]
+	}
+	for i, id := range src.Writes {
+		out.WriteVals[indexOf(dst.Writes, a.VarPerm[id])] = g.WriteVals[i]
+	}
+	return out
+}
+
+func indexOf(ids []int, id int) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	panic("symmetry: variable image not in target locality")
+}
+
+// Symmetric reports whether the protocol (δ given as groups) is invariant
+// under the automorphism: the image of the group set equals the group set.
+func Symmetric(sp *protocol.Spec, groups []protocol.Group, a Automorphism) bool {
+	if a.Valid(sp) != nil {
+		return false
+	}
+	have := make(map[protocol.Key]bool, len(groups))
+	for _, g := range groups {
+		have[g.Key()] = true
+	}
+	for _, g := range groups {
+		if !have[a.Apply(sp, g).Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Classes partitions the processes into equivalence classes under repeated
+// application of the automorphism: Pi and Pj land in one class iff some
+// power of the automorphism maps Pi's group set exactly onto Pj's. The
+// paper's "symmetric protocol" corresponds to all ring processes sharing a
+// class.
+func Classes(sp *protocol.Spec, groups []protocol.Group, a Automorphism) ([][]int, error) {
+	if err := a.Valid(sp); err != nil {
+		return nil, err
+	}
+	byProc := make([][]protocol.Group, len(sp.Procs))
+	for _, g := range groups {
+		byProc[g.Proc] = append(byProc[g.Proc], g)
+	}
+	sets := make([]map[protocol.Key]bool, len(sp.Procs))
+	for pi, gs := range byProc {
+		sets[pi] = make(map[protocol.Key]bool, len(gs))
+		for _, g := range gs {
+			sets[pi][g.Key()] = true
+		}
+	}
+	// image(pi): the keys of pi's groups mapped one automorphism step.
+	image := func(pi int) map[protocol.Key]bool {
+		out := make(map[protocol.Key]bool, len(byProc[pi]))
+		for _, g := range byProc[pi] {
+			out[a.Apply(sp, g).Key()] = true
+		}
+		return out
+	}
+
+	class := make([]int, len(sp.Procs))
+	for i := range class {
+		class[i] = -1
+	}
+	next := 0
+	for pi := range sp.Procs {
+		if class[pi] >= 0 {
+			continue
+		}
+		class[pi] = next
+		// Walk the orbit of pi while group sets keep matching.
+		cur := pi
+		curImg := image(cur)
+		for {
+			to := a.ProcPerm[cur]
+			if to == pi || class[to] >= 0 {
+				break
+			}
+			if !equalKeySets(curImg, sets[to]) {
+				break
+			}
+			class[to] = next
+			cur = to
+			curImg = image(cur)
+		}
+		next++
+	}
+	out := make([][]int, next)
+	for pi, c := range class {
+		out[c] = append(out[c], pi)
+	}
+	return out, nil
+}
+
+func equalKeySets(a, b map[protocol.Key]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package symmetry_test
+
+import (
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/symmetry"
+)
+
+func synthesize(t *testing.T, sp *protocol.Spec) []protocol.Group {
+	t.Helper()
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []protocol.Group
+	for _, g := range res.Protocol {
+		out = append(out, g.ProtocolGroup())
+	}
+	return out
+}
+
+func actionGroups(sp *protocol.Spec) []protocol.Group {
+	var out []protocol.Group
+	for pi := range sp.Procs {
+		out = append(out, sp.ActionGroups(pi)...)
+	}
+	return out
+}
+
+func TestRotationValidOnRings(t *testing.T) {
+	for _, sp := range []*protocol.Spec{
+		protocols.Coloring(5),
+		protocols.Matching(5),
+		protocols.TokenRing(4, 3),
+	} {
+		rot := symmetry.Rotation(sp, len(sp.Procs))
+		if err := rot.Valid(sp); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+	}
+}
+
+func TestRotationInvalidWhenDomainsDiffer(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	sp.Vars[2].Dom = 4 // break ring symmetry
+	rot := symmetry.Rotation(sp, 4)
+	if err := rot.Valid(sp); err == nil {
+		t.Error("expected invalid automorphism for mixed domains")
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	sp := protocols.Coloring(5)
+	rot := symmetry.Rotation(sp, 5)
+	g := protocol.Group{Proc: 1, ReadVals: []int{0, 1, 2}, WriteVals: []int{2}}
+	h := g
+	// Five rotations bring the group back to itself.
+	for i := 0; i < 5; i++ {
+		h = rot.Apply(sp, h)
+	}
+	if h.Key() != g.Key() {
+		t.Errorf("5 rotations changed the group: %v -> %v", g, h)
+	}
+	once := rot.Apply(sp, g)
+	if once.Proc != 2 {
+		t.Errorf("rotation moved P1's group to P%d, want P2", once.Proc)
+	}
+}
+
+// TestGoudaAcharyaIsSymmetric: the manually designed protocol is symmetric
+// by construction — a sanity check of the analysis itself.
+func TestGoudaAcharyaIsSymmetric(t *testing.T) {
+	sp := protocols.GoudaAcharyaMatching(5)
+	rot := symmetry.Rotation(sp, 5)
+	if !symmetry.Symmetric(sp, actionGroups(sp), rot) {
+		t.Error("GA matching should be rotation-symmetric")
+	}
+	classes, err := symmetry.Classes(sp, actionGroups(sp), rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 1 || len(classes[0]) != 5 {
+		t.Errorf("GA matching classes = %v, want one class of 5", classes)
+	}
+}
+
+// TestSynthesizedMatchingIsAsymmetric reproduces the paper's Section VI-A
+// observation: the synthesized MM protocol is asymmetric, unlike the
+// manually designed one.
+func TestSynthesizedMatchingIsAsymmetric(t *testing.T) {
+	sp := protocols.Matching(5)
+	groups := synthesize(t, sp)
+	rot := symmetry.Rotation(sp, 5)
+	if symmetry.Symmetric(sp, groups, rot) {
+		t.Error("paper reports the synthesized MM protocol is asymmetric")
+	}
+	classes, err := symmetry.Classes(sp, groups, rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) == 1 {
+		t.Errorf("expected multiple symmetry classes, got %v", classes)
+	}
+}
+
+// TestSynthesizedTokenRingSymmetry: the synthesized TR equals Dijkstra's
+// protocol, whose copy processes P1..P3 form one symmetry class while P0
+// (the incrementer) stands alone. Rotation on the ring maps P1→P2→P3
+// uniformly.
+func TestSynthesizedTokenRingSymmetry(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	groups := synthesize(t, sp)
+	rot := symmetry.Rotation(sp, 4)
+	classes, err := symmetry.Classes(sp, groups, rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1, P2, P3 must land in one class.
+	var copyClass []int
+	for _, c := range classes {
+		for _, p := range c {
+			if p == 1 {
+				copyClass = c
+			}
+		}
+	}
+	if len(copyClass) != 3 {
+		t.Errorf("copy processes not in one class: %v", classes)
+	}
+}
+
+// TestSynthesizedColoringMiddleSymmetry: the synthesized coloring protocol
+// has symmetric middle processes (the paper prints one parametric action
+// for 1 < i < 40).
+func TestSynthesizedColoringMiddleSymmetry(t *testing.T) {
+	sp := protocols.Coloring(6)
+	groups := synthesize(t, sp)
+	rot := symmetry.Rotation(sp, 6)
+	classes, err := symmetry.Classes(sp, groups, rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid []int
+	for _, c := range classes {
+		for _, p := range c {
+			if p == 2 {
+				mid = c
+			}
+		}
+	}
+	if len(mid) < 3 {
+		t.Errorf("middle coloring processes should share a class, got %v", classes)
+	}
+}

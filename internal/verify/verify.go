@@ -1,0 +1,228 @@
+// Package verify is a model checker for the stabilization properties the
+// paper relies on: closure of the legitimate-state predicate, deadlock
+// freedom, absence of non-progress cycles, and weak/strong convergence
+// (Proposition II.1). It runs on any core.Engine, so both explicit and
+// symbolic protocols can be checked, and it is used throughout the test
+// suite to machine-check the heuristic's correct-by-construction claim.
+package verify
+
+import (
+	"fmt"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+)
+
+// Verdict is the outcome of one property check.
+type Verdict struct {
+	OK      bool
+	Reason  string         // human-readable explanation when !OK
+	Witness protocol.State // a state witnessing the violation, if any
+}
+
+func ok() Verdict { return Verdict{OK: true} }
+
+func fail(reason string, w protocol.State) Verdict {
+	return Verdict{Reason: reason, Witness: w}
+}
+
+// Closure checks that I is closed in the protocol: no transition of gs
+// leads from I to ¬I.
+func Closure(e core.Engine, gs []core.Group) Verdict {
+	I := e.Invariant()
+	notI := e.Not(I)
+	for _, g := range gs {
+		if e.GroupFromTo(g, I, notI) {
+			src := e.And(e.GroupSrc(g), I)
+			w, _ := e.PickState(src)
+			return fail(fmt.Sprintf("group %s leaves I", g.ProtocolGroup().Render(e.Spec())), w)
+		}
+	}
+	return ok()
+}
+
+// DeadlockFree checks that no state outside I is a deadlock.
+func DeadlockFree(e core.Engine, gs []core.Group) Verdict {
+	d := core.Deadlocks(e, gs)
+	if !e.IsEmpty(d) {
+		w, _ := e.PickState(d)
+		return fail(fmt.Sprintf("%v deadlock states outside I", e.States(d)), w)
+	}
+	return ok()
+}
+
+// CycleFree checks that δ|¬I has no non-progress cycles.
+func CycleFree(e core.Engine, gs []core.Group) Verdict {
+	sccs := e.CyclicSCCs(gs, e.Not(e.Invariant()))
+	if len(sccs) > 0 {
+		w, _ := e.PickState(sccs[0])
+		return fail(fmt.Sprintf("%d non-progress SCCs outside I", len(sccs)), w)
+	}
+	return ok()
+}
+
+// StrongConvergence checks Proposition II.1: no deadlocks in ¬I and no
+// non-progress cycles in δ|¬I.
+func StrongConvergence(e core.Engine, gs []core.Group) Verdict {
+	if v := DeadlockFree(e, gs); !v.OK {
+		return v
+	}
+	return CycleFree(e, gs)
+}
+
+// WeakConvergence checks that from every state some computation reaches I:
+// the backward-reachable set of I under gs must cover the state space.
+func WeakConvergence(e core.Engine, gs []core.Group) Verdict {
+	reach := e.Invariant()
+	for {
+		next := e.Or(reach, e.Pre(gs, reach))
+		if e.Equal(next, reach) {
+			break
+		}
+		reach = next
+	}
+	rest := e.Diff(e.Universe(), reach)
+	if !e.IsEmpty(rest) {
+		w, _ := e.PickState(rest)
+		return fail(fmt.Sprintf("%v states cannot reach I", e.States(rest)), w)
+	}
+	return ok()
+}
+
+// StronglyStabilizing checks closure plus strong convergence.
+func StronglyStabilizing(e core.Engine, gs []core.Group) Verdict {
+	if v := Closure(e, gs); !v.OK {
+		return v
+	}
+	return StrongConvergence(e, gs)
+}
+
+// WeaklyStabilizing checks closure plus weak convergence.
+func WeaklyStabilizing(e core.Engine, gs []core.Group) Verdict {
+	if v := Closure(e, gs); !v.OK {
+		return v
+	}
+	return WeakConvergence(e, gs)
+}
+
+// Silent checks that no group is enabled inside I — the MM protocol of
+// Section VI-A must satisfy this.
+func Silent(e core.Engine, gs []core.Group) Verdict {
+	en := e.And(e.EnabledSources(gs), e.Invariant())
+	if !e.IsEmpty(en) {
+		w, _ := e.PickState(en)
+		return fail("a group is enabled inside I", w)
+	}
+	return ok()
+}
+
+// PreservesInvariantBehavior checks the output constraints of Problem
+// III.1 on a synthesis result: every added and removed group must lie
+// entirely outside I, which implies δpss|I = δp|I (a group with no source
+// in I contributes no transition inside I).
+func PreservesInvariantBehavior(e core.Engine, res *core.Result) Verdict {
+	I := e.Invariant()
+	for _, g := range res.Added {
+		if !e.IsEmpty(e.And(e.GroupSrc(g), I)) {
+			w, _ := e.PickState(e.And(e.GroupSrc(g), I))
+			return fail(fmt.Sprintf("added group %s starts in I", g.ProtocolGroup().Render(e.Spec())), w)
+		}
+	}
+	for _, g := range res.Removed {
+		if !e.IsEmpty(e.And(e.GroupSrc(g), I)) {
+			w, _ := e.PickState(e.And(e.GroupSrc(g), I))
+			return fail(fmt.Sprintf("removed group %s starts in I", g.ProtocolGroup().Render(e.Spec())), w)
+		}
+	}
+	return ok()
+}
+
+// RecoveryPath extracts a shortest concrete recovery execution of the
+// protocol from the given state to some legitimate state: the sequence of
+// states visited and, for each step, the group that takes it. ok is false
+// when no computation of gs reaches I from the state.
+func RecoveryPath(e core.Engine, gs []core.Group, from protocol.State) (states []protocol.State, steps []core.Group, ok bool) {
+	I := e.Invariant()
+	start := e.Singleton(from)
+	if !e.IsEmpty(e.And(start, I)) {
+		return []protocol.State{from}, nil, true
+	}
+	// Layered forward BFS until a layer touches I.
+	layers := []core.Set{start}
+	reached := start
+	for {
+		last := layers[len(layers)-1]
+		next := e.Diff(e.Post(gs, last), reached)
+		if e.IsEmpty(next) {
+			return nil, nil, false
+		}
+		layers = append(layers, next)
+		reached = e.Or(reached, next)
+		if !e.IsEmpty(e.And(next, I)) {
+			break
+		}
+	}
+	// Walk backwards from a legitimate state in the last layer.
+	k := len(layers) - 1
+	cur := e.And(layers[k], I)
+	curState, _ := e.PickState(cur)
+	states = make([]protocol.State, k+1)
+	steps = make([]core.Group, k)
+	states[k] = curState
+	for i := k; i > 0; i-- {
+		target := e.Singleton(states[i])
+		prev := e.And(e.Pre(gs, target), layers[i-1])
+		prevState, okPick := e.PickState(prev)
+		if !okPick {
+			return nil, nil, false // should not happen: layers are connected
+		}
+		states[i-1] = prevState
+		prevSingle := e.Singleton(prevState)
+		for _, g := range gs {
+			if e.GroupFromTo(g, prevSingle, target) {
+				steps[i-1] = g
+				break
+			}
+		}
+	}
+	return states, steps, true
+}
+
+// CycleWitness extracts a concrete non-progress cycle: a sequence of states
+// s0, s1, …, sm with sm = s0, all inside the given SCC. Groups are
+// deterministic per source state, so the walk is easy to steer.
+func CycleWitness(e core.Engine, gs []core.Group, scc core.Set) []protocol.State {
+	start, okPick := e.PickState(scc)
+	if !okPick {
+		return nil
+	}
+	var path []protocol.State
+	var sets []core.Set
+	cur := e.Singleton(start)
+	for {
+		st, _ := e.PickState(cur)
+		// Check for a revisit, closing the cycle.
+		for i, prev := range sets {
+			if e.Equal(prev, cur) {
+				return append(path[i:], path[i])
+			}
+		}
+		path = append(path, st)
+		sets = append(sets, cur)
+		moved := false
+		for _, g := range gs {
+			if !e.GroupFromTo(g, cur, scc) {
+				continue
+			}
+			next := e.And(e.Post([]core.Group{g}, cur), scc)
+			if !e.IsEmpty(next) {
+				cur = next
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return nil // not actually an SCC of gs
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package verify_test
+
+import (
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/verify"
+)
+
+func engine(t *testing.T, sp *protocol.Spec) *explicit.Engine {
+	t.Helper()
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDijkstraTokenRingIsStronglyStabilizing(t *testing.T) {
+	// Dijkstra's theorem: the K-state token ring stabilizes when the domain
+	// is at least the number of processes.
+	for _, tc := range []struct{ k, dom int }{{3, 3}, {4, 4}, {4, 5}, {5, 5}} {
+		e := engine(t, protocols.DijkstraTokenRing(tc.k, tc.dom))
+		if v := verify.StronglyStabilizing(e, e.ActionGroups()); !v.OK {
+			t.Errorf("Dijkstra TR(%d,%d): %s (witness %v)", tc.k, tc.dom, v.Reason, v.Witness)
+		}
+	}
+}
+
+func TestDijkstraTokenRingSmallDomainFails(t *testing.T) {
+	// With dom < k the ring is NOT self-stabilizing (multiple tokens can
+	// persist); the checker must find the violation.
+	e := engine(t, protocols.DijkstraTokenRing(5, 3))
+	if v := verify.StronglyStabilizing(e, e.ActionGroups()); v.OK {
+		t.Error("Dijkstra TR(5,3) should not be strongly stabilizing")
+	}
+}
+
+func TestNonStabilizingTokenRingDeadlocks(t *testing.T) {
+	e := engine(t, protocols.TokenRing(4, 3))
+	gs := e.ActionGroups()
+	if v := verify.Closure(e, gs); !v.OK {
+		t.Errorf("closure should hold: %s", v.Reason)
+	}
+	if v := verify.DeadlockFree(e, gs); v.OK {
+		t.Error("non-stabilizing TR should have deadlocks")
+	}
+	if v := verify.CycleFree(e, gs); !v.OK {
+		t.Errorf("paper: TR has no cycles outside S1, got %s", v.Reason)
+	}
+	if v := verify.WeakConvergence(e, gs); v.OK {
+		t.Error("non-stabilizing TR should not even weakly converge")
+	}
+}
+
+func TestEmptyProtocolVerdicts(t *testing.T) {
+	e := engine(t, protocols.Matching(5))
+	gs := e.ActionGroups()
+	if len(gs) != 0 {
+		t.Fatalf("empty protocol has %d groups", len(gs))
+	}
+	if v := verify.Closure(e, gs); !v.OK {
+		t.Error("empty protocol is trivially closed")
+	}
+	if v := verify.Silent(e, gs); !v.OK {
+		t.Error("empty protocol is trivially silent")
+	}
+	if v := verify.DeadlockFree(e, gs); v.OK {
+		t.Error("empty protocol deadlocks everywhere outside I")
+	}
+}
+
+func TestSilentDetectsEnabledGroup(t *testing.T) {
+	// Dijkstra's ring is never silent: the token keeps moving inside I.
+	e := engine(t, protocols.DijkstraTokenRing(4, 3))
+	if v := verify.Silent(e, e.ActionGroups()); v.OK {
+		t.Error("token ring should not be silent in I")
+	}
+}
+
+func TestCycleWitnessOnCounter(t *testing.T) {
+	sp := &protocol.Spec{
+		Name: "counter",
+		Vars: []protocol.Var{{Name: "x", Dom: 4}},
+		Procs: []protocol.Process{{
+			Name: "P", Reads: []int{0}, Writes: []int{0},
+			Actions: []protocol.Action{{
+				Guard: protocol.True{},
+				Assigns: []protocol.Assignment{{
+					Var: 0, Expr: protocol.AddMod{A: protocol.V{ID: 0}, B: protocol.C{Val: 1}, Mod: 4},
+				}},
+			}},
+		}},
+		Invariant: protocol.False{},
+	}
+	e := engine(t, sp)
+	gs := e.ActionGroups()
+	sccs := e.CyclicSCCs(gs, e.Universe())
+	if len(sccs) != 1 {
+		t.Fatalf("want 1 SCC, got %d", len(sccs))
+	}
+	cyc := verify.CycleWitness(e, gs, sccs[0])
+	// The counter's only cycle visits all 4 states and returns: 5 entries.
+	if len(cyc) != 5 {
+		t.Fatalf("cycle witness %v, want length 5", cyc)
+	}
+	for i := 1; i < len(cyc); i++ {
+		want := (cyc[i-1][0] + 1) % 4
+		if cyc[i][0] != want {
+			t.Fatalf("witness step %d: %v -> %v is not a transition", i, cyc[i-1], cyc[i])
+		}
+	}
+}
+
+func TestPreservesInvariantBehavior(t *testing.T) {
+	e := engine(t, protocols.TokenRing(4, 3))
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.PreservesInvariantBehavior(e, res); !v.OK {
+		t.Errorf("synthesis result violates Problem III.1 constraints: %s", v.Reason)
+	}
+	if len(res.Added) == 0 {
+		t.Error("expected added recovery groups")
+	}
+}
+
+func TestRecoveryPath(t *testing.T) {
+	e := engine(t, protocols.DijkstraTokenRing(4, 4))
+	gs := e.ActionGroups()
+	sp := e.Spec()
+
+	// From a heavily corrupted state, a shortest recovery must exist, end
+	// in I, and every step must be a real transition of the named group.
+	from := protocol.State{3, 1, 2, 0}
+	states, steps, ok := verify.RecoveryPath(e, gs, from)
+	if !ok {
+		t.Fatal("no recovery path found")
+	}
+	if len(states) != len(steps)+1 {
+		t.Fatalf("%d states for %d steps", len(states), len(steps))
+	}
+	if !sp.Invariant.EvalBool(states[len(states)-1]) {
+		t.Fatal("path does not end in I")
+	}
+	if sp.Invariant.EvalBool(states[0]) {
+		t.Fatal("start state should be illegitimate")
+	}
+	for i, g := range steps {
+		pg := g.ProtocolGroup()
+		if !pg.Matches(sp, states[i]) {
+			t.Fatalf("step %d: group not enabled at %v", i, states[i])
+		}
+		dst := make(protocol.State, len(sp.Vars))
+		pg.Apply(sp, states[i], dst)
+		for j := range dst {
+			if dst[j] != states[i+1][j] {
+				t.Fatalf("step %d: %v -> %v is not the group's transition", i, states[i], states[i+1])
+			}
+		}
+	}
+
+	// A legitimate start needs no steps.
+	states, steps, ok = verify.RecoveryPath(e, gs, protocol.State{2, 2, 2, 2})
+	if !ok || len(steps) != 0 || len(states) != 1 {
+		t.Fatalf("legitimate start: states=%v steps=%v ok=%v", states, steps, ok)
+	}
+
+	// The non-stabilizing TR has states with no recovery at all.
+	e2 := engine(t, protocols.TokenRing(4, 3))
+	if _, _, ok := verify.RecoveryPath(e2, e2.ActionGroups(), protocol.State{0, 0, 1, 2}); ok {
+		t.Fatal("deadlock state should have no recovery path")
+	}
+}
+
+// TestRecoveryPathIsShortest cross-checks path length against the rank of
+// the start state (rank = shortest distance to I by definition).
+func TestRecoveryPathIsShortest(t *testing.T) {
+	e := engine(t, protocols.DijkstraTokenRing(4, 3))
+	gs := e.ActionGroups()
+	ranks, infinite := core.ComputeRanks(e, gs)
+	if !e.IsEmpty(infinite) {
+		t.Fatal("Dijkstra TR should have no rank-∞ states")
+	}
+	for r := 1; r < len(ranks); r++ {
+		st, okPick := e.PickState(ranks[r])
+		if !okPick {
+			continue
+		}
+		states, _, ok := verify.RecoveryPath(e, gs, st)
+		if !ok {
+			t.Fatalf("no path from rank-%d state %v", r, st)
+		}
+		if got := len(states) - 1; got != r {
+			t.Errorf("path length %d from rank-%d state %v", got, r, st)
+		}
+	}
+}
+
+func TestWeakConvergenceOnWeakResult(t *testing.T) {
+	e := engine(t, protocols.Matching(4))
+	res, err := core.AddConvergence(e, core.Options{Convergence: core.Weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := verify.WeaklyStabilizing(e, res.Protocol); !v.OK {
+		t.Errorf("weak synthesis result not weakly stabilizing: %s", v.Reason)
+	}
+}

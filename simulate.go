@@ -1,0 +1,38 @@
+package stsyn
+
+import (
+	"stsyn/internal/protocol"
+	"stsyn/internal/sim"
+)
+
+// Simulation types: concrete random-interleaving execution of a protocol
+// under transient faults (uniformly random start states).
+type (
+	// Simulator runs random interleavings of a fixed protocol.
+	Simulator = sim.Runner
+	// SimConfig controls a run (step bound, seed, tracing).
+	SimConfig = sim.Config
+	// SimResult is the outcome of one run.
+	SimResult = sim.Result
+	// SimStats aggregates many fault-injection trials.
+	SimStats = sim.Stats
+	// SimOutcome classifies a run: SimConverged, SimDeadlocked, SimExhausted.
+	SimOutcome = sim.Outcome
+)
+
+// Simulation outcomes.
+const (
+	SimConverged  = sim.Converged
+	SimDeadlocked = sim.Deadlocked
+	SimExhausted  = sim.Exhausted
+)
+
+// NewSimulator builds a simulator for an engine-bound protocol (e.g. a
+// synthesis result's Protocol groups).
+func NewSimulator(e Engine, groups []Group) *Simulator {
+	pgs := make([]protocol.Group, len(groups))
+	for i, g := range groups {
+		pgs[i] = g.ProtocolGroup()
+	}
+	return sim.NewRunner(e.Spec(), pgs)
+}
