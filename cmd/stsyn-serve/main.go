@@ -1,0 +1,90 @@
+// Command stsyn-serve runs the synthesizer as an HTTP/JSON service: a
+// bounded worker pool over the synthesis engines, a content-addressed
+// result cache, and Prometheus-style metrics.
+//
+// Usage:
+//
+//	stsyn-serve -addr :8080 -workers 8 -queue 128 -cache-mb 128
+//
+//	curl -s localhost:8080/v1/synthesize -d '{"protocol":"tokenring","k":4,"dom":3}'
+//	curl -s localhost:8080/metrics
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the listener stops, in-flight
+// jobs drain, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stsyn/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "synthesis workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue depth before 503 backpressure")
+		cacheMB = flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-job timeout")
+		maxTO   = flag.Duration("max-timeout", 5*time.Minute, "maximum per-job timeout")
+		drainTO = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown drain budget")
+		verbose = flag.Bool("v", true, "log one line per job")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "stsyn-serve ", log.LstdFlags|log.Lmicroseconds)
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		CacheBytes:     *cacheMB << 20,
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = -1 // 0 MiB means "disable", not "default"
+	}
+	if *verbose {
+		cfg.Logf = logger.Printf
+	}
+	svc := service.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d queue=%d cache=%dMiB)",
+		*addr, cfg.Workers, *queue, *cacheMB)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %v, draining", sig)
+	case err := <-errc:
+		logger.Printf("listener failed: %v", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "stsyn-serve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Printf("bye")
+}

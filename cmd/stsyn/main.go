@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +21,10 @@ import (
 	"stsyn"
 	"stsyn/internal/cli"
 	"stsyn/internal/dot"
+	"stsyn/internal/explicit"
 	"stsyn/internal/gcl"
 	"stsyn/internal/protocol"
+	"stsyn/internal/service"
 )
 
 func main() {
@@ -36,6 +39,7 @@ func main() {
 		resol    = flag.String("resolution", "batch", "cycle resolution: batch (paper) or incremental")
 		fanout   = flag.Bool("fanout", false, "try all cyclic-rotation schedules in parallel, first success wins")
 		quiet    = flag.Bool("q", false, "print only statistics, not the protocol")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON (the same encoding stsyn-serve returns)")
 		dotFile  = flag.String("dot", "", "also write the synthesized state graph as Graphviz DOT (small instances)")
 	)
 	flag.Parse()
@@ -58,8 +62,10 @@ func main() {
 	fatalIf(err)
 
 	n, _ := sp.NumStates()
-	fmt.Printf("protocol %s: %d processes, %d variables, %d states\n",
-		sp.Name, len(sp.Procs), len(sp.Vars), n)
+	if !*jsonOut {
+		fmt.Printf("protocol %s: %d processes, %d variables, %d states\n",
+			sp.Name, len(sp.Procs), len(sp.Vars), n)
+	}
 
 	if *fanout {
 		factory := func() (stsyn.Engine, error) { return newEngine(sp, *engine) }
@@ -69,7 +75,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "all %d schedules failed: %v\n", len(attempts), err)
 			os.Exit(1)
 		}
-		fmt.Printf("schedule %v succeeded\n", best.Schedule)
+		if !*jsonOut {
+			fmt.Printf("schedule %v succeeded\n", best.Schedule)
+		}
 		opts.Schedule = best.Schedule
 	}
 
@@ -78,16 +86,17 @@ func main() {
 	res, err := stsyn.AddConvergence(e, opts)
 	fatalIf(err)
 
-	fmt.Printf("synthesized: pass=%d ranks=%d added=%d removed=%d\n",
-		res.PassCompleted, res.MaxRank(), len(res.Added), len(res.Removed))
-	fmt.Printf("time: total=%v ranking=%v scc=%v\n",
-		res.TotalTime.Round(1e6), res.RankingTime.Round(1e6), res.SCCTime.Round(1e6))
-	fmt.Printf("space: program=%d avg-scc=%.1f (#scc=%d)\n",
-		res.ProgramSize, res.AvgSCCSize, res.SCCCount)
-
-	if !*quiet {
-		fmt.Println()
-		fmt.Println(stsyn.Render(e, res.Protocol))
+	if !*jsonOut {
+		fmt.Printf("synthesized: pass=%d ranks=%d added=%d removed=%d\n",
+			res.PassCompleted, res.MaxRank(), len(res.Added), len(res.Removed))
+		fmt.Printf("time: total=%v ranking=%v scc=%v\n",
+			res.TotalTime.Round(1e6), res.RankingTime.Round(1e6), res.SCCTime.Round(1e6))
+		fmt.Printf("space: program=%d avg-scc=%.1f (#scc=%d)\n",
+			res.ProgramSize, res.AvgSCCSize, res.SCCCount)
+		if !*quiet {
+			fmt.Println()
+			fmt.Println(stsyn.Render(e, res.Protocol))
+		}
 	}
 
 	if *dotFile != "" {
@@ -97,19 +106,48 @@ func main() {
 		})
 		fatalIf(err)
 		fatalIf(os.WriteFile(*dotFile, []byte(out), 0o644))
-		fmt.Printf("state graph written to %s\n", *dotFile)
+		fmt.Fprintf(os.Stderr, "state graph written to %s\n", *dotFile)
 	}
 
 	verdict := stsyn.VerifyStronglyStabilizing(e, res.Protocol)
 	if *weak {
 		verdict = stsyn.VerifyWeaklyStabilizing(e, res.Protocol)
 	}
+
+	if *jsonOut {
+		sched := opts.Schedule
+		if sched == nil {
+			sched = stsyn.DefaultSchedule(len(sp.Procs))
+		}
+		j := &service.Job{
+			Spec:        sp,
+			Engine:      engineName(e),
+			Convergence: opts.Convergence,
+			Schedule:    sched,
+			Resolution:  opts.CycleResolution,
+			Fanout:      *fanout,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(service.EncodeResult(e, res, j, verdict.OK)))
+	}
+
 	if verdict.OK {
-		fmt.Println("verified: self-stabilizing")
+		if !*jsonOut {
+			fmt.Println("verified: self-stabilizing")
+		}
 	} else {
 		fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: %s (witness %v)\n", verdict.Reason, verdict.Witness)
 		os.Exit(1)
 	}
+}
+
+// engineName labels the engine for the JSON encoding.
+func engineName(e stsyn.Engine) string {
+	if _, ok := e.(*explicit.Engine); ok {
+		return "explicit"
+	}
+	return "symbolic"
 }
 
 func loadSpec(proto, specFile string, k, dom int) (*protocol.Spec, error) {

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocols"
+	"stsyn/internal/symbolic"
+)
+
+// A cancelled context must abort AddConvergence with the context's error
+// before any work is done.
+func TestAddConvergenceCancelledContext(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := core.AddConvergence(e, core.Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// An already-expired deadline must surface context.DeadlineExceeded on both
+// engines; the synthesized (partial) result must never be reported as a
+// success.
+func TestAddConvergenceExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, tc := range []struct {
+		name    string
+		factory func() (core.Engine, error)
+	}{
+		{"explicit", func() (core.Engine, error) { return newEngine(t, protocols.Coloring(6)), nil }},
+		{"symbolic", func() (core.Engine, error) { return symbolic.New(protocols.Coloring(6)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := tc.factory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = core.AddConvergence(e, core.Options{Ctx: ctx})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+		})
+	}
+}
+
+// A nil context must behave exactly like before: a full successful run.
+func TestAddConvergenceNilContext(t *testing.T) {
+	e := newEngine(t, protocols.TokenRing(4, 3))
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Protocol) == 0 {
+		t.Fatal("no protocol synthesized")
+	}
+}
+
+// TrySchedules must skip not-yet-started attempts once the context is
+// cancelled, and report the context error.
+func TestTrySchedulesCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	factory := func() (core.Engine, error) { return newEngine(t, protocols.TokenRing(4, 3)), nil }
+	_, attempts, err := core.TrySchedules(factory, core.Options{Ctx: ctx}, core.Rotations(4), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, a := range attempts {
+		if a.Err == nil {
+			t.Fatalf("attempt %v succeeded under a cancelled context", a.Schedule)
+		}
+	}
+}

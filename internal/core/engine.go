@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"stsyn/internal/protocol"
@@ -90,6 +91,17 @@ type Engine interface {
 
 	// Stats returns cumulative engine counters.
 	Stats() *Stats
+}
+
+// ContextAware is an optional Engine capability: observe the context of the
+// current synthesis run so that long internal fixpoints (SCC enumeration in
+// particular) can stop early once the context is cancelled. An engine whose
+// context is cancelled may return empty or partial results from any
+// operation; AddConvergence re-checks the context after every engine call
+// that can run long, so a cancelled run always surfaces ctx.Err() rather
+// than a wrong answer.
+type ContextAware interface {
+	SetContext(ctx context.Context)
 }
 
 // Compactor is an optional Engine capability: reclaim representation

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -31,9 +32,17 @@ type Attempt struct {
 // It returns the successful attempt with the lowest schedule index (for
 // determinism) along with every attempt's outcome. If no schedule succeeds,
 // the returned error is the first attempt's error.
+//
+// opts.Ctx, when set, bounds the whole fan-out: attempts not yet started
+// when the context is cancelled fail fast with the context's error, and
+// running attempts stop at their next cancellation point.
 func TrySchedules(factory EngineFactory, opts Options, schedules [][]int, workers int) (*Attempt, []Attempt, error) {
 	if len(schedules) == 0 {
 		return nil, nil, errors.New("no schedules given")
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -49,6 +58,10 @@ func TrySchedules(factory EngineFactory, opts Options, schedules [][]int, worker
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			attempts[idx].Schedule = schedules[idx]
+			if err := ctx.Err(); err != nil {
+				attempts[idx].Err = err
+				return
+			}
 			if stop.Load() {
 				attempts[idx].Err = ErrSkipped
 				return

@@ -1,6 +1,10 @@
 package core
 
-import "stsyn/internal/protocol"
+import (
+	"context"
+
+	"stsyn/internal/protocol"
+)
 
 // Pim computes the intermediate protocol p_im of Section IV: the transition
 // groups of p plus the weakest set of recovery groups permitted by the
@@ -42,10 +46,21 @@ func RecoveryCandidates(e Engine) []Group {
 // from which no computation prefix of pim reaches I. By Theorem IV.1,
 // infinite is empty iff a (weakly) stabilizing version of p exists.
 func ComputeRanks(e Engine, pim []Group) (ranks []Set, infinite Set) {
+	ranks, infinite, _ = computeRanks(context.Background(), e, pim)
+	return ranks, infinite
+}
+
+// computeRanks is ComputeRanks with cooperative cancellation: the backward
+// BFS is a fixpoint whose iteration count is the protocol's recovery
+// diameter, so the context is checked once per frontier.
+func computeRanks(ctx context.Context, e Engine, pim []Group) (ranks []Set, infinite Set, err error) {
 	I := e.Invariant()
 	explored := I
 	ranks = []Set{I}
 	for {
+		if err := ctx.Err(); err != nil {
+			return ranks, e.Diff(e.Universe(), explored), err
+		}
 		frontier := e.Diff(e.Pre(pim, explored), explored)
 		if e.IsEmpty(frontier) {
 			break
@@ -53,7 +68,7 @@ func ComputeRanks(e Engine, pim []Group) (ranks []Set, infinite Set) {
 		ranks = append(ranks, frontier)
 		explored = e.Or(explored, frontier)
 	}
-	return ranks, e.Diff(e.Universe(), explored)
+	return ranks, e.Diff(e.Universe(), explored), nil
 }
 
 // Deadlocks returns the deadlock states of the given protocol: states

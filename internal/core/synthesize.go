@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -27,6 +28,12 @@ func (c Convergence) String() string {
 
 // Options configures AddConvergence.
 type Options struct {
+	// Ctx, when non-nil, bounds the synthesis run: AddConvergence checks it
+	// at every pass, rank and recovery-batch boundary (and context-aware
+	// engines additionally inside their SCC fixpoints) and returns
+	// context.Canceled or context.DeadlineExceeded instead of running to
+	// completion. nil means context.Background().
+	Ctx context.Context
 	// Convergence is the property to add; the default is Strong.
 	Convergence Convergence
 	// Schedule is the recovery schedule: the order in which processes are
@@ -107,6 +114,7 @@ type Result struct {
 func (r *Result) MaxRank() int { return len(r.Ranks) - 1 }
 
 type synthesizer struct {
+	ctx      context.Context
 	e        Engine
 	I        Set
 	notI     Set
@@ -138,6 +146,14 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 		res.SCCCount = st.SCCCount
 	}()
 
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ca, ok := e.(ContextAware); ok {
+		ca.SetContext(ctx)
+	}
+
 	k := len(e.Spec().Procs)
 	sched, err := normalizeSchedule(opts.Schedule, k)
 	if err != nil {
@@ -145,6 +161,7 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 	}
 
 	s := &synthesizer{
+		ctx:      ctx,
 		e:        e,
 		I:        e.Invariant(),
 		notI:     e.Not(e.Invariant()),
@@ -187,9 +204,12 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 	// Ranking (the approximation of convergence, Section IV).
 	t0 := time.Now()
 	pim := Pim(e, s.pss)
-	ranks, infinite := ComputeRanks(e, pim)
+	ranks, infinite, err := computeRanks(ctx, e, pim)
 	res.RankingTime = time.Since(t0)
 	res.Ranks = ranks
+	if err != nil {
+		return res, err
+	}
 	if !e.IsEmpty(infinite) {
 		st, _ := e.PickState(infinite)
 		return res, fmt.Errorf("%w: e.g. state %v", ErrNoStabilizingVersion, st)
@@ -211,6 +231,9 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 
 	for pass := 1; pass <= 2; pass++ {
 		for i := 1; i < len(ranks); i++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			s.maybeCompact(ranks)
 			from := e.And(ranks[i], s.deadlocks)
 			if e.IsEmpty(from) {
@@ -220,6 +243,9 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 				res.PassCompleted = pass
 				s.finish(res, s.pss)
 				return res, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return res, err
 			}
 		}
 	}
@@ -231,6 +257,9 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 		s.finish(res, s.pss)
 		return res, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	st, _ := e.PickState(s.deadlocks)
 	return res, fmt.Errorf("%w: %v deadlocks remain, e.g. state %v",
@@ -240,6 +269,11 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 // removeInitialCycles implements the first preprocessing step of Section V.
 func (s *synthesizer) removeInitialCycles(res *Result) error {
 	sccs := s.e.CyclicSCCs(s.pss, s.notI)
+	if err := s.ctx.Err(); err != nil {
+		// A cancelled engine may have returned a partial SCC list; abort
+		// before drawing any conclusion from it.
+		return err
+	}
 	if len(sccs) == 0 {
 		return nil
 	}
@@ -275,6 +309,10 @@ func (s *synthesizer) removeInitialCycles(res *Result) error {
 // Returns true when every deadlock has been resolved.
 func (s *synthesizer) addConvergence(from, to Set, pass int) bool {
 	for _, proc := range s.sched {
+		if s.ctx.Err() != nil {
+			// The caller re-checks the context and surfaces its error.
+			return false
+		}
 		s.addRecovery(proc, from, to, pass)
 		s.deadlocks = s.e.Diff(s.notI, s.enabled)
 		if s.e.IsEmpty(s.deadlocks) {
@@ -312,6 +350,11 @@ func (s *synthesizer) addRecovery(proc int, from, to Set, pass int) {
 	}
 	union := append(append([]Group(nil), s.pss...), added...)
 	bad := s.identifyResolveCycles(union, added)
+	if s.ctx.Err() != nil {
+		// Cancellation inside the SCC check can leave bad incomplete;
+		// accepting groups anyway could produce a cyclic (wrong) protocol.
+		return
+	}
 	kept := 0
 	var retry []Group
 	for _, g := range added {
@@ -329,7 +372,7 @@ func (s *synthesizer) addRecovery(proc int, from, to Set, pass int) {
 		// Retry the flagged groups one at a time against the grown pss.
 		for _, g := range retry {
 			trial := append(append([]Group(nil), s.pss...), g)
-			if len(s.e.CyclicSCCs(trial, s.notI)) == 0 {
+			if len(s.e.CyclicSCCs(trial, s.notI)) == 0 && s.ctx.Err() == nil {
 				s.accept(g)
 				recovered++
 			}

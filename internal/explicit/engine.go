@@ -1,6 +1,7 @@
 package explicit
 
 import (
+	"context"
 	"fmt"
 
 	"stsyn/internal/core"
@@ -49,10 +50,21 @@ type Engine struct {
 
 	workers int // image-operation parallelism (0 = GOMAXPROCS)
 
+	ctx context.Context // current synthesis context (nil = no cancellation)
+
 	stats core.Stats
 }
 
 var _ core.Engine = (*Engine)(nil)
+var _ core.ContextAware = (*Engine)(nil)
+
+// SetContext makes long-running operations (SCC enumeration) observe ctx:
+// once it is cancelled they stop early and return partial results. The
+// caller (core.AddConvergence) re-checks the context and discards them.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// canceled reports whether the current synthesis context is cancelled.
+func (e *Engine) canceled() bool { return e.ctx != nil && e.ctx.Err() != nil }
 
 // New builds an explicit engine for sp. maxStates of 0 uses
 // DefaultMaxStates.

@@ -42,6 +42,12 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 	var frames []frame
 	var results []core.Set
 
+	// Cooperative cancellation: ctx.Err() is checked every cancelCheckMask+1
+	// visited states; on cancellation the search aborts and returns the
+	// components found so far (the caller re-checks the context).
+	const cancelCheckMask = 1023
+	var steps uint64
+
 	visit := func(v uint64) frame {
 		index[v] = next
 		lowlink[v] = next
@@ -58,6 +64,9 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 		}
 		frames = append(frames[:0], visit(start))
 		for len(frames) > 0 {
+			if steps++; steps&cancelCheckMask == 0 && e.canceled() {
+				return false
+			}
 			f := &frames[len(frames)-1]
 			if f.i < len(f.succs) {
 				u := f.succs[f.i]

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a content-addressed LRU result cache with a byte budget.
+// Keys are canonical job hashes (CanonicalKey); values are complete
+// responses together with their marshaled size, which is what counts
+// against the budget. Synthesis is deterministic, so entries never need
+// invalidation — only eviction.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recently used
+	items  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+	size int64
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget: budget,
+		order:  list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached response for key, marking it most recently used.
+// The caller must treat the response as immutable (copy before mutating).
+func (c *resultCache) get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put stores a response of the given size, evicting least-recently-used
+// entries until the budget holds. Entries bigger than the whole budget are
+// not cached at all.
+func (c *resultCache) put(key string, resp *Response, size int64) {
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Deterministic synthesis means a same-key entry is equivalent;
+		// keep the existing one fresh.
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.budget {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		ev := last.Value.(*cacheEntry)
+		c.order.Remove(last)
+		delete(c.items, ev.key)
+		c.used -= ev.size
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp, size: size})
+	c.used += size
+}
+
+// stats returns the entry count and bytes in use.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.used
+}

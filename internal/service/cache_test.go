@@ -1,0 +1,64 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := newResultCache(1000)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	r := &Response{Protocol: "a"}
+	c.put("a", r, 100)
+	got, ok := c.get("a")
+	if !ok || got != r {
+		t.Fatal("put then get failed")
+	}
+	if n, b := c.stats(); n != 1 || b != 100 {
+		t.Fatalf("stats = %d entries %d bytes", n, b)
+	}
+}
+
+func TestCacheEvictsLRUUnderByteBudget(t *testing.T) {
+	c := newResultCache(300)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), &Response{}, 100)
+	}
+	// Touch k0 so k1 is the least recently used.
+	c.get("k0")
+	c.put("k3", &Response{}, 100)
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 should have been evicted (LRU)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+	if _, b := c.stats(); b > 300 {
+		t.Errorf("budget exceeded: %d", b)
+	}
+}
+
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	c := newResultCache(100)
+	c.put("big", &Response{}, 101)
+	if n, _ := c.stats(); n != 0 {
+		t.Error("oversized entry cached")
+	}
+}
+
+func TestCacheDuplicatePutKeepsOne(t *testing.T) {
+	c := newResultCache(1000)
+	c.put("a", &Response{Pass: 1}, 100)
+	c.put("a", &Response{Pass: 2}, 100)
+	if n, b := c.stats(); n != 1 || b != 100 {
+		t.Fatalf("stats = %d entries %d bytes, want 1/100", n, b)
+	}
+	got, _ := c.get("a")
+	if got.Pass != 1 {
+		t.Error("duplicate put replaced the original entry")
+	}
+}

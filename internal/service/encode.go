@@ -1,0 +1,256 @@
+// Package service is the synthesis-as-a-service subsystem: an HTTP/JSON
+// API over the synthesizer with a bounded job queue, a content-addressed
+// result cache, and a metrics endpoint. Synthesis is an expensive, pure
+// computation — the same specification and options always produce the same
+// protocol — so repeated queries are served from the cache in microseconds
+// while fresh ones run on a worker pool with per-job deadlines.
+//
+// The package also owns the one JSON encoding of a synthesis result shared
+// by the server and the stsyn CLI's -json flag, so the two never drift.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"stsyn/internal/cli"
+	"stsyn/internal/core"
+	"stsyn/internal/gcl"
+	"stsyn/internal/pretty"
+	"stsyn/internal/protocol"
+)
+
+// Request is a synthesis job: either a built-in protocol by name (with its
+// parameters) or an inline .stsyn guarded-command specification.
+type Request struct {
+	// Protocol names a built-in (see /v1/protocols); K and Dom are its
+	// parameters (defaults 4 and 3, matching the stsyn CLI).
+	Protocol string `json:"protocol,omitempty"`
+	K        int    `json:"k,omitempty"`
+	Dom      int    `json:"dom,omitempty"`
+	// Spec is an inline .stsyn specification, mutually exclusive with
+	// Protocol.
+	Spec string `json:"spec,omitempty"`
+
+	// Engine selects the state-space engine: auto (default), explicit or
+	// symbolic.
+	Engine string `json:"engine,omitempty"`
+	// Convergence is strong (default) or weak.
+	Convergence string `json:"convergence,omitempty"`
+	// Schedule is the recovery schedule; empty means the paper's default
+	// (P1, …, Pk-1, P0).
+	Schedule []int `json:"schedule,omitempty"`
+	// Resolution is the cycle-resolution strategy: batch (default) or
+	// incremental.
+	Resolution string `json:"resolution,omitempty"`
+	// Fanout tries all cyclic-rotation schedules in parallel and keeps the
+	// first success; Schedule must be empty.
+	Fanout bool `json:"fanout,omitempty"`
+
+	// TimeoutMS bounds the job (queue wait included); 0 means the server's
+	// default, and values above the server's maximum are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Command is one rendered guarded command of the synthesized protocol.
+type Command struct {
+	Guard  string `json:"guard"`
+	Effect string `json:"effect"`
+	Groups int    `json:"groups"`
+}
+
+// ProcessResult is the synthesized actions of one process.
+type ProcessResult struct {
+	Name     string    `json:"name"`
+	Commands []Command `json:"commands"`
+}
+
+// Timings are the synthesis time measurements in milliseconds.
+type Timings struct {
+	TotalMS   float64 `json:"total_ms"`
+	RankingMS float64 `json:"ranking_ms"`
+	SCCMS     float64 `json:"scc_ms"`
+}
+
+// Response is the result of a synthesis job — the encoding shared by the
+// service and the stsyn CLI's -json flag.
+type Response struct {
+	Protocol    string `json:"protocol"`
+	Engine      string `json:"engine"`
+	Convergence string `json:"convergence"`
+	Schedule    []int  `json:"schedule"`
+
+	Processes int     `json:"processes"`
+	Variables int     `json:"variables"`
+	States    float64 `json:"states"`
+
+	Pass          int `json:"pass"`
+	MaxRank       int `json:"max_rank"`
+	AddedGroups   int `json:"added_groups"`
+	RemovedGroups int `json:"removed_groups"`
+
+	ProgramSize int     `json:"program_size"`
+	SCCCount    int     `json:"scc_count"`
+	AvgSCCSize  float64 `json:"avg_scc_size"`
+	Timings     Timings `json:"timings"`
+
+	Actions  []ProcessResult `json:"actions"`
+	Verified bool            `json:"verified"`
+
+	// Cached reports whether the response was served from the result cache;
+	// ElapsedMS is the server-side job time (0 for CLI use).
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// BuildSpec resolves a request to a protocol specification: a built-in by
+// name, or a parsed inline .stsyn spec.
+func BuildSpec(req *Request) (*protocol.Spec, error) {
+	switch {
+	case req.Protocol != "" && req.Spec != "":
+		return nil, fmt.Errorf("protocol and spec are mutually exclusive")
+	case req.Protocol != "":
+		k, dom := req.K, req.Dom
+		if k == 0 {
+			k = 4
+		}
+		if dom == 0 {
+			dom = 3
+		}
+		return cli.BuildSpec(req.Protocol, k, dom)
+	case req.Spec != "":
+		return gcl.Parse("request", req.Spec)
+	default:
+		return nil, fmt.Errorf("need protocol (built-in name) or spec (inline .stsyn source)")
+	}
+}
+
+// Job is a fully normalized synthesis job: the specification, resolved
+// engine, options and cache key. Normalizing before anything else makes
+// equivalent requests (e.g. engine "auto" vs. its resolution, or an empty
+// vs. explicit default schedule) hit the same cache entry.
+type Job struct {
+	Spec        *protocol.Spec
+	Engine      string // "explicit" or "symbolic" (auto resolved)
+	Convergence core.Convergence
+	Schedule    []int // always a concrete permutation
+	Resolution  core.CycleResolution
+	Fanout      bool
+	Key         string // content-addressed cache key
+}
+
+// autoExplicitLimit mirrors the root package's engine auto-selection: state
+// spaces up to 2^20 states use the explicit engine, larger ones (or ones
+// whose size overflows) the symbolic engine.
+const autoExplicitLimit = 1 << 20
+
+// Normalize validates a request against its specification and resolves
+// every defaulted option.
+func Normalize(req *Request, sp *protocol.Spec) (*Job, error) {
+	j := &Job{Spec: sp, Fanout: req.Fanout}
+
+	switch strings.ToLower(req.Engine) {
+	case "", "auto":
+		j.Engine = "symbolic"
+		if n, ok := sp.NumStates(); ok && n <= autoExplicitLimit {
+			j.Engine = "explicit"
+		}
+	case "explicit":
+		j.Engine = "explicit"
+	case "symbolic":
+		j.Engine = "symbolic"
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want auto, explicit or symbolic)", req.Engine)
+	}
+
+	switch strings.ToLower(req.Convergence) {
+	case "", "strong":
+		j.Convergence = core.Strong
+	case "weak":
+		j.Convergence = core.Weak
+	default:
+		return nil, fmt.Errorf("unknown convergence %q (want strong or weak)", req.Convergence)
+	}
+
+	switch strings.ToLower(req.Resolution) {
+	case "", "batch":
+		j.Resolution = core.BatchResolution
+	case "incremental":
+		j.Resolution = core.IncrementalResolution
+	default:
+		return nil, fmt.Errorf("unknown resolution %q (want batch or incremental)", req.Resolution)
+	}
+
+	k := len(sp.Procs)
+	if req.Fanout && len(req.Schedule) > 0 {
+		return nil, fmt.Errorf("fanout and schedule are mutually exclusive")
+	}
+	if len(req.Schedule) > 0 {
+		if len(req.Schedule) != k {
+			return nil, fmt.Errorf("schedule has %d entries, want %d", len(req.Schedule), k)
+		}
+		seen := make([]bool, k)
+		for _, p := range req.Schedule {
+			if p < 0 || p >= k || seen[p] {
+				return nil, fmt.Errorf("schedule %v is not a permutation of 0..%d", req.Schedule, k-1)
+			}
+			seen[p] = true
+		}
+		j.Schedule = append([]int(nil), req.Schedule...)
+	} else {
+		j.Schedule = core.DefaultSchedule(k)
+	}
+
+	j.Key = CanonicalKey(j)
+	return j, nil
+}
+
+// Options builds the synthesis options of the job; ctx bounds the run.
+func (j *Job) Options() core.Options {
+	return core.Options{
+		Convergence:     j.Convergence,
+		Schedule:        j.Schedule,
+		CycleResolution: j.Resolution,
+	}
+}
+
+// EncodeResult renders a synthesis result into the shared response
+// encoding. verified is the model checker's verdict on the result.
+func EncodeResult(e core.Engine, res *core.Result, j *Job, verified bool) *Response {
+	sp := e.Spec()
+	out := &Response{
+		Protocol:      sp.Name,
+		Engine:        j.Engine,
+		Convergence:   j.Convergence.String(),
+		Schedule:      j.Schedule,
+		Processes:     len(sp.Procs),
+		Variables:     len(sp.Vars),
+		States:        e.States(e.Universe()),
+		Pass:          res.PassCompleted,
+		MaxRank:       res.MaxRank(),
+		AddedGroups:   len(res.Added),
+		RemovedGroups: len(res.Removed),
+		ProgramSize:   res.ProgramSize,
+		SCCCount:      res.SCCCount,
+		AvgSCCSize:    res.AvgSCCSize,
+		Timings: Timings{
+			TotalMS:   float64(res.TotalTime.Microseconds()) / 1e3,
+			RankingMS: float64(res.RankingTime.Microseconds()) / 1e3,
+			SCCMS:     float64(res.SCCTime.Microseconds()) / 1e3,
+		},
+		Verified: verified,
+	}
+	byProc := make(map[int][]protocol.Group)
+	for _, g := range res.Protocol {
+		pg := g.ProtocolGroup()
+		byProc[pg.Proc] = append(byProc[pg.Proc], pg)
+	}
+	for pi := range sp.Procs {
+		pr := ProcessResult{Name: sp.Procs[pi].Name, Commands: []Command{}}
+		for _, c := range pretty.Process(sp, pi, byProc[pi]) {
+			pr.Commands = append(pr.Commands, Command{Guard: c.Guard, Effect: c.Effect, Groups: c.Groups})
+		}
+		out.Actions = append(out.Actions, pr)
+	}
+	return out
+}

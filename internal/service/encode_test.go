@@ -1,0 +1,169 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/gcl"
+	"stsyn/internal/protocols"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	j, err := Normalize(&Request{Protocol: "tokenring"}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Engine != "explicit" {
+		t.Errorf("engine = %q, want explicit for 81 states", j.Engine)
+	}
+	if j.Convergence != core.Strong || j.Resolution != core.BatchResolution {
+		t.Error("defaults not strong/batch")
+	}
+	if want := []int{1, 2, 3, 0}; len(j.Schedule) != 4 || j.Schedule[0] != want[0] || j.Schedule[3] != want[3] {
+		t.Errorf("schedule = %v, want the paper's default %v", j.Schedule, want)
+	}
+}
+
+func TestNormalizeAutoMatchesExplicitKey(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	auto, err := Normalize(&Request{Protocol: "tokenring", Engine: "auto"}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Normalize(&Request{Protocol: "tokenring", Engine: "explicit"}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Key != exp.Key {
+		t.Error("auto-resolved engine and explicit engine produce different cache keys")
+	}
+	sym, err := Normalize(&Request{Protocol: "tokenring", Engine: "symbolic"}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Key == exp.Key {
+		t.Error("different engines must not share a cache key (their statistics differ)")
+	}
+}
+
+// The key is content-addressed: the same protocol via built-in or inline
+// spec text hashes by structure, the spec's display name is irrelevant, and
+// any result-affecting option changes the key.
+func TestCanonicalKeyProperties(t *testing.T) {
+	base := func() *Request { return &Request{Protocol: "tokenring", K: 4, Dom: 3} }
+	key := func(req *Request) string {
+		sp, err := BuildSpec(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := Normalize(req, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j.Key
+	}
+
+	k0 := key(base())
+	if k0 != key(base()) {
+		t.Fatal("key not deterministic")
+	}
+	if k0 == key(&Request{Protocol: "tokenring", K: 5, Dom: 3}) {
+		t.Error("different process count, same key")
+	}
+	if k0 == key(&Request{Protocol: "tokenring", K: 4, Dom: 4}) {
+		t.Error("different domain, same key")
+	}
+	for _, req := range []*Request{
+		{Protocol: "tokenring", Convergence: "weak"},
+		{Protocol: "tokenring", Resolution: "incremental"},
+		{Protocol: "tokenring", Schedule: []int{0, 1, 2, 3}},
+		{Protocol: "tokenring", Fanout: true},
+	} {
+		if key(req) == k0 {
+			t.Errorf("option %+v did not change the key", req)
+		}
+	}
+	// Spelling the defaults out changes nothing.
+	if key(&Request{Protocol: "tokenring", Convergence: "strong", Resolution: "batch",
+		Schedule: []int{1, 2, 3, 0}}) != k0 {
+		t.Error("explicit defaults changed the key")
+	}
+
+	// Same structure under a different protocol name: same key.
+	a, err := gcl.Parse("a", "protocol A\nvar x0, x1 : 0..1\nprocess P0 reads x0, x1 writes x0 { x0 == x1 -> x0 := x0 + 1 }\nprocess P1 reads x0, x1 writes x1 { x0 != x1 -> x1 := x1 + 1 }\ninvariant x0 == x1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gcl.Parse("b", "protocol B\nvar x0, x1 : 0..1\nprocess P0 reads x0, x1 writes x0 { x0 == x1 -> x0 := x0 + 1 }\nprocess P1 reads x0, x1 writes x1 { x0 != x1 -> x1 := x1 + 1 }\ninvariant x0 == x1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := Normalize(&Request{}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := Normalize(&Request{}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja.Key != jb.Key {
+		t.Error("protocol display name leaked into the content address")
+	}
+}
+
+func TestBuildSpecValidation(t *testing.T) {
+	for _, req := range []*Request{
+		{},
+		{Protocol: "tokenring", Spec: "protocol X"},
+		{Protocol: "does-not-exist"},
+		{Spec: "not a spec"},
+	} {
+		if _, err := BuildSpec(req); err == nil {
+			t.Errorf("BuildSpec(%+v) succeeded, want error", req)
+		}
+	}
+}
+
+// EncodeResult output must agree with what the synthesizer reported and
+// render the protocol's guarded commands.
+func TestEncodeResult(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+	e, err := explicit.New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Normalize(&Request{Protocol: "tokenring"}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := EncodeResult(e, res, j, true)
+	if out.Protocol != sp.Name || out.States != 81 || out.Processes != 4 {
+		t.Errorf("header wrong: %+v", out)
+	}
+	if out.Pass != res.PassCompleted || out.AddedGroups != len(res.Added) {
+		t.Error("synthesis stats wrong")
+	}
+	if out.ProgramSize != res.ProgramSize {
+		t.Error("program size wrong")
+	}
+	if len(out.Actions) != 4 {
+		t.Fatalf("%d processes rendered, want 4", len(out.Actions))
+	}
+	var all []string
+	for _, p := range out.Actions {
+		for _, c := range p.Commands {
+			all = append(all, c.Guard+" -> "+c.Effect)
+		}
+	}
+	joined := strings.Join(all, "\n")
+	if !strings.Contains(joined, "x0 := x3 + 1") {
+		t.Errorf("rendered commands lack P0's increment:\n%s", joined)
+	}
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"stsyn/internal/cli"
+)
+
+// maxRequestBytes bounds a synthesize request body (inline specs included).
+const maxRequestBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/synthesize  — run (or serve from cache) a synthesis job
+//	GET  /v1/protocols   — list the built-in protocol names
+//	GET  /healthz        — liveness
+//	GET  /metrics        — Prometheus text-format counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("/v1/protocols", s.handleProtocols)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Message: "POST only"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &Error{Status: http.StatusBadRequest, Message: "bad request body", Err: err})
+		return
+	}
+	resp, err := s.Do(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	names := strings.Split(cli.Names, ", ")
+	writeJSON(w, http.StatusOK, map[string][]string{"protocols": names})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, &Error{Status: http.StatusServiceUnavailable, Message: "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	entries, bytes := s.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, map[string]float64{
+		"stsyn_queue_depth":   float64(s.QueueDepth()),
+		"stsyn_cache_entries": float64(entries),
+		"stsyn_cache_bytes":   float64(bytes),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a broken client pipe
+}
+
+// writeError maps a service error to its HTTP status and a JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	var se *Error
+	if !errors.As(err, &se) {
+		se = &Error{Status: http.StatusInternalServerError, Message: "internal error", Err: err}
+	}
+	if se.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, se.Status, map[string]string{"error": se.Error()})
+}

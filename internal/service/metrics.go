@@ -1,0 +1,118 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the service's observability counters. All methods are
+// safe for concurrent use; counters are monotonic and suitable for
+// Prometheus-style scraping via WritePrometheus.
+type Metrics struct {
+	JobsStarted   atomic.Int64
+	JobsSucceeded atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+
+	QueueRejected atomic.Int64
+
+	mu      sync.Mutex
+	latency map[string]*histogram // per engine
+}
+
+// latencyBucketsMS are the job-duration histogram bucket upper bounds in
+// milliseconds. Cache hits are served in microseconds and bypass jobs
+// entirely, so the buckets only need to cover real synthesis runs.
+var latencyBucketsMS = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000}
+
+type histogram struct {
+	counts []int64 // one per bucket, plus the +Inf bucket at the end
+	sum    float64 // milliseconds
+	count  int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{latency: make(map[string]*histogram)}
+}
+
+// ObserveJob records one finished job's wall-clock duration under the given
+// engine label.
+func (m *Metrics) ObserveJob(engine string, d time.Duration) {
+	ms := float64(d.Microseconds()) / 1e3
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[engine]
+	if !ok {
+		h = &histogram{counts: make([]int64, len(latencyBucketsMS)+1)}
+		m.latency[engine] = h
+	}
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.counts[i]++
+	h.sum += ms
+	h.count++
+}
+
+// WritePrometheus writes all counters in the Prometheus text exposition
+// format. gauges are point-in-time values supplied by the server (queue
+// depth, cache size).
+func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("stsyn_jobs_started_total", "Synthesis jobs started.", m.JobsStarted.Load())
+	counter("stsyn_jobs_succeeded_total", "Synthesis jobs that produced a verified protocol.", m.JobsSucceeded.Load())
+	counter("stsyn_jobs_failed_total", "Synthesis jobs that failed (bad input or heuristic failure).", m.JobsFailed.Load())
+	counter("stsyn_jobs_cancelled_total", "Synthesis jobs cancelled or timed out.", m.JobsCancelled.Load())
+	counter("stsyn_cache_hits_total", "Requests served from the result cache.", m.CacheHits.Load())
+	counter("stsyn_cache_misses_total", "Requests that missed the result cache.", m.CacheMisses.Load())
+	counter("stsyn_queue_rejected_total", "Requests rejected because the job queue was full.", m.QueueRejected.Load())
+
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name])
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.latency) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP stsyn_job_duration_ms Synthesis job duration in milliseconds.\n")
+	fmt.Fprintf(w, "# TYPE stsyn_job_duration_ms histogram\n")
+	engines := make([]string, 0, len(m.latency))
+	for e := range m.latency {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		h := m.latency[e]
+		cum := int64(0)
+		for i, le := range latencyBucketsMS {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "stsyn_job_duration_ms_bucket{engine=%q,le=%q} %d\n", e, formatBound(le), cum)
+		}
+		cum += h.counts[len(latencyBucketsMS)]
+		fmt.Fprintf(w, "stsyn_job_duration_ms_bucket{engine=%q,le=\"+Inf\"} %d\n", e, cum)
+		fmt.Fprintf(w, "stsyn_job_duration_ms_sum{engine=%q} %g\n", e, h.sum)
+		fmt.Fprintf(w, "stsyn_job_duration_ms_count{engine=%q} %d\n", e, h.count)
+	}
+}
+
+func formatBound(le float64) string {
+	if le == math.Trunc(le) {
+		return fmt.Sprintf("%d", int64(le))
+	}
+	return fmt.Sprintf("%g", le)
+}

@@ -1,0 +1,336 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/symbolic"
+	"stsyn/internal/verify"
+)
+
+// Config configures a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent synthesis workers (default:
+	// GOMAXPROCS). Each job runs one engine; engines are single-threaded,
+	// so this bounds CPU use.
+	Workers int
+	// QueueDepth is the number of jobs that may wait for a worker before
+	// the server answers 503 (0 selects the default of 64). Negative means
+	// no queue at all: jobs are only accepted when a worker is free at the
+	// moment of submission.
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not ask for one (default 30s);
+	// MaxTimeout clamps what jobs may ask for (default 5m). The timeout
+	// covers queue wait plus synthesis.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheBytes is the result cache budget (default 64 MiB). Negative
+	// disables caching.
+	CacheBytes int64
+	// Logf, when non-nil, receives one structured line per job and per
+	// lifecycle event.
+	Logf func(format string, args ...interface{})
+}
+
+// queueDepthUnset distinguishes "use the default" from an explicit 0.
+const queueDepthUnset = 0
+
+// Error is a service failure with the HTTP status it maps to. Retrieve it
+// from any Server error with errors.As.
+type Error struct {
+	Status  int
+	Message string
+	Err     error
+}
+
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%s: %v", e.Message, e.Err)
+	}
+	return e.Message
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// StatusClientClosed is the (conventional, nginx-originated) status for
+// requests whose client went away before the job finished.
+const StatusClientClosed = 499
+
+// Server runs synthesis jobs on a bounded worker pool, front-ended by a
+// content-addressed result cache. It is safe for concurrent use.
+type Server struct {
+	cfg     Config
+	jobs    chan *job
+	cache   *resultCache
+	metrics *Metrics
+	logf    func(string, ...interface{})
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	nextID atomic.Int64
+}
+
+type job struct {
+	id     int64
+	ctx    context.Context
+	cancel context.CancelFunc
+	norm   *Job
+	resp   *Response
+	err    *Error
+	done   chan struct{}
+}
+
+// New builds a Server and starts its workers. Call Shutdown to stop them.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == queueDepthUnset {
+		cfg.QueueDepth = 64
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheBytes),
+		metrics: newMetrics(),
+		logf:    cfg.Logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...interface{}) {}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (shared, live).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// QueueDepth returns the number of jobs currently waiting for a worker.
+func (s *Server) QueueDepth() int { return len(s.jobs) }
+
+// CacheStats returns the result cache's entry count and bytes in use.
+func (s *Server) CacheStats() (entries int, bytes int64) { return s.cache.stats() }
+
+// Do runs one synthesis request to completion: cache lookup, then — on a
+// miss — a queued job bounded by the request context and the job timeout.
+// Errors are always *Error values carrying an HTTP status.
+func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
+	sp, err := BuildSpec(req)
+	if err != nil {
+		return nil, &Error{Status: http.StatusBadRequest, Message: "bad specification", Err: err}
+	}
+	norm, err := Normalize(req, sp)
+	if err != nil {
+		return nil, &Error{Status: http.StatusBadRequest, Message: "bad options", Err: err}
+	}
+
+	if resp, ok := s.cache.get(norm.Key); ok {
+		s.metrics.CacheHits.Add(1)
+		out := *resp // shallow copy; cached entries are immutable
+		out.Cached = true
+		s.logf("job=cache-hit protocol=%q key=%.12s", sp.Name, norm.Key)
+		return &out, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	jctx, cancel := context.WithTimeout(ctx, timeout)
+	j := &job{
+		id:     s.nextID.Add(1),
+		ctx:    jctx,
+		cancel: cancel,
+		norm:   norm,
+		done:   make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, &Error{Status: http.StatusServiceUnavailable, Message: "server is shutting down"}
+	}
+	select {
+	case s.jobs <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.metrics.QueueRejected.Add(1)
+		return nil, &Error{Status: http.StatusServiceUnavailable, Message: "job queue full, retry later"}
+	}
+
+	select {
+	case <-j.done:
+		if j.err != nil {
+			return nil, j.err
+		}
+		return j.resp, nil
+	case <-ctx.Done():
+		// Client gone (or caller deadline): the worker observes jctx —
+		// derived from ctx — at its next cancellation point and stops.
+		return nil, &Error{Status: StatusClientClosed, Message: "request cancelled", Err: ctx.Err()}
+	}
+}
+
+// Shutdown stops accepting jobs, drains the queue, and waits for in-flight
+// jobs to finish (or for ctx to expire). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("server drained")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.run(j)
+	}
+}
+
+// run executes one job on this worker and publishes its outcome.
+func (s *Server) run(j *job) {
+	defer close(j.done)
+	defer j.cancel()
+
+	if err := j.ctx.Err(); err != nil {
+		// Expired while queued: never start the engine.
+		s.metrics.JobsCancelled.Add(1)
+		j.err = timeoutError(err)
+		s.logf("job=%d protocol=%q status=cancelled-in-queue err=%v", j.id, j.norm.Spec.Name, err)
+		return
+	}
+
+	s.metrics.JobsStarted.Add(1)
+	start := time.Now()
+	resp, err := s.synthesize(j.ctx, j.norm)
+	elapsed := time.Since(start)
+	s.metrics.ObserveJob(j.norm.Engine, elapsed)
+
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.JobsCancelled.Add(1)
+			j.err = timeoutError(err)
+		} else {
+			s.metrics.JobsFailed.Add(1)
+			j.err = &Error{Status: http.StatusUnprocessableEntity, Message: "synthesis failed", Err: err}
+		}
+		s.logf("job=%d protocol=%q engine=%s status=error elapsed=%s err=%v",
+			j.id, j.norm.Spec.Name, j.norm.Engine, elapsed.Round(time.Microsecond), err)
+		return
+	}
+
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	s.metrics.JobsSucceeded.Add(1)
+	if s.cfg.CacheBytes > 0 {
+		if data, err := json.Marshal(resp); err == nil {
+			s.cache.put(j.norm.Key, resp, int64(len(data))+int64(len(j.norm.Key)))
+		}
+	}
+	j.resp = resp
+	s.logf("job=%d protocol=%q engine=%s status=ok pass=%d added=%d elapsed=%s key=%.12s",
+		j.id, j.norm.Spec.Name, j.norm.Engine, resp.Pass, resp.AddedGroups,
+		elapsed.Round(time.Microsecond), j.norm.Key)
+}
+
+func timeoutError(err error) *Error {
+	status := http.StatusGatewayTimeout
+	if errors.Is(err, context.Canceled) {
+		status = StatusClientClosed
+	}
+	return &Error{Status: status, Message: "synthesis did not finish in time", Err: err}
+}
+
+// synthesize runs the job's synthesis (plus fanout schedule search when
+// asked) and model-checks the result.
+func (s *Server) synthesize(ctx context.Context, norm *Job) (*Response, error) {
+	factory := func() (core.Engine, error) { return newEngine(norm) }
+	opts := norm.Options()
+	opts.Ctx = ctx
+
+	if norm.Fanout {
+		best, _, err := core.TrySchedules(factory, opts,
+			core.Rotations(len(norm.Spec.Procs)), runtime.GOMAXPROCS(0))
+		if err != nil {
+			return nil, err
+		}
+		norm.Schedule = best.Schedule
+		opts.Schedule = best.Schedule
+	}
+
+	e, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.AddConvergence(e, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	verdict := verify.StronglyStabilizing(e, res.Protocol)
+	if norm.Convergence == core.Weak {
+		verdict = verify.WeaklyStabilizing(e, res.Protocol)
+	}
+	if err := ctx.Err(); err != nil {
+		// A cancelled engine can produce a bogus verdict; surface the
+		// cancellation instead.
+		return nil, err
+	}
+	if !verdict.OK {
+		return nil, fmt.Errorf("internal error: synthesized protocol failed verification: %s", verdict.Reason)
+	}
+	return EncodeResult(e, res, norm, true), nil
+}
+
+// newEngine builds the job's engine.
+func newEngine(norm *Job) (core.Engine, error) {
+	if norm.Engine == "explicit" {
+		return explicit.New(norm.Spec, 0)
+	}
+	return symbolic.New(norm.Spec)
+}

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return svc, ts
+}
+
+func postSynthesize(t *testing.T, ts *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/synthesize", "application/json",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func decodeResponse(t *testing.T, data []byte) *Response {
+	t.Helper()
+	var out Response
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad response %s: %v", data, err)
+	}
+	return &out
+}
+
+// requireGoroutinesBack polls until the goroutine count returns to the
+// baseline (catching leaked workers or stuck jobs).
+func requireGoroutinesBack(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The acceptance path: POST a token ring job, get a verified protocol; an
+// identical second POST is served from the cache without starting a job.
+func TestSynthesizeEndToEndAndCacheHit(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"protocol":"tokenring","k":4,"dom":3}`
+
+	status, data := postSynthesize(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, data)
+	}
+	first := decodeResponse(t, data)
+	if !first.Verified {
+		t.Error("protocol not verified")
+	}
+	if first.Cached {
+		t.Error("first response claims to be cached")
+	}
+	if first.Engine != "explicit" {
+		t.Errorf("engine = %q, want explicit (81 states)", first.Engine)
+	}
+	if first.AddedGroups == 0 {
+		t.Error("no recovery groups added")
+	}
+	if len(first.Actions) != 4 {
+		t.Fatalf("actions for %d processes, want 4", len(first.Actions))
+	}
+	// The synthesizer re-derives Dijkstra's protocol: P1..P3 copy their
+	// predecessor's value.
+	if g := first.Actions[1].Commands; len(g) == 0 || !strings.Contains(g[0].Effect, "x1 := x0") {
+		t.Errorf("P1 actions = %+v, want a copy of x0", g)
+	}
+
+	status, data = postSynthesize(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("second status = %d, body %s", status, data)
+	}
+	second := decodeResponse(t, data)
+	if !second.Cached {
+		t.Fatal("second identical POST was not a cache hit")
+	}
+	if second.Pass != first.Pass || second.ProgramSize != first.ProgramSize {
+		t.Error("cached response differs from the original")
+	}
+	m := svc.Metrics()
+	if got := m.CacheHits.Load(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+	if got := m.JobsStarted.Load(); got != 1 {
+		t.Errorf("jobs started = %d, want 1 (cache hit must not start a job)", got)
+	}
+	if got := m.JobsSucceeded.Load(); got != 1 {
+		t.Errorf("jobs succeeded = %d, want 1", got)
+	}
+}
+
+// Round-trip of the shipped GCL spec through the service: parse, synthesize,
+// and hit the cache on the identical second POST, with counters to match.
+func TestSpecFileRoundTrip(t *testing.T) {
+	src, err := os.ReadFile("../../examples/specs/tokenring.stsyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	req, err := json.Marshal(&Request{Spec: string(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, data := postSynthesize(t, ts, string(req))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, data)
+	}
+	first := decodeResponse(t, data)
+	if !first.Verified {
+		t.Error("spec-file protocol not verified")
+	}
+	if first.Protocol != "TokenRing" {
+		t.Errorf("protocol name = %q, want TokenRing (from the spec header)", first.Protocol)
+	}
+
+	status, data = postSynthesize(t, ts, string(req))
+	if status != http.StatusOK {
+		t.Fatalf("second status = %d", status)
+	}
+	if !decodeResponse(t, data).Cached {
+		t.Fatal("identical spec POST was not a cache hit")
+	}
+	m := svc.Metrics()
+	if m.CacheHits.Load() != 1 || m.CacheMisses.Load() != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1",
+			m.CacheHits.Load(), m.CacheMisses.Load())
+	}
+	if m.JobsStarted.Load() != 1 {
+		t.Errorf("jobs started = %d, want 1", m.JobsStarted.Load())
+	}
+}
+
+// A job with a 1ms deadline must come back as a timeout error — and the
+// worker must not leak: the goroutine count returns to baseline after
+// shutdown.
+func TestJobDeadlineTimesOutWithoutLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+
+	// Symbolic three-coloring with 12 processes takes hundreds of
+	// milliseconds — far beyond the 1ms budget.
+	body := `{"protocol":"coloring","k":12,"engine":"symbolic","timeout_ms":1}`
+	status, data := postSynthesize(t, ts, body)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (body %s), want 504", status, data)
+	}
+	if !strings.Contains(string(data), "did not finish in time") {
+		t.Errorf("error body = %s", data)
+	}
+	if got := svc.Metrics().JobsCancelled.Load(); got != 1 {
+		t.Errorf("jobs cancelled = %d, want 1", got)
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	requireGoroutinesBack(t, base)
+}
+
+// With one worker and no queue, a second job while the worker is busy must
+// be rejected with 503 backpressure; cancelling the long job's request
+// aborts it cooperatively.
+func TestQueueBackpressure(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: -1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// Occupy the only worker with a long-running job (symbolic matching
+	// with 9 processes runs for many seconds — we cancel it below). With no
+	// queue, a submission can race the worker parking in its receive, so
+	// retry 503s until the job is in.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			_, err := svc.Do(ctx1, &Request{Protocol: "matching", K: 9, Engine: "symbolic", TimeoutMS: 120000})
+			var se *Error
+			if errors.As(err, &se) && se.Status == http.StatusServiceUnavailable && ctx1.Err() == nil {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			errc <- err
+			return
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Metrics().JobsStarted.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rejected0 := svc.Metrics().QueueRejected.Load()
+
+	_, err := svc.Do(context.Background(), &Request{Protocol: "tokenring"})
+	var se *Error
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 backpressure", err)
+	}
+	if got := svc.Metrics().QueueRejected.Load(); got != rejected0+1 {
+		t.Errorf("queue rejected = %d, want %d", got, rejected0+1)
+	}
+
+	cancel1()
+	select {
+	case err := <-errc:
+		if !errors.As(err, &se) || se.Status != StatusClientClosed {
+			t.Errorf("long job err = %v, want client-closed", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled job did not come back")
+	}
+}
+
+// Bad inputs are 400s with a JSON error body; synthesis-level failures are
+// 422s.
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"empty", `{}`, http.StatusBadRequest},
+		{"both", `{"protocol":"tokenring","spec":"x"}`, http.StatusBadRequest},
+		{"unknown protocol", `{"protocol":"nope"}`, http.StatusBadRequest},
+		{"unknown field", `{"protocl":"tokenring"}`, http.StatusBadRequest},
+		{"bad engine", `{"protocol":"tokenring","engine":"quantum"}`, http.StatusBadRequest},
+		{"bad schedule", `{"protocol":"tokenring","schedule":[0,0,1,2]}`, http.StatusBadRequest},
+		{"bad spec", `{"spec":"protocol X\n"}`, http.StatusBadRequest},
+		// Gouda-Acharya matching has an unresolvable structure for the
+		// heuristic on 4 processes: synthesis itself fails.
+		{"synthesis failure", `{"protocol":"gouda-acharya","k":4}`, http.StatusUnprocessableEntity},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, data := postSynthesize(t, ts, tc.body)
+			if status != tc.status {
+				t.Fatalf("status = %d (body %s), want %d", status, data, tc.status)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
+				t.Errorf("error body not JSON with error field: %s", data)
+			}
+		})
+	}
+}
+
+// GET endpoints: health, protocol list, and the metrics exposition.
+func TestAuxEndpoints(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	postSynthesize(t, ts, `{"protocol":"tokenring"}`)
+	postSynthesize(t, ts, `{"protocol":"tokenring"}`) // cache hit
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	if status, body := get("/healthz"); status != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %s", status, body)
+	}
+	if status, body := get("/v1/protocols"); status != 200 || !strings.Contains(body, "tokenring") {
+		t.Errorf("protocols = %d %s", status, body)
+	}
+	status, body := get("/metrics")
+	if status != 200 {
+		t.Fatalf("metrics status = %d", status)
+	}
+	for _, w := range []string{
+		"stsyn_jobs_started_total 1",
+		"stsyn_jobs_succeeded_total 1",
+		"stsyn_cache_hits_total 1",
+		"stsyn_cache_misses_total 1",
+		"stsyn_cache_entries 1",
+		"stsyn_queue_depth 0",
+		`stsyn_job_duration_ms_bucket{engine="explicit",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("metrics output lacks %q:\n%s", w, body)
+		}
+	}
+	if got := svc.Metrics().JobsStarted.Load(); got != 1 {
+		t.Errorf("jobs started = %d, want 1", got)
+	}
+}
+
+// After Shutdown the server refuses new jobs and reports unhealthy.
+func TestShutdownRefusesNewJobs(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.Do(context.Background(), &Request{Protocol: "tokenring"})
+	var se *Error
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err after shutdown = %v, want 503", err)
+	}
+	// Idempotent.
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package symbolic
 
 import (
+	"context"
 	"math"
 
 	"stsyn/internal/bdd"
@@ -44,8 +45,18 @@ type Engine struct {
 	sccAlg    SCCAlgorithm
 	compactAt int // node threshold for Compact (0 = default)
 
+	ctx context.Context // current synthesis context (nil = no cancellation)
+
 	stats core.Stats
 }
+
+// SetContext makes the SCC fixpoints observe ctx: once it is cancelled they
+// stop early and return partial results. The caller (core.AddConvergence)
+// re-checks the context and discards them.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// canceled reports whether the current synthesis context is cancelled.
+func (e *Engine) canceled() bool { return e.ctx != nil && e.ctx.Err() != nil }
 
 // SCCAlgorithm selects the symbolic SCC-enumeration algorithm.
 type SCCAlgorithm int
@@ -63,6 +74,7 @@ const (
 func (e *Engine) SetSCCAlgorithm(a SCCAlgorithm) { e.sccAlg = a }
 
 var _ core.Engine = (*Engine)(nil)
+var _ core.ContextAware = (*Engine)(nil)
 
 // New builds a symbolic engine for sp.
 func New(sp *protocol.Spec) (*Engine, error) {

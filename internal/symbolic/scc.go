@@ -50,21 +50,24 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 
 	// Forward trim with early exit: the greatest C with "every state has a
 	// successor in C". Empty ⇔ the graph restricted to within is acyclic —
-	// the common case while the heuristic is doing its job.
+	// the common case while the heuristic is doing its job. Every fixpoint
+	// below is a cancellation point: one iteration is a full symbolic image,
+	// so checking the context per iteration is cheap, and on cancellation
+	// partial results are returned for the caller to discard.
 	for {
 		next := ctx.m.And(c, ctx.pre(c))
-		if next == c {
+		if next == c || e.canceled() {
 			break
 		}
 		c = next
 	}
-	if c == bdd.False {
+	if c == bdd.False || e.canceled() {
 		return nil
 	}
 	// Backward trim as well (both fixpoints interleaved to convergence).
 	for {
 		next := ctx.m.And(c, ctx.m.And(ctx.pre(c), ctx.post(c)))
-		if next == c {
+		if next == c || e.canceled() {
 			break
 		}
 		c = next
@@ -97,6 +100,9 @@ func (c *sccCtx) skeletonEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
 	type task struct{ v, s, n bdd.Ref }
 	stack := []task{{v: v0, s: bdd.False, n: bdd.False}}
 	for len(stack) > 0 {
+		if c.e.canceled() {
+			return
+		}
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if t.v == bdd.False {
@@ -145,6 +151,9 @@ func (c *sccCtx) skeletonEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
 func (c *sccCtx) lockstepEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
 	stack := []bdd.Ref{v0}
 	for len(stack) > 0 {
+		if c.e.canceled() {
+			return
+		}
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if v == bdd.False {
@@ -217,7 +226,7 @@ func (c *sccCtx) skelForward(v, n bdd.Ref) (fw, s2, n2 bdd.Ref) {
 	frontier := n
 	for {
 		next := c.m.Diff(c.m.And(c.post(frontier), v), fw)
-		if next == bdd.False {
+		if next == bdd.False || c.e.canceled() {
 			break
 		}
 		levels = append(levels, next)

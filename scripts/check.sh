@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Repo-wide hygiene gate: formatting, vet, and the full test suite under the
+# race detector. Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go test -race ./...
+echo "check.sh: all clean"
