@@ -112,13 +112,14 @@ func emit(title string, rows []experiments.Row, csv bool) {
 		return
 	}
 	fmt.Printf("# %s\n", title)
-	fmt.Println("k,states,ranking_ms,scc_ms,total_ms,avg_scc_nodes,program_nodes,scc_count,max_rank,pass,verified,err")
+	fmt.Println("k,states,ranking_ms,scc_ms,total_ms,avg_scc_nodes,program_nodes,scc_count,max_rank,pass,verified,peak_nodes,gc_runs,cache_hit_rate,err")
 	for _, r := range rows {
-		fmt.Printf("%d,%g,%.3f,%.3f,%.3f,%.1f,%d,%d,%d,%d,%v,%q\n",
+		fmt.Printf("%d,%g,%.3f,%.3f,%.3f,%.1f,%d,%d,%d,%d,%v,%d,%d,%.3f,%q\n",
 			r.K, r.States,
 			float64(r.RankingTime)/float64(time.Millisecond),
 			float64(r.SCCTime)/float64(time.Millisecond),
 			float64(r.TotalTime)/float64(time.Millisecond),
-			r.AvgSCCSize, r.ProgramSize, r.SCCCount, r.MaxRank, r.Pass, r.Verified, r.Err)
+			r.AvgSCCSize, r.ProgramSize, r.SCCCount, r.MaxRank, r.Pass, r.Verified,
+			r.PeakNodes, r.GCRuns, r.CacheHitRate, r.Err)
 	}
 }

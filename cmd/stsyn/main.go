@@ -93,6 +93,11 @@ func main() {
 			res.TotalTime.Round(1e6), res.RankingTime.Round(1e6), res.SCCTime.Round(1e6))
 		fmt.Printf("space: program=%d avg-scc=%.1f (#scc=%d)\n",
 			res.ProgramSize, res.AvgSCCSize, res.SCCCount)
+		if sr, ok := e.(stsyn.SpaceReporter); ok {
+			st := sr.SpaceStats()
+			fmt.Printf("bdd: live=%d peak=%d cache-hit=%.0f%% gc-runs=%d reclaimed=%d\n",
+				st.LiveNodes, st.PeakLiveNodes, 100*st.CacheHitRate, st.GCRuns, st.GCReclaimed)
+		}
 		if !*quiet {
 			fmt.Println()
 			fmt.Println(stsyn.Render(e, res.Protocol))

@@ -116,6 +116,7 @@ func (r *Result) MaxRank() int { return len(r.Ranks) - 1 }
 type synthesizer struct {
 	ctx      context.Context
 	e        Engine
+	reg      RefRegistry // non-nil when the engine garbage-collects
 	I        Set
 	notI     Set
 	sched    []int
@@ -130,6 +131,53 @@ type synthesizer struct {
 	candsByProc [][]Group
 
 	deadlocks Set
+
+	held []Set // retained roots released when synthesis ends
+}
+
+// retain registers x as a reclamation root for the duration of the run (a
+// no-op for engines without a RefRegistry). Every Set the synthesizer holds
+// across a CyclicSCCs or Compact call must be retained, or the engine's
+// garbage collector may reclaim it mid-run.
+func (s *synthesizer) retain(x Set) Set {
+	if s.reg != nil {
+		s.reg.Retain(x)
+		s.held = append(s.held, x)
+	}
+	return x
+}
+
+// swap rebinds *dst to v with correct root accounting: v is retained before
+// the old value is released, so v stays protected even when it shares
+// structure with (or equals) the old value.
+func (s *synthesizer) swap(dst *Set, v Set) {
+	if s.reg == nil {
+		*dst = v
+		return
+	}
+	s.reg.Retain(v)
+	if *dst != nil {
+		s.reg.Release(*dst)
+	}
+	*dst = v
+}
+
+// releaseAll drops every root the run retained, so repeated synthesis on a
+// reused engine does not pin garbage forever.
+func (s *synthesizer) releaseAll() {
+	if s.reg == nil {
+		return
+	}
+	for _, x := range s.held {
+		s.reg.Release(x)
+	}
+	s.held = nil
+	for _, dst := range []*Set{&s.enabled, &s.deadlocks} {
+		if *dst != nil {
+			s.reg.Release(*dst)
+			*dst = nil
+		}
+	}
 }
 
 // AddConvergence runs the paper's algorithm: preprocessing (cycle check and
@@ -163,13 +211,15 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 	s := &synthesizer{
 		ctx:      ctx,
 		e:        e,
-		I:        e.Invariant(),
-		notI:     e.Not(e.Invariant()),
 		sched:    sched,
 		cycleRes: opts.CycleResolution,
 		inPss:    make(map[protocol.Key]bool),
 		logf:     opts.Log,
 	}
+	s.reg, _ = e.(RefRegistry)
+	defer s.releaseAll()
+	s.I = s.retain(e.Invariant())
+	s.notI = s.retain(e.Not(e.Invariant()))
 	if s.logf == nil {
 		s.logf = func(string, ...interface{}) {}
 	}
@@ -210,6 +260,9 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 	if err != nil {
 		return res, err
 	}
+	for _, r := range ranks {
+		s.retain(r)
+	}
 	if !e.IsEmpty(infinite) {
 		st, _ := e.PickState(infinite)
 		return res, fmt.Errorf("%w: e.g. state %v", ErrNoStabilizingVersion, st)
@@ -221,8 +274,8 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	s.enabled = e.EnabledSources(s.pss)
-	s.deadlocks = e.Diff(s.notI, s.enabled)
+	s.swap(&s.enabled, e.EnabledSources(s.pss))
+	s.swap(&s.deadlocks, e.Diff(s.notI, s.enabled))
 	if e.IsEmpty(s.deadlocks) {
 		// p is already strongly converging after cycle preprocessing.
 		s.finish(res, s.pss)
@@ -235,7 +288,9 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 				return res, err
 			}
 			s.maybeCompact(ranks)
-			from := e.And(ranks[i], s.deadlocks)
+			// from is held across the recovery batches (each containing SCC
+			// reclamation points) inside addConvergence.
+			from := s.retain(e.And(ranks[i], s.deadlocks))
 			if e.IsEmpty(from) {
 				continue
 			}
@@ -250,9 +305,10 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 		}
 	}
 	// Pass 3: from any remaining deadlock to anywhere (constraint C2
-	// relaxed).
+	// relaxed). The from set is retained separately: s.deadlocks is rebound
+	// (and its old value released) after every process inside.
 	s.maybeCompact(ranks)
-	if s.addConvergence(s.deadlocks, e.Universe(), 3) {
+	if s.addConvergence(s.retain(s.deadlocks), e.Universe(), 3) {
 		res.PassCompleted = 3
 		s.finish(res, s.pss)
 		return res, nil
@@ -314,7 +370,7 @@ func (s *synthesizer) addConvergence(from, to Set, pass int) bool {
 			return false
 		}
 		s.addRecovery(proc, from, to, pass)
-		s.deadlocks = s.e.Diff(s.notI, s.enabled)
+		s.swap(&s.deadlocks, s.e.Diff(s.notI, s.enabled))
 		if s.e.IsEmpty(s.deadlocks) {
 			return true
 		}
@@ -400,7 +456,7 @@ func (s *synthesizer) maybeCompact(ranks []Set) {
 func (s *synthesizer) accept(g Group) {
 	s.pss = append(s.pss, g)
 	s.inPss[g.ProtocolGroup().Key()] = true
-	s.enabled = s.e.Or(s.enabled, s.e.GroupSrc(g))
+	s.swap(&s.enabled, s.e.Or(s.enabled, s.e.GroupSrc(g)))
 }
 
 // identifyResolveCycles is the paper's Identify_Resolve_Cycles: find the

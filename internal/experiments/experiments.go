@@ -31,6 +31,11 @@ type Row struct {
 	Pass        int
 	Verified    bool
 	Err         string
+
+	// Substrate observability (zero when the engine has no SpaceReporter).
+	PeakNodes    int     // peak live BDD nodes over the run
+	GCRuns       int     // garbage collections during the run
+	CacheHitRate float64 // op-cache hit rate
 }
 
 // runOne synthesizes one instance on a fresh symbolic engine and verifies
@@ -53,6 +58,12 @@ func runOne(k int, sp *protocol.Spec) Row {
 		row.SCCCount = res.SCCCount
 		row.MaxRank = res.MaxRank()
 		row.Pass = res.PassCompleted
+	}
+	if sr, ok := interface{}(e).(core.SpaceReporter); ok {
+		st := sr.SpaceStats()
+		row.PeakNodes = st.PeakLiveNodes
+		row.GCRuns = st.GCRuns
+		row.CacheHitRate = st.CacheHitRate
 	}
 	if err != nil {
 		row.Err = err.Error()
@@ -110,12 +121,15 @@ func FormatRows(title string, rows []Row) string {
 			r.TotalTime.Round(time.Millisecond),
 			r.MaxRank, r.Pass, r.Verified)
 	}
-	out += fmt.Sprintf("%4s %14s %14s %10s\n", "K", "avg SCC (nodes)", "program (nodes)", "#SCCs")
+	out += fmt.Sprintf("%4s %14s %14s %10s %10s %8s %8s\n",
+		"K", "avg SCC (nodes)", "program (nodes)", "#SCCs", "peak", "gc", "hit%")
 	for _, r := range rows {
 		if r.Err != "" {
 			continue
 		}
-		out += fmt.Sprintf("%4d %15.1f %15d %10d\n", r.K, r.AvgSCCSize, r.ProgramSize, r.SCCCount)
+		out += fmt.Sprintf("%4d %15.1f %15d %10d %10d %8d %7.0f%%\n",
+			r.K, r.AvgSCCSize, r.ProgramSize, r.SCCCount,
+			r.PeakNodes, r.GCRuns, 100*r.CacheHitRate)
 	}
 	return out
 }

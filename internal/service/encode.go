@@ -97,10 +97,54 @@ type Response struct {
 	Actions  []ProcessResult `json:"actions"`
 	Verified bool            `json:"verified"`
 
+	// BDD is the symbolic engine's substrate statistics (nil for the
+	// explicit engine, which has no shared node store).
+	BDD *BDDStats `json:"bdd,omitempty"`
+
 	// Cached reports whether the response was served from the result cache;
 	// ElapsedMS is the server-side job time (0 for CLI use).
 	Cached    bool    `json:"cached"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// BDDStats is the JSON rendering of the symbolic engine's substrate
+// statistics (core.SpaceStats): node-store occupancy, operation-cache
+// behavior and garbage-collection work for one synthesis run.
+type BDDStats struct {
+	LiveNodes       int     `json:"live_nodes"`
+	PeakLiveNodes   int     `json:"peak_live_nodes"`
+	AllocatedSlots  int     `json:"allocated_slots"`
+	UniqueTableLoad float64 `json:"unique_table_load"`
+	CacheSize       int     `json:"cache_size"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheEvictions  uint64  `json:"cache_evictions"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	GCRuns          int     `json:"gc_runs"`
+	GCReclaimed     uint64  `json:"gc_reclaimed"`
+}
+
+// bddStats snapshots an engine's substrate statistics, or returns nil for
+// engines without a SpaceReporter.
+func bddStats(e core.Engine) *BDDStats {
+	sr, ok := e.(core.SpaceReporter)
+	if !ok {
+		return nil
+	}
+	st := sr.SpaceStats()
+	return &BDDStats{
+		LiveNodes:       st.LiveNodes,
+		PeakLiveNodes:   st.PeakLiveNodes,
+		AllocatedSlots:  st.AllocatedSlots,
+		UniqueTableLoad: st.UniqueTableLoad,
+		CacheSize:       st.CacheSize,
+		CacheHits:       st.CacheHits,
+		CacheMisses:     st.CacheMisses,
+		CacheEvictions:  st.CacheEvictions,
+		CacheHitRate:    st.CacheHitRate,
+		GCRuns:          st.GCRuns,
+		GCReclaimed:     st.GCReclaimed,
+	}
 }
 
 // BuildSpec resolves a request to a protocol specification: a built-in by
@@ -239,6 +283,7 @@ func EncodeResult(e core.Engine, res *core.Result, j *Job, verified bool) *Respo
 			SCCMS:     float64(res.SCCTime.Microseconds()) / 1e3,
 		},
 		Verified: verified,
+		BDD:      bddStats(e),
 	}
 	byProc := make(map[int][]protocol.Group)
 	for _, g := range res.Protocol {

@@ -24,8 +24,39 @@ type Metrics struct {
 
 	QueueRejected atomic.Int64
 
+	// BDD substrate observability, aggregated across symbolic-engine jobs
+	// (each job has its own manager, so counters are summed at job end and
+	// the node gauges track the most recent / largest job).
+	BDDGCRuns         atomic.Int64 // cumulative collections
+	BDDGCReclaimed    atomic.Int64 // cumulative nodes reclaimed
+	BDDCacheHits      atomic.Int64 // cumulative op-cache hits
+	BDDCacheMisses    atomic.Int64 // cumulative op-cache misses
+	BDDCacheEvictions atomic.Int64 // cumulative op-cache evictions
+	BDDLiveNodes      atomic.Int64 // live nodes of the most recent job
+	BDDPeakNodes      atomic.Int64 // max peak live nodes over all jobs
+
 	mu      sync.Mutex
 	latency map[string]*histogram // per engine
+}
+
+// ObserveBDD folds one finished job's substrate statistics into the
+// service-level counters.
+func (m *Metrics) ObserveBDD(s *BDDStats) {
+	if s == nil {
+		return
+	}
+	m.BDDGCRuns.Add(int64(s.GCRuns))
+	m.BDDGCReclaimed.Add(int64(s.GCReclaimed))
+	m.BDDCacheHits.Add(int64(s.CacheHits))
+	m.BDDCacheMisses.Add(int64(s.CacheMisses))
+	m.BDDCacheEvictions.Add(int64(s.CacheEvictions))
+	m.BDDLiveNodes.Store(int64(s.LiveNodes))
+	for {
+		old := m.BDDPeakNodes.Load()
+		if int64(s.PeakLiveNodes) <= old || m.BDDPeakNodes.CompareAndSwap(old, int64(s.PeakLiveNodes)) {
+			break
+		}
+	}
 }
 
 // latencyBucketsMS are the job-duration histogram bucket upper bounds in
@@ -74,6 +105,17 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("stsyn_cache_hits_total", "Requests served from the result cache.", m.CacheHits.Load())
 	counter("stsyn_cache_misses_total", "Requests that missed the result cache.", m.CacheMisses.Load())
 	counter("stsyn_queue_rejected_total", "Requests rejected because the job queue was full.", m.QueueRejected.Load())
+	counter("stsyn_bdd_gc_runs_total", "BDD garbage collections across symbolic jobs.", m.BDDGCRuns.Load())
+	counter("stsyn_bdd_gc_reclaimed_nodes_total", "BDD nodes reclaimed by garbage collection.", m.BDDGCReclaimed.Load())
+	counter("stsyn_bdd_op_cache_hits_total", "BDD operation-cache hits across symbolic jobs.", m.BDDCacheHits.Load())
+	counter("stsyn_bdd_op_cache_misses_total", "BDD operation-cache misses across symbolic jobs.", m.BDDCacheMisses.Load())
+	counter("stsyn_bdd_op_cache_evictions_total", "BDD operation-cache evictions across symbolic jobs.", m.BDDCacheEvictions.Load())
+
+	if gauges == nil {
+		gauges = map[string]float64{}
+	}
+	gauges["stsyn_bdd_live_nodes"] = float64(m.BDDLiveNodes.Load())
+	gauges["stsyn_bdd_peak_nodes"] = float64(m.BDDPeakNodes.Load())
 
 	names := make([]string, 0, len(gauges))
 	for name := range gauges {

@@ -267,6 +267,7 @@ func (s *Server) run(j *job) {
 
 	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	s.metrics.JobsSucceeded.Add(1)
+	s.metrics.ObserveBDD(resp.BDD)
 	if s.cfg.CacheBytes > 0 {
 		if data, err := json.Marshal(resp); err == nil {
 			s.cache.put(j.norm.Key, resp, int64(len(data))+int64(len(j.norm.Key)))

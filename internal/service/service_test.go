@@ -337,6 +337,63 @@ func TestAuxEndpoints(t *testing.T) {
 	}
 }
 
+// A symbolic-engine job carries substrate statistics in its JSON response
+// and feeds the bdd gauges and counters on /metrics; an explicit-engine job
+// carries none.
+func TestBDDStatsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	status, data := postSynthesize(t, ts, `{"protocol":"tokenring","engine":"symbolic"}`)
+	if status != 200 {
+		t.Fatalf("symbolic job status = %d (body %s)", status, data)
+	}
+	resp := decodeResponse(t, data)
+	if resp.BDD == nil {
+		t.Fatal("symbolic response has no bdd stats")
+	}
+	if resp.BDD.LiveNodes <= 0 || resp.BDD.PeakLiveNodes < resp.BDD.LiveNodes {
+		t.Errorf("implausible node counts: live=%d peak=%d", resp.BDD.LiveNodes, resp.BDD.PeakLiveNodes)
+	}
+	if resp.BDD.CacheHits == 0 || resp.BDD.CacheMisses == 0 {
+		t.Errorf("op-cache counters empty: %+v", resp.BDD)
+	}
+
+	status, data = postSynthesize(t, ts, `{"protocol":"tokenring","engine":"explicit"}`)
+	if status != 200 {
+		t.Fatalf("explicit job status = %d", status)
+	}
+	if resp := decodeResponse(t, data); resp.BDD != nil {
+		t.Errorf("explicit response carries bdd stats: %+v", resp.BDD)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	body := string(raw)
+	for _, w := range []string{
+		"stsyn_bdd_gc_runs_total",
+		"stsyn_bdd_gc_reclaimed_nodes_total",
+		"stsyn_bdd_op_cache_hits_total",
+		"stsyn_bdd_op_cache_misses_total",
+		"stsyn_bdd_op_cache_evictions_total",
+		"stsyn_bdd_live_nodes",
+		"stsyn_bdd_peak_nodes",
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("metrics output lacks %q", w)
+		}
+	}
+	if strings.Contains(body, "stsyn_bdd_op_cache_hits_total 0\n") {
+		t.Error("bdd op-cache hit counter still zero after a symbolic job")
+	}
+	if strings.Contains(body, "stsyn_bdd_peak_nodes 0\n") {
+		t.Error("bdd peak-nodes gauge still zero after a symbolic job")
+	}
+}
+
 // After Shutdown the server refuses new jobs and reports unhealthy.
 func TestShutdownRefusesNewJobs(t *testing.T) {
 	svc := New(Config{Workers: 1})

@@ -1,0 +1,131 @@
+// Package specgen generates random protocol specifications for fuzzing and
+// differential testing. The generated protocols are deliberately tiny (3-4
+// variables with domains 2-3, 2-3 processes) so brute-force enumeration of
+// the state space stays cheap, yet they cover the whole expression AST
+// (modular arithmetic, conditionals, comparisons, all connectives) and the
+// full range of synthesis outcomes — success, ErrNoStabilizingVersion,
+// ErrNotClosed, ErrDeadlocksRemain — which makes them sharp inputs for
+// cross-engine differential batteries.
+package specgen
+
+import (
+	"math/rand"
+
+	"stsyn/internal/protocol"
+)
+
+// RandomSpec generates a small random protocol: 3-4 variables with domains
+// 2-3, 2-3 processes with random localities (w ⊆ r guaranteed), random
+// guarded commands when withActions is set, and a random invariant.
+func RandomSpec(rng *rand.Rand, withActions bool) *protocol.Spec {
+	nv := 3 + rng.Intn(2)
+	sp := &protocol.Spec{Name: "fuzz"}
+	for i := 0; i < nv; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{
+			Name: "v" + string(rune('0'+i)),
+			Dom:  2 + rng.Intn(2),
+		})
+	}
+	np := 2 + rng.Intn(2)
+	for p := 0; p < np; p++ {
+		// Writes: one random variable; reads: the write plus 1-2 others.
+		w := rng.Intn(nv)
+		reads := map[int]bool{w: true}
+		for len(reads) < 2+rng.Intn(2) {
+			reads[rng.Intn(nv)] = true
+		}
+		var rs []int
+		for id := range reads {
+			rs = append(rs, id)
+		}
+		proc := protocol.Process{
+			Name:   "P" + string(rune('0'+p)),
+			Reads:  protocol.SortedIDs(rs...),
+			Writes: []int{w},
+		}
+		if withActions {
+			for a := 0; a < rng.Intn(3); a++ {
+				guard := RandomBoolExpr(rng, sp, proc.Reads, 2)
+				val := rng.Intn(sp.Vars[w].Dom)
+				proc.Actions = append(proc.Actions, protocol.Action{
+					Guard:   guard,
+					Assigns: []protocol.Assignment{{Var: w, Expr: protocol.C{Val: val}}},
+				})
+			}
+		}
+		sp.Procs = append(sp.Procs, proc)
+	}
+	sp.Invariant = RandomBoolExpr(rng, sp, AllIDs(nv), 3)
+	return sp
+}
+
+// AllIDs returns the identifiers 0..n-1.
+func AllIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RandomIntExpr builds a random integer expression over the given variables
+// (modular arithmetic needs uniform moduli, so operand domains are matched).
+// It returns the expression and the domain its values range over.
+func RandomIntExpr(rng *rand.Rand, sp *protocol.Spec, vars []int, depth int) (protocol.IntExpr, int) {
+	a := vars[rng.Intn(len(vars))]
+	dom := sp.Vars[a].Dom
+	if depth == 0 || rng.Intn(2) == 0 {
+		if rng.Intn(3) == 0 {
+			return protocol.C{Val: rng.Intn(dom)}, dom
+		}
+		return protocol.V{ID: a}, dom
+	}
+	// Pick a second operand of the same domain.
+	var same []int
+	for _, v := range vars {
+		if sp.Vars[v].Dom == dom {
+			same = append(same, v)
+		}
+	}
+	lhs, _ := RandomIntExpr(rng, sp, []int{a}, 0)
+	rhs, _ := RandomIntExpr(rng, sp, same, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return protocol.AddMod{A: lhs, B: rhs, Mod: dom}, dom
+	case 1:
+		return protocol.SubMod{A: lhs, B: rhs, Mod: dom}, dom
+	default:
+		return protocol.Cond{
+			If:   RandomBoolExpr(rng, sp, vars, 0),
+			Then: lhs,
+			Else: rhs,
+		}, dom
+	}
+}
+
+// RandomBoolExpr builds a random boolean expression over the given
+// variables.
+func RandomBoolExpr(rng *rand.Rand, sp *protocol.Spec, vars []int, depth int) protocol.BoolExpr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a, _ := RandomIntExpr(rng, sp, vars, 1)
+		b, _ := RandomIntExpr(rng, sp, vars, 1)
+		switch rng.Intn(3) {
+		case 0:
+			return protocol.Eq{A: a, B: b}
+		case 1:
+			return protocol.Neq{A: a, B: b}
+		default:
+			return protocol.Lt{A: a, B: b}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return protocol.Conj(RandomBoolExpr(rng, sp, vars, depth-1), RandomBoolExpr(rng, sp, vars, depth-1))
+	case 1:
+		return protocol.Disj(RandomBoolExpr(rng, sp, vars, depth-1), RandomBoolExpr(rng, sp, vars, depth-1))
+	case 2:
+		return protocol.Implies{A: RandomBoolExpr(rng, sp, vars, depth-1), B: RandomBoolExpr(rng, sp, vars, depth-1)}
+	default:
+		return protocol.Not{X: RandomBoolExpr(rng, sp, vars, depth-1)}
+	}
+}

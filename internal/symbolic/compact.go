@@ -5,54 +5,43 @@ import (
 	"stsyn/internal/core"
 )
 
-// DefaultCompactionThreshold is the main-manager node count above which
-// Compact actually rebuilds (below it the call is a no-op).
-const DefaultCompactionThreshold = 1 << 22
+// DefaultCompactionThreshold is the live-node count above which the
+// engine's safe points (Compact calls and the MaybeGC checks inside the
+// SCC fixpoints) trigger a garbage collection.
+const DefaultCompactionThreshold = 1 << 20
 
-// SetCompactionThreshold overrides the node count that triggers compaction
-// (0 restores the default; useful to force compaction in tests).
-func (e *Engine) SetCompactionThreshold(n int) { e.compactAt = n }
+// SetCompactionThreshold overrides the live-node watermark that triggers
+// collection (0 restores the default; a tiny value forces a collection at
+// every safe point, which the GC-stress tests use).
+func (e *Engine) SetCompactionThreshold(n int) {
+	e.compactAt = n
+	if n == 0 {
+		n = DefaultCompactionThreshold
+	}
+	e.m.SetGCWatermark(n)
+}
 
-// Compact implements core.Compactor: when the node store has grown past
-// the threshold, every long-lived BDD — the engine's own structures plus
-// the caller's live sets — is migrated into a fresh manager and the old
-// store is dropped wholesale (the BDD package has no per-node garbage
-// collector; this is the scoped-lifetime alternative, the same idea the
-// SCC detector uses per call). Any Set not listed in live is invalidated.
-//
-// The returned slice holds the migrated live sets, order preserved.
+// Compact implements core.Compactor: when the live-node count has grown
+// past the watermark, run a mark-and-sweep collection. The engine's own
+// structures are permanent collection roots, and the caller's live sets
+// are protected for the duration of the sweep, so every returned Set is
+// the identical Ref that went in — node identities are stable across
+// collections. Any Set that is neither listed in live nor retained via
+// core.RefRegistry is invalidated.
 func (e *Engine) Compact(live []core.Set) []core.Set {
 	threshold := e.compactAt
 	if threshold == 0 {
 		threshold = DefaultCompactionThreshold
 	}
-	if e.m.Size() <= threshold {
+	if e.m.Live() <= threshold {
 		return live
 	}
-	fresh := bdd.New(e.m.NumVars())
-	memo := make(map[bdd.Ref]bdd.Ref)
-	mv := func(r bdd.Ref) bdd.Ref { return fresh.CopyFrom(e.m, r, memo) }
-
-	e.valid = mv(e.valid)
-	e.inv = mv(e.inv)
-	for _, row := range e.cmp.eqc {
-		for i, r := range row {
-			row[i] = mv(r)
-		}
+	for _, s := range live {
+		e.m.Keep(s.(bdd.Ref))
 	}
-	for _, g := range e.byKey {
-		g.src = mv(g.src)
-		g.writeCube = mv(g.writeCube)
-		g.writeVars = mv(g.writeVars)
-		if g.rel != bdd.False {
-			g.rel = mv(g.rel)
-		}
+	e.m.GC()
+	for _, s := range live {
+		e.m.Release(s.(bdd.Ref))
 	}
-	out := make([]core.Set, len(live))
-	for i, s := range live {
-		out[i] = mv(s.(bdd.Ref))
-	}
-	e.cmp.m = fresh
-	e.m = fresh
-	return out
+	return live
 }

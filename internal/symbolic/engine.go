@@ -40,6 +40,17 @@ type Engine struct {
 	candidates []core.Group
 	byKey      map[protocol.Key]*group
 
+	// sccs are the components handed out by the last CyclicSCCs call, kept
+	// as collection roots until the next call invalidates them.
+	sccs []bdd.Ref
+
+	// scratch accumulates the counters of dropped cycle-detection scratch
+	// managers so SpaceStats covers the engine's full substrate activity.
+	scratch struct {
+		ops, hits, misses, evicts, dropped uint64
+		peak                               int
+	}
+
 	nextBits float64 // number of next-state bit levels (for state counting)
 
 	sccAlg    SCCAlgorithm
@@ -75,8 +86,17 @@ func (e *Engine) SetSCCAlgorithm(a SCCAlgorithm) { e.sccAlg = a }
 
 var _ core.Engine = (*Engine)(nil)
 var _ core.ContextAware = (*Engine)(nil)
+var _ core.RefRegistry = (*Engine)(nil)
+var _ core.SpaceReporter = (*Engine)(nil)
 
 // New builds a symbolic engine for sp.
+//
+// Every BDD the engine itself holds beyond one call — the valid-state and
+// invariant predicates, the compiler's value cubes, and each group's cubes —
+// is registered as a garbage-collection root here; everything else is fair
+// game for the manager's mark-and-sweep collector, which runs at the safe
+// points inside CyclicSCCs and Compact once the live-node watermark
+// (SetCompactionThreshold) is reached.
 func New(sp *protocol.Spec) (*Engine, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
@@ -91,6 +111,13 @@ func New(sp *protocol.Spec) (*Engine, error) {
 		nextBits: float64(l.total),
 	}
 	e.inv = m.And(cmp.boolExpr(sp.Invariant), e.valid)
+	m.Keep(e.valid)
+	m.Keep(e.inv)
+	for _, row := range cmp.eqc {
+		for _, r := range row {
+			m.Keep(r)
+		}
+	}
 	for pi := range sp.Procs {
 		for _, pg := range sp.ActionGroups(pi) {
 			e.actions = append(e.actions, e.intern(pg))
@@ -99,6 +126,7 @@ func New(sp *protocol.Spec) (*Engine, error) {
 			e.candidates = append(e.candidates, e.intern(pg))
 		}
 	}
+	m.SetGCWatermark(DefaultCompactionThreshold)
 	return e, nil
 }
 
@@ -123,9 +151,9 @@ func (e *Engine) intern(pg protocol.Group) *group {
 	}
 	g := &group{
 		pg:        pg,
-		src:       e.m.And(e.m.LiteralCube(readLits), e.valid),
-		writeCube: e.m.LiteralCube(writeLits),
-		writeVars: e.m.Cube(writeVarLevels),
+		src:       e.m.Keep(e.m.And(e.m.LiteralCube(readLits), e.valid)),
+		writeCube: e.m.Keep(e.m.LiteralCube(writeLits)),
+		writeVars: e.m.Keep(e.m.Cube(writeVarLevels)),
 	}
 	e.byKey[pg.Key()] = g
 	return g
@@ -277,8 +305,66 @@ func (e *Engine) relation(g *group) bdd.Ref {
 			rel = e.m.And(rel, e.m.Not(e.m.Xor(cur, nxt)))
 		}
 	}
-	g.rel = e.m.And(rel, e.valid)
+	g.rel = e.m.Keep(e.m.And(rel, e.valid))
 	return g.rel
 }
 
 func (e *Engine) Stats() *core.Stats { return &e.stats }
+
+// Retain implements core.RefRegistry: the set becomes a garbage-collection
+// root until a matching Release. Set identities are stable across
+// collections, so the same value is returned.
+func (e *Engine) Retain(a core.Set) core.Set {
+	e.m.Keep(a.(bdd.Ref))
+	return a
+}
+
+// Release implements core.RefRegistry.
+func (e *Engine) Release(a core.Set) { e.m.Release(a.(bdd.Ref)) }
+
+// foldScratchStats accumulates a dropped scratch manager's counters so
+// SpaceStats reflects the whole engine, not just the persistent store.
+func (e *Engine) foldScratchStats(m *bdd.Manager) {
+	st := m.Stats()
+	e.scratch.ops += st.Ops
+	e.scratch.hits += st.CacheHits
+	e.scratch.misses += st.CacheMisses
+	e.scratch.evicts += st.CacheEvictions
+	e.scratch.dropped += uint64(st.PeakLiveNodes)
+	if st.PeakLiveNodes > e.scratch.peak {
+		e.scratch.peak = st.PeakLiveNodes
+	}
+}
+
+// SpaceStats implements core.SpaceReporter. Node-store occupancy figures
+// (live, allocated, table load) describe the persistent manager; the cache
+// counters include the scratch managers used for cycle detection; peak is
+// the largest live-node count any manager reached; GCReclaimed counts
+// mark-and-sweep reclamation on the persistent store plus nodes dropped
+// wholesale with scratch managers.
+func (e *Engine) SpaceStats() core.SpaceStats {
+	st := e.m.Stats()
+	hits := st.CacheHits + e.scratch.hits
+	misses := st.CacheMisses + e.scratch.misses
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	peak := st.PeakLiveNodes
+	if e.scratch.peak > peak {
+		peak = e.scratch.peak
+	}
+	return core.SpaceStats{
+		LiveNodes:       st.LiveNodes,
+		PeakLiveNodes:   peak,
+		AllocatedSlots:  st.AllocatedSlots,
+		UniqueTableLoad: st.UniqueTableLoad,
+		CacheSize:       st.CacheSize,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  st.CacheEvictions + e.scratch.evicts,
+		CacheHitRate:    rate,
+		GCRuns:          st.GCRuns,
+		GCReclaimed:     st.GCReclaimed + e.scratch.dropped,
+	}
+}

@@ -8,121 +8,10 @@ import (
 	"stsyn/internal/core"
 	"stsyn/internal/explicit"
 	"stsyn/internal/protocol"
+	"stsyn/internal/specgen"
 	"stsyn/internal/symbolic"
 	"stsyn/internal/verify"
 )
-
-// randomSpec generates a small random protocol: 3-4 variables with domains
-// 2-3, 2-3 processes with random localities (w ⊆ r guaranteed), random
-// guarded commands, and a random invariant.
-func randomSpec(rng *rand.Rand, withActions bool) *protocol.Spec {
-	nv := 3 + rng.Intn(2)
-	sp := &protocol.Spec{Name: "fuzz"}
-	for i := 0; i < nv; i++ {
-		sp.Vars = append(sp.Vars, protocol.Var{
-			Name: "v" + string(rune('0'+i)),
-			Dom:  2 + rng.Intn(2),
-		})
-	}
-	np := 2 + rng.Intn(2)
-	for p := 0; p < np; p++ {
-		// Writes: one random variable; reads: the write plus 1-2 others.
-		w := rng.Intn(nv)
-		reads := map[int]bool{w: true}
-		for len(reads) < 2+rng.Intn(2) {
-			reads[rng.Intn(nv)] = true
-		}
-		var rs []int
-		for id := range reads {
-			rs = append(rs, id)
-		}
-		proc := protocol.Process{
-			Name:   "P" + string(rune('0'+p)),
-			Reads:  protocol.SortedIDs(rs...),
-			Writes: []int{w},
-		}
-		if withActions {
-			for a := 0; a < rng.Intn(3); a++ {
-				guard := randomBool(rng, sp, proc.Reads, 2)
-				val := rng.Intn(sp.Vars[w].Dom)
-				proc.Actions = append(proc.Actions, protocol.Action{
-					Guard:   guard,
-					Assigns: []protocol.Assignment{{Var: w, Expr: protocol.C{Val: val}}},
-				})
-			}
-		}
-		sp.Procs = append(sp.Procs, proc)
-	}
-	sp.Invariant = randomBool(rng, sp, allIDs(nv), 3)
-	return sp
-}
-
-func allIDs(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
-// randomInt builds a random integer expression over variables of one
-// domain (modular arithmetic needs uniform moduli).
-func randomInt(rng *rand.Rand, sp *protocol.Spec, vars []int, depth int) (protocol.IntExpr, int) {
-	a := vars[rng.Intn(len(vars))]
-	dom := sp.Vars[a].Dom
-	if depth == 0 || rng.Intn(2) == 0 {
-		if rng.Intn(3) == 0 {
-			return protocol.C{Val: rng.Intn(dom)}, dom
-		}
-		return protocol.V{ID: a}, dom
-	}
-	// Pick a second operand of the same domain.
-	var same []int
-	for _, v := range vars {
-		if sp.Vars[v].Dom == dom {
-			same = append(same, v)
-		}
-	}
-	lhs, _ := randomInt(rng, sp, []int{a}, 0)
-	rhs, _ := randomInt(rng, sp, same, depth-1)
-	switch rng.Intn(3) {
-	case 0:
-		return protocol.AddMod{A: lhs, B: rhs, Mod: dom}, dom
-	case 1:
-		return protocol.SubMod{A: lhs, B: rhs, Mod: dom}, dom
-	default:
-		return protocol.Cond{
-			If:   randomBool(rng, sp, vars, 0),
-			Then: lhs,
-			Else: rhs,
-		}, dom
-	}
-}
-
-func randomBool(rng *rand.Rand, sp *protocol.Spec, vars []int, depth int) protocol.BoolExpr {
-	if depth == 0 || rng.Intn(3) == 0 {
-		a, _ := randomInt(rng, sp, vars, 1)
-		b, _ := randomInt(rng, sp, vars, 1)
-		switch rng.Intn(3) {
-		case 0:
-			return protocol.Eq{A: a, B: b}
-		case 1:
-			return protocol.Neq{A: a, B: b}
-		default:
-			return protocol.Lt{A: a, B: b}
-		}
-	}
-	switch rng.Intn(4) {
-	case 0:
-		return protocol.Conj(randomBool(rng, sp, vars, depth-1), randomBool(rng, sp, vars, depth-1))
-	case 1:
-		return protocol.Disj(randomBool(rng, sp, vars, depth-1), randomBool(rng, sp, vars, depth-1))
-	case 2:
-		return protocol.Implies{A: randomBool(rng, sp, vars, depth-1), B: randomBool(rng, sp, vars, depth-1)}
-	default:
-		return protocol.Not{X: randomBool(rng, sp, vars, depth-1)}
-	}
-}
 
 // TestFuzzCompilerAgainstEvaluation checks the symbolic expression compiler
 // against direct evaluation: for random expressions (covering the whole
@@ -131,8 +20,8 @@ func randomBool(rng *rand.Rand, sp *protocol.Spec, vars []int, depth int) protoc
 func TestFuzzCompilerAgainstEvaluation(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for iter := 0; iter < 120; iter++ {
-		sp := randomSpec(rng, false)
-		sp.Invariant = randomBool(rng, sp, allIDs(len(sp.Vars)), 3)
+		sp := specgen.RandomSpec(rng, false)
+		sp.Invariant = specgen.RandomBoolExpr(rng, sp, specgen.AllIDs(len(sp.Vars)), 3)
 		se, err := symbolic.New(sp)
 		if err != nil {
 			t.Fatal(err)
@@ -160,7 +49,7 @@ func TestFuzzDifferentialSynthesis(t *testing.T) {
 	succeeded, failed := 0, 0
 	for iter := 0; iter < 80; iter++ {
 		withActions := iter%2 == 1
-		sp := randomSpec(rng, withActions)
+		sp := specgen.RandomSpec(rng, withActions)
 		se, err := symbolic.New(sp)
 		if err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
@@ -224,7 +113,7 @@ func TestFuzzDifferentialSynthesis(t *testing.T) {
 func TestFuzzWeakSynthesis(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for iter := 0; iter < 60; iter++ {
-		sp := randomSpec(rng, false)
+		sp := specgen.RandomSpec(rng, false)
 		ee, err := explicit.New(sp, 0)
 		if err != nil {
 			t.Fatal(err)

@@ -8,10 +8,14 @@ import (
 )
 
 // sccCtx runs cycle detection inside a throwaway scratch manager: the trim
-// and enumeration fixpoints generate enormous amounts of garbage, and the
-// main manager has no garbage collector. Inputs are migrated in, the (small)
-// resulting SCC predicates are migrated back, and the scratch manager is
-// dropped wholesale.
+// and enumeration fixpoints generate enormous amounts of garbage, and a
+// fresh manager keeps the working node store and operation cache compact
+// and cache-resident (refs copied in are renumbered densely). Inputs are
+// migrated in, the (small) resulting SCC predicates are migrated back, and
+// the scratch manager is dropped wholesale — the coarsest possible
+// collection. The main manager's mark-and-sweep collector complements
+// this: it reclaims garbage that accumulates on the persistent store
+// across calls, and CyclicSCCs' entry is one of its safe points.
 type sccCtx struct {
 	e     *Engine
 	m     *bdd.Manager
@@ -31,6 +35,12 @@ type sccCtx struct {
 // (SetSCCAlgorithm(Lockstep) switches to Bloem-Gabow-Somenzi lockstep
 // search). Trimming first is essential: without it the enumeration would
 // visit one trivial SCC per acyclic state.
+//
+// The call's entry is a collection safe point for the main manager: sets
+// not pinned via Retain (or handed out by the previous CyclicSCCs call,
+// which stay valid until this one) may be reclaimed here. The returned
+// components live on the main manager and are kept as collection roots
+// until the next CyclicSCCs call releases them.
 func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 	t0 := time.Now()
 	defer func() {
@@ -38,7 +48,20 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 		e.stats.SCCCalls++
 	}()
 
+	// Components handed out by the previous call expire now.
+	for _, s := range e.sccs {
+		e.m.Release(s)
+	}
+	e.sccs = e.sccs[:0]
+
+	// Safe point: `within` must survive the collection, so pin it first
+	// (group cubes are kept permanently by the engine's interning).
+	w := e.m.Keep(within.(bdd.Ref))
+	defer e.m.Release(w)
+	e.m.MaybeGC()
+
 	ctx := &sccCtx{e: e, m: bdd.New(e.m.NumVars())}
+	defer e.foldScratchStats(ctx.m)
 	memo := make(map[bdd.Ref]bdd.Ref)
 	for _, g := range gs {
 		gg := g.(*group)
@@ -46,7 +69,7 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 		ctx.wcube = append(ctx.wcube, ctx.m.CopyFrom(e.m, gg.writeCube, memo))
 		ctx.wvars = append(ctx.wvars, ctx.m.CopyFrom(e.m, gg.writeVars, memo))
 	}
-	c := ctx.m.CopyFrom(e.m, within.(bdd.Ref), memo)
+	c := ctx.m.CopyFrom(e.m, w, memo)
 
 	// Forward trim with early exit: the greatest C with "every state has a
 	// successor in C". Empty ⇔ the graph restricted to within is acyclic —
@@ -73,14 +96,13 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 		c = next
 	}
 
-	var out []core.Set
 	backMemo := make(map[bdd.Ref]bdd.Ref)
 	emit := func(scc bdd.Ref) {
 		if !ctx.hasInternalTransition(scc) {
 			return
 		}
 		back := e.m.CopyFrom(ctx.m, scc, backMemo)
-		out = append(out, back)
+		e.sccs = append(e.sccs, e.m.Keep(back))
 		e.stats.SCCCount++
 		e.stats.SCCSizeTotal += e.m.DagSize(back)
 	}
@@ -88,6 +110,10 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 		ctx.lockstepEnum(c, emit)
 	} else {
 		ctx.skeletonEnum(c, emit)
+	}
+	out := make([]core.Set, len(e.sccs))
+	for i, s := range e.sccs {
+		out[i] = s
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Repo-wide hygiene gate: formatting, vet, and the full test suite under the
-# race detector. Run from the repository root.
+# Repo-wide hygiene gate: formatting, vet, the full test suite under the
+# race detector, short fuzz smokes for the differential batteries, and a
+# coverage floor on the BDD substrate. Run from the repository root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,4 +14,23 @@ fi
 
 go vet ./...
 go test -race ./...
-echo "check.sh: all clean"
+
+# Fuzz smokes: a few seconds of coverage-guided exploration on the two
+# cross-checking fuzz targets, so regressions in the generators or the
+# harnesses surface here rather than only in long fuzz sessions.
+go test -run='^$' -fuzz='^FuzzCompilerVsEvaluation$' -fuzztime=5s ./internal/symbolic
+go test -run='^$' -fuzz='^FuzzDifferentialEngines$' -fuzztime=5s ./internal/core
+
+# Coverage floor for the BDD manager: the GC and cache paths must stay
+# exercised by the property tests.
+floor=85
+cov=$(go test -cover ./internal/bdd | awk '{for (i=1;i<=NF;i++) if ($i ~ /^coverage:/) {sub(/%$/,"",$(i+1)); print $(i+1)}}')
+if [ -z "$cov" ]; then
+    echo "check.sh: could not determine internal/bdd coverage" >&2
+    exit 1
+fi
+if ! awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c >= f) }'; then
+    echo "check.sh: internal/bdd coverage ${cov}% is below the ${floor}% floor" >&2
+    exit 1
+fi
+echo "check.sh: all clean (internal/bdd coverage ${cov}%)"

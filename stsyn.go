@@ -65,6 +65,14 @@ type Group = core.Group
 // Set is an opaque engine-owned state predicate.
 type Set = core.Set
 
+// SpaceStats is a snapshot of an engine's state-space substrate (node
+// store, operation cache, garbage collector); SpaceReporter is implemented
+// by engines that can produce one (currently the symbolic engine).
+type (
+	SpaceStats    = core.SpaceStats
+	SpaceReporter = core.SpaceReporter
+)
+
 // NewExplicitEngine builds the bitset-based explicit-state engine.
 // maxStates of 0 applies a default limit of 2^24 states.
 func NewExplicitEngine(sp *Spec, maxStates uint64) (Engine, error) {
