@@ -11,9 +11,16 @@
 //	stsyn-bench -fig 8 -max 40    # coloring up to the paper's 40 processes
 //	stsyn-bench -fig all -max 25  # everything, capped
 //	stsyn-bench -fig 8 -csv       # machine-readable output
+//
+// It also generates the explicit-engine kernel baseline committed as
+// BENCH_explicit.json (see scripts/bench.sh):
+//
+//	stsyn-bench -json             # full before/after kernel benchmark
+//	stsyn-bench -json -quick      # shrunk instances (CI smoke)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,11 +53,23 @@ func scheduleRows() []experiments.ScheduleRow {
 
 func main() {
 	var (
-		fig = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, table1, domain, schedule, all")
-		max = flag.Int("max", 0, "largest process count (0 = the paper's full sweep)")
-		csv = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, table1, domain, schedule, all")
+		max     = flag.Int("max", 0, "largest process count (0 = the paper's full sweep)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		jsonOut = flag.Bool("json", false, "run the explicit-engine kernel benchmark and emit the BENCH_explicit.json document")
+		quick   = flag.Bool("quick", false, "with -json: shrink the benchmark instances (CI smoke)")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(experiments.ExplicitBenchmark(*quick), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stsyn-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
 
 	switch *fig {
 	case "domain":

@@ -38,6 +38,8 @@ func main() {
 		schedule = flag.String("schedule", "", "recovery schedule, e.g. 1,2,3,0 (default: P1..Pk-1,P0)")
 		resol    = flag.String("resolution", "batch", "cycle resolution: batch (paper) or incremental")
 		fanout   = flag.Bool("fanout", false, "try all cyclic-rotation schedules in parallel, first success wins")
+		sccAlg   = flag.String("scc", "tarjan", "explicit-engine SCC search: tarjan or fb (trim-based forward-backward)")
+		workers  = flag.Int("workers", 0, "explicit-engine image/SCC parallelism (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("q", false, "print only statistics, not the protocol")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON (the same encoding stsyn-serve returns)")
 		dotFile  = flag.String("dot", "", "also write the synthesized state graph as Graphviz DOT (small instances)")
@@ -61,6 +63,34 @@ func main() {
 	opts.Schedule, err = cli.ParseSchedule(*schedule)
 	fatalIf(err)
 
+	// configure applies the explicit-engine knobs; non-default values on the
+	// symbolic engine are an error rather than a silent no-op.
+	configure := func(e stsyn.Engine) error {
+		ee, ok := e.(*explicit.Engine)
+		if !ok {
+			if *sccAlg != "tarjan" || *workers != 0 {
+				return fmt.Errorf("-scc and -workers require the explicit engine")
+			}
+			return nil
+		}
+		switch *sccAlg {
+		case "tarjan":
+		case "fb":
+			ee.SetSCCAlgorithm(explicit.ForwardBackward)
+		default:
+			return fmt.Errorf("unknown scc algorithm %q (want tarjan or fb)", *sccAlg)
+		}
+		ee.SetParallelism(*workers)
+		return nil
+	}
+	mkEngine := func() (stsyn.Engine, error) {
+		e, err := newEngine(sp, *engine)
+		if err != nil {
+			return nil, err
+		}
+		return e, configure(e)
+	}
+
 	n, _ := sp.NumStates()
 	if !*jsonOut {
 		fmt.Printf("protocol %s: %d processes, %d variables, %d states\n",
@@ -68,8 +98,7 @@ func main() {
 	}
 
 	if *fanout {
-		factory := func() (stsyn.Engine, error) { return newEngine(sp, *engine) }
-		best, attempts, err := stsyn.TrySchedules(factory, opts,
+		best, attempts, err := stsyn.TrySchedules(mkEngine, opts,
 			stsyn.Rotations(len(sp.Procs)), runtime.GOMAXPROCS(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "all %d schedules failed: %v\n", len(attempts), err)
@@ -81,7 +110,7 @@ func main() {
 		opts.Schedule = best.Schedule
 	}
 
-	e, err := newEngine(sp, *engine)
+	e, err := mkEngine()
 	fatalIf(err)
 	res, err := stsyn.AddConvergence(e, opts)
 	fatalIf(err)
@@ -131,6 +160,10 @@ func main() {
 			Schedule:    sched,
 			Resolution:  opts.CycleResolution,
 			Fanout:      *fanout,
+		}
+		if _, ok := e.(*explicit.Engine); ok {
+			j.SCC = *sccAlg
+			j.Workers = *workers
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -104,6 +104,45 @@ type ContextAware interface {
 	SetContext(ctx context.Context)
 }
 
+// MutableSets is an optional Engine capability: destructive word-level set
+// operations for engines whose Sets are materialized containers (the
+// explicit engine's bitsets). The algorithms in this package use them —
+// when present — to run their fixpoints without allocating a fresh set per
+// operation. The destination of every mutating call must be a Set the
+// caller owns (obtained from Dup or from an allocating operation like Or,
+// Diff, Pre or EnabledSources); Sets handed out by the engine itself
+// (Universe, Invariant, GroupSrc caches) are shared and must never be
+// passed as a destination. Engines with hash-consed or refcounted sets
+// (the symbolic engine) simply do not implement the interface.
+type MutableSets interface {
+	// Dup returns a caller-owned mutable copy of a.
+	Dup(a Set) Set
+	// OrInto sets dst = dst ∪ src.
+	OrInto(dst, src Set)
+	// DiffInto sets dst = dst \ src.
+	DiffInto(dst, src Set)
+	// OrSrcInto sets dst = dst ∪ src(g) without materializing g's source
+	// set.
+	OrSrcInto(dst Set, g Group)
+}
+
+// SrcIntersecter is an optional Engine capability: report whether g's
+// source set intersects X without materializing a copy of the source set.
+// Equivalent to !IsEmpty(And(GroupSrc(g), X)) but allocation-free; the
+// recovery-candidate filter calls this once per candidate group.
+type SrcIntersecter interface {
+	GroupSrcIntersects(g Group, X Set) bool
+}
+
+// srcIntersects uses the engine's SrcIntersecter when available and falls
+// back to the allocating identity otherwise.
+func srcIntersects(e Engine, g Group, X Set) bool {
+	if si, ok := e.(SrcIntersecter); ok {
+		return si.GroupSrcIntersects(g, X)
+	}
+	return !e.IsEmpty(e.And(e.GroupSrc(g), X))
+}
+
 // Compactor is an optional Engine capability: reclaim representation
 // memory at a safe point. live lists every Set the caller still needs; the
 // result holds the migrated equivalents (order preserved). All other Sets

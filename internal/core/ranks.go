@@ -27,12 +27,15 @@ func Pim(e Engine, pss []Group) []Group {
 
 // RecoveryCandidates returns the candidate groups that satisfy constraint
 // C1: no transition of the group starts in I. Only these may ever be added
-// as recovery, because a groupmate starting in I would change δp|I.
+// as recovery, because a groupmate starting in I would change δp|I. The
+// per-candidate disjointness test goes through the engine's SrcIntersecter
+// when available, so engines with cached source sets answer it without
+// cloning or allocating.
 func RecoveryCandidates(e Engine) []Group {
 	I := e.Invariant()
 	var out []Group
 	for _, g := range e.CandidateGroups() {
-		if e.IsEmpty(e.And(e.GroupSrc(g), I)) {
+		if !srcIntersects(e, g, I) {
 			out = append(out, g)
 		}
 	}
@@ -52,21 +55,40 @@ func ComputeRanks(e Engine, pim []Group) (ranks []Set, infinite Set) {
 
 // computeRanks is ComputeRanks with cooperative cancellation: the backward
 // BFS is a fixpoint whose iteration count is the protocol's recovery
-// diameter, so the context is checked once per frontier.
+// diameter, so the context is checked once per frontier. On a MutableSets
+// engine the fixpoint runs in place: the explored set is a private copy
+// grown with OrInto, and each frontier reuses the Pre image it was carved
+// from, so one BFS level costs one allocation (the frontier itself, which
+// outlives the loop as a rank) instead of three.
 func computeRanks(ctx context.Context, e Engine, pim []Group) (ranks []Set, infinite Set, err error) {
 	I := e.Invariant()
+	ms, inPlace := e.(MutableSets)
 	explored := I
+	if inPlace {
+		explored = ms.Dup(I)
+	}
 	ranks = []Set{I}
 	for {
 		if err := ctx.Err(); err != nil {
 			return ranks, e.Diff(e.Universe(), explored), err
 		}
-		frontier := e.Diff(e.Pre(pim, explored), explored)
+		var frontier Set
+		if inPlace {
+			pre := e.Pre(pim, explored)
+			ms.DiffInto(pre, explored)
+			frontier = pre
+		} else {
+			frontier = e.Diff(e.Pre(pim, explored), explored)
+		}
 		if e.IsEmpty(frontier) {
 			break
 		}
 		ranks = append(ranks, frontier)
-		explored = e.Or(explored, frontier)
+		if inPlace {
+			ms.OrInto(explored, frontier)
+		} else {
+			explored = e.Or(explored, frontier)
+		}
 	}
 	return ranks, e.Diff(e.Universe(), explored), nil
 }

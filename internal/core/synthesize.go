@@ -339,7 +339,7 @@ func (s *synthesizer) removeInitialCycles(res *Result) error {
 			if !s.e.GroupWithin(g, scc) {
 				continue
 			}
-			if !s.e.IsEmpty(s.e.And(s.e.GroupSrc(g), s.I)) {
+			if srcIntersects(s.e, g, s.I) {
 				st, _ := s.e.PickState(scc)
 				return fmt.Errorf("%w: cycle through state %v uses group %s",
 					ErrUnresolvableCycle, st, g.ProtocolGroup().Render(s.e.Spec()))
@@ -452,10 +452,16 @@ func (s *synthesizer) maybeCompact(ranks []Set) {
 	copy(ranks, out[4:])
 }
 
-// accept adds a recovery group to pss.
+// accept adds a recovery group to pss. On a MutableSets engine the enabled
+// set (a private copy built by EnabledSources) grows in place, instead of
+// cloning the group's source set and the union per accepted group.
 func (s *synthesizer) accept(g Group) {
 	s.pss = append(s.pss, g)
 	s.inPss[g.ProtocolGroup().Key()] = true
+	if ms, ok := s.e.(MutableSets); ok && s.reg == nil {
+		ms.OrSrcInto(s.enabled, g)
+		return
+	}
 	s.swap(&s.enabled, s.e.Or(s.enabled, s.e.GroupSrc(g)))
 }
 

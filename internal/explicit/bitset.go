@@ -1,14 +1,19 @@
 // Package explicit is the explicit-state engine: state predicates are
-// bitsets over dense mixed-radix state indices, transition groups are
-// expanded on the fly, and cycles are found with an iterative Tarjan SCC.
-// It implements core.Engine for state spaces that fit in memory and serves
-// as the differential-testing oracle for the symbolic engine.
+// bitsets over dense mixed-radix state indices, transition-group images are
+// word-level shift kernels (every group is a uniform index translation
+// dst = src + Δ), and cycles are found with an iterative Tarjan SCC or a
+// trim-based parallel forward-backward search (SetSCCAlgorithm). It
+// implements core.Engine for state spaces that fit in memory and serves as
+// the differential-testing oracle for the symbolic engine.
 package explicit
 
 import "math/bits"
 
-// Bitset is a fixed-size set of state indices. Bitsets are treated as
-// immutable values by the engine: operations allocate a fresh result.
+// Bitset is a fixed-size set of state indices. Sets handed across the
+// core.Engine boundary behave as immutable values: operations allocate a
+// fresh result. The in-place primitives further down exist for the
+// engine's internal kernels and for callers that own their sets (the
+// core.MutableSets capability).
 type Bitset struct {
 	words []uint64
 	n     uint64 // number of valid bits
@@ -136,4 +141,293 @@ func (b *Bitset) First() (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// --- In-place word-level primitives --------------------------------------
+//
+// The methods below mutate their receiver. They exist for the hot paths of
+// the engine (image kernels, rank fixpoints, SCC trims), where allocating a
+// fresh bitset per set operation dominates the profile. Callers must own
+// the receiver: sets handed out by the engine (Universe, Invariant, cached
+// group sources) are shared and must never be mutated.
+
+// ClearAll removes every element (in place).
+func (b *Bitset) ClearAll() *Bitset {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	return b
+}
+
+// CopyFrom makes b an exact copy of o (same universe size required).
+func (b *Bitset) CopyFrom(o *Bitset) *Bitset {
+	copy(b.words, o.words)
+	return b
+}
+
+// OrInPlace sets b = b ∪ o.
+func (b *Bitset) OrInPlace(o *Bitset) *Bitset {
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+	return b
+}
+
+// AndInto sets b = a ∩ o. b may alias a or o.
+func (b *Bitset) AndInto(a, o *Bitset) *Bitset {
+	for i := range b.words {
+		b.words[i] = a.words[i] & o.words[i]
+	}
+	return b
+}
+
+// AndNotInto sets b = a \ o. b may alias a or o.
+func (b *Bitset) AndNotInto(a, o *Bitset) *Bitset {
+	for i := range b.words {
+		b.words[i] = a.words[i] &^ o.words[i]
+	}
+	return b
+}
+
+// Intersects reports whether b ∩ o is non-empty, without materializing the
+// intersection.
+func (b *Bitset) Intersects(o *Bitset) bool {
+	for i, w := range b.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsBoth reports whether b ∩ o1 ∩ o2 is non-empty.
+func (b *Bitset) IntersectsBoth(o1, o2 *Bitset) bool {
+	for i, w := range b.words {
+		if w&o1.words[i]&o2.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// wordRange returns the indices of b's first and last non-zero words, or
+// ok=false when the set is empty. Callers amortize it over many shift
+// kernels to bound their scans to the live window.
+func (b *Bitset) wordRange() (lo, hi int, ok bool) {
+	lo = -1
+	for i, w := range b.words {
+		if w != 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	return lo, hi, lo >= 0
+}
+
+// OrShiftMasked sets b |= { i+delta : i ∈ x } ∩ mask in a single word pass,
+// with no intermediate set. b must not alias x or mask. The mask must be
+// trimmed (no bits ≥ n), which holds for every engine-owned set, so the
+// result needs no trim pass of its own.
+func (b *Bitset) OrShiftMasked(x *Bitset, delta int64, mask *Bitset) *Bitset {
+	return b.orShiftMaskedRange(x, delta, mask, 0, len(x.words)-1)
+}
+
+// orShiftMaskedRange is OrShiftMasked restricted to x's non-zero word window
+// [xlo, xhi] (from x.wordRange): only output words that can receive a bit
+// are touched, so a localized x costs O(window) instead of O(universe).
+func (b *Bitset) orShiftMaskedRange(x *Bitset, delta int64, mask *Bitset, xlo, xhi int) *Bitset {
+	w, s, m := b.words, x.words, mask.words
+	if delta >= 0 {
+		q := int(delta / 64)
+		r := uint(delta % 64)
+		// Output word i reads s[i-q] (and s[i-q-1] when r≠0), so only
+		// i ∈ [xlo+q, xhi+q(+1)] can change.
+		hi := xhi + q
+		if r != 0 {
+			hi++
+		}
+		if hi > len(w)-1 {
+			hi = len(w) - 1
+		}
+		if r == 0 {
+			for i := hi; i >= xlo+q; i-- {
+				w[i] |= s[i-q] & m[i]
+			}
+		} else {
+			for i := hi; i >= xlo+q; i-- {
+				var v uint64
+				if i-q <= xhi {
+					v = s[i-q] << r
+				}
+				if i-q-1 >= 0 {
+					v |= s[i-q-1] >> (64 - r)
+				}
+				w[i] |= v & m[i]
+			}
+		}
+		return b
+	}
+	d := uint64(-delta)
+	q := int(d / 64)
+	r := uint(d % 64)
+	// Output word i reads s[i+q] (and s[i+q+1] when r≠0), so only
+	// i ∈ [xlo-q(-1), xhi-q] can change.
+	lo := xlo - q
+	if r != 0 {
+		lo--
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if r == 0 {
+		for i := lo; i <= xhi-q; i++ {
+			w[i] |= s[i+q] & m[i]
+		}
+	} else {
+		for i := lo; i <= xhi-q && i < len(w); i++ {
+			var v uint64
+			if i+q >= xlo {
+				v = s[i+q] >> r
+			}
+			if i+q+1 < len(s) {
+				v |= s[i+q+1] << (64 - r)
+			}
+			w[i] |= v & m[i]
+		}
+	}
+	return b
+}
+
+// ShiftIntersects reports whether shift(b, delta) ∩ m1 (∩ m2 when m2 is
+// non-nil) is non-empty, without materializing the shifted set. The scan
+// exits on the first intersecting word, so on dense inputs it is O(1) like
+// the early-exiting per-state scan it replaces. Masks must be trimmed.
+func (b *Bitset) ShiftIntersects(delta int64, m1, m2 *Bitset) bool {
+	return b.shiftIntersectsRange(delta, m1, m2, 0, len(b.words)-1)
+}
+
+// shiftIntersectsRange is ShiftIntersects restricted to b's non-zero word
+// window [xlo, xhi] (from b.wordRange).
+func (b *Bitset) shiftIntersectsRange(delta int64, m1, m2 *Bitset, xlo, xhi int) bool {
+	s := b.words
+	if delta >= 0 {
+		q := int(delta / 64)
+		r := uint(delta % 64)
+		hi := xhi + q
+		if r != 0 {
+			hi++
+		}
+		if hi > len(s)-1 {
+			hi = len(s) - 1
+		}
+		for i := hi; i >= xlo+q; i-- {
+			var v uint64
+			if i-q <= xhi {
+				v = s[i-q] << r
+			}
+			if r != 0 && i-q-1 >= 0 {
+				v |= s[i-q-1] >> (64 - r)
+			}
+			v &= m1.words[i]
+			if m2 != nil {
+				v &= m2.words[i]
+			}
+			if v != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	d := uint64(-delta)
+	q := int(d / 64)
+	r := uint(d % 64)
+	lo := xlo - q
+	if r != 0 {
+		lo--
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i <= xhi-q && i < len(s); i++ {
+		var v uint64
+		if i+q >= xlo {
+			v = s[i+q] >> r
+		}
+		if r != 0 && i+q+1 < len(s) {
+			v |= s[i+q+1] << (64 - r)
+		}
+		v &= m1.words[i]
+		if m2 != nil {
+			v &= m2.words[i]
+		}
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ShiftInto sets b = { i+delta : i ∈ src } ∩ [0, n): every element of src
+// translated by the signed offset delta, with out-of-range results dropped.
+// b may alias src (the word traversal order makes the in-place shift safe
+// in both directions). This is the engine's image kernel: because every
+// transition group is a uniform index translation dst = src + Δ, a whole
+// group image is one word-level shift.
+func (b *Bitset) ShiftInto(src *Bitset, delta int64) *Bitset {
+	w, s := b.words, src.words
+	if delta >= 0 {
+		q := int(delta / 64)
+		r := uint(delta % 64)
+		// High-to-low: reads are at indices ≤ the write index, so aliasing
+		// src is safe.
+		if r == 0 {
+			for i := len(w) - 1; i >= 0; i-- {
+				if i-q >= 0 {
+					w[i] = s[i-q]
+				} else {
+					w[i] = 0
+				}
+			}
+		} else {
+			for i := len(w) - 1; i >= 0; i-- {
+				var v uint64
+				if i-q >= 0 {
+					v = s[i-q] << r
+				}
+				if i-q-1 >= 0 {
+					v |= s[i-q-1] >> (64 - r)
+				}
+				w[i] = v
+			}
+		}
+		b.trim()
+		return b
+	}
+	d := uint64(-delta)
+	q := int(d / 64)
+	r := uint(d % 64)
+	// Low-to-high: reads are at indices ≥ the write index.
+	if r == 0 {
+		for i := 0; i < len(w); i++ {
+			if i+q < len(s) {
+				w[i] = s[i+q]
+			} else {
+				w[i] = 0
+			}
+		}
+	} else {
+		for i := 0; i < len(w); i++ {
+			var v uint64
+			if i+q < len(s) {
+				v = s[i+q] >> r
+			}
+			if i+q+1 < len(s) {
+				v |= s[i+q+1] << (64 - r)
+			}
+			w[i] = v
+		}
+	}
+	return b
 }

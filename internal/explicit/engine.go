@@ -16,13 +16,18 @@ const DefaultMaxStates = 1 << 24
 // w ⊆ r, every transition in a group applies the same index delta; the group
 // is { (s, s+delta) : s matches the readable valuation }.
 type group struct {
-	pg      protocol.Group
-	id      int
-	srcBase uint64   // index contribution of the readable valuation
-	delta   uint64   // wrapping dst-src delta
-	unreadW []uint64 // index weights of the unreadable variables
-	unreadD []int    // domains of the unreadable variables
-	srcSet  *Bitset  // lazy cache of the source set
+	pg       protocol.Group
+	id       int
+	srcBase  uint64   // index contribution of the readable valuation
+	delta    uint64   // wrapping dst-src delta
+	sdelta   int64    // delta as a signed bit offset (|dst-src| < n < 2^63)
+	unreadW  []uint64 // index weights of the unreadable variables
+	unreadD  []int    // domains of the unreadable variables
+	srcSet   *Bitset  // lazy cache of the source set
+	dstSet   *Bitset  // lazy cache of the destination set (srcSet shifted by delta)
+	srcCount uint64   // |srcSet|, set when srcSet is materialized
+	srcLoW   int      // first non-zero word of srcSet
+	srcHiW   int      // last non-zero word of srcSet
 }
 
 func (g *group) Proc() int                     { return g.pg.Proc }
@@ -48,15 +53,43 @@ type Engine struct {
 	readWeight [][]uint64
 	readDom    [][]int
 
-	workers int // image-operation parallelism (0 = GOMAXPROCS)
+	workers int          // image/SCC parallelism (0 = GOMAXPROCS)
+	sccAlg  SCCAlgorithm // cycle-detection algorithm (default Tarjan)
+
+	// refKernels switches the image operations back to the per-state
+	// reference scans the word-level kernels replaced. The scans are kept
+	// as the oracle for the kernel-equivalence tests and as the "before"
+	// leg of the benchmark baseline.
+	refKernels bool
 
 	ctx context.Context // current synthesis context (nil = no cancellation)
 
-	stats core.Stats
+	stats  core.Stats
+	kstats KernelStats
 }
 
 var _ core.Engine = (*Engine)(nil)
 var _ core.ContextAware = (*Engine)(nil)
+var _ core.MutableSets = (*Engine)(nil)
+var _ core.SrcIntersecter = (*Engine)(nil)
+
+// KernelStats counts the engine's image-kernel activity; exposed through
+// the service /metrics endpoint and the JSON result encoding.
+type KernelStats struct {
+	PreCalls   uint64 // Pre image operations
+	PostCalls  uint64 // Post image operations
+	GroupTests uint64 // GroupDstInto/GroupFromTo/GroupWithin/GroupSrcIntersects
+}
+
+// KernelStats returns a snapshot of the kernel counters.
+func (e *Engine) KernelStats() KernelStats { return e.kstats }
+
+// SetReferenceKernels switches the image operations between the word-level
+// delta-shift kernels (default) and the retained per-state reference scans.
+// The reference scans are bit-for-bit equivalent but walk one source index
+// at a time; tests use them as the oracle and the benchmark baseline uses
+// them as the "before" measurement.
+func (e *Engine) SetReferenceKernels(on bool) { e.refKernels = on }
 
 // SetContext makes long-running operations (SCC enumeration) observe ctx:
 // once it is cancelled they stop early and return partial results. The
@@ -144,6 +177,10 @@ func (e *Engine) intern(pg protocol.Group) *group {
 		old := pg.ReadVals[readIndex(p.Reads, id)]
 		g.delta += uint64(int64(pg.WriteVals[wi]-old)) * e.varWeight(id)
 	}
+	// delta is the true dst−src difference modulo 2^64; since every source
+	// and destination is a valid index below n < 2^63, the two's-complement
+	// reading recovers the signed bit offset of the shift kernels.
+	g.sdelta = int64(g.delta)
 	for id := range e.sp.Vars {
 		if !readSet[id] {
 			g.unreadW = append(g.unreadW, e.varWeight(id))
@@ -206,10 +243,34 @@ func (e *Engine) forEachSrc(g *group, f func(src uint64) bool) {
 func (e *Engine) sources(g *group) *Bitset {
 	if g.srcSet == nil {
 		b := NewBitset(e.n)
-		e.forEachSrc(g, func(src uint64) bool { b.Set(src); return true })
+		n := uint64(0)
+		e.forEachSrc(g, func(src uint64) bool { b.Set(src); n++; return true })
+		g.srcCount = n
+		g.srcLoW, g.srcHiW, _ = b.wordRange() // never empty: srcBase is a source
 		g.srcSet = b
 	}
 	return g.srcSet
+}
+
+// sparse reports whether g's source set is small enough that the per-state
+// scan beats a full word pass over the universe. A state test costs ~2.5×
+// a word operation, so the scan wins when |src| is below ~0.4 words; the
+// threshold of a third keeps a safety margin. Groups read most variables on
+// protocols with rich localities (e.g. the two-ring), making their source
+// sets tiny relative to the universe — exactly the case where a uniform
+// word-level kernel would regress.
+func (e *Engine) sparse(g *group) bool {
+	e.sources(g)
+	return g.srcCount*3 < uint64(len(g.srcSet.words))
+}
+
+// dests returns (and caches) shift(src(g), Δg): the bitset of g's
+// transition destinations, used as the mask of the fused Post kernel.
+func (e *Engine) dests(g *group) *Bitset {
+	if g.dstSet == nil {
+		g.dstSet = NewBitset(e.n).ShiftInto(e.sources(g), g.sdelta)
+	}
+	return g.dstSet
 }
 
 // --- core.Engine implementation -----------------------------------------
@@ -235,10 +296,120 @@ func (e *Engine) GroupSrc(g core.Group) core.Set {
 	return e.sources(g.(*group)).Clone()
 }
 
+// The image operations below exploit the structural fact recorded in each
+// group: a transition group is a uniform index translation dst = src + Δ,
+// so its image under a set is one word-level shift —
+//
+//	Post(g, X) = shift(X ∩ src(g), Δg) = shift(X, Δg) ∩ dst(g)
+//	Pre(g, X)  = shift(X, −Δg) ∩ src(g)
+//
+// (the second Post form holds because a translation is injective, and it is
+// the one implemented: with dst(g) cached, both images reduce to the fused
+// single-pass primitive acc |= shift(X, ±Δ) ∩ mask). The existence tests
+// (GroupDstInto and friends) are early-exiting shift-and-intersect scans
+// that materialize nothing at all. Groups whose source set is tiny relative
+// to the universe (see sparse) instead keep the per-state scan, which beats
+// a full word pass there; the choice is per group and bit-for-bit neutral.
+// The per-state reference scans are retained behind SetReferenceKernels as
+// the oracle.
+
 func (e *Engine) GroupDstInto(g core.Group, X core.Set) bool {
+	gg, x := g.(*group), X.(*Bitset)
+	e.kstats.GroupTests++
+	if e.refKernels {
+		return e.groupDstIntoRef(gg, x)
+	}
+	// Dense fast path: probe the group's first transition before paying for
+	// the word scan (the common case during recovery is a hit).
+	if x.Get(gg.srcBase + gg.delta) {
+		return true
+	}
+	if e.sparse(gg) {
+		return e.groupDstIntoRef(gg, x)
+	}
+	// ∃ src ∈ src(g): src+Δ ∈ X  ⇔  src(g) ∩ shift(X, −Δ) ≠ ∅.
+	return x.ShiftIntersects(-gg.sdelta, gg.srcSet, nil)
+}
+
+func (e *Engine) GroupFromTo(g core.Group, from, to core.Set) bool {
+	gg, f, t := g.(*group), from.(*Bitset), to.(*Bitset)
+	e.kstats.GroupTests++
+	if e.refKernels {
+		return e.groupFromToRef(gg, f, t)
+	}
+	// Dense fast path: probe the group's first transition.
+	if f.Get(gg.srcBase) && t.Get(gg.srcBase+gg.delta) {
+		return true
+	}
+	if e.sparse(gg) {
+		return e.groupFromToRef(gg, f, t)
+	}
+	// ∃ src ∈ from ∩ src(g): src+Δ ∈ to  ⇔  shift(to, −Δ) ∩ src(g) ∩ from ≠ ∅.
+	return t.ShiftIntersects(-gg.sdelta, gg.srcSet, f)
+}
+
+func (e *Engine) GroupWithin(g core.Group, X core.Set) bool {
+	return e.GroupFromTo(g, X, X)
+}
+
+func (e *Engine) Pre(gs []core.Group, X core.Set) core.Set {
 	x := X.(*Bitset)
+	e.kstats.PreCalls++
+	if e.refKernels {
+		return e.scanGroups(gs, func(gg *group, acc *Bitset) { e.preRef(gg, x, acc) })
+	}
+	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
+		if e.sparse(gg) {
+			e.preRef(gg, x, acc)
+			return
+		}
+		acc.OrShiftMasked(x, -gg.sdelta, gg.srcSet)
+	})
+}
+
+func (e *Engine) Post(gs []core.Group, X core.Set) core.Set {
+	x := X.(*Bitset)
+	e.kstats.PostCalls++
+	if e.refKernels {
+		return e.scanGroups(gs, func(gg *group, acc *Bitset) { e.postRef(gg, x, acc) })
+	}
+	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
+		if e.sparse(gg) {
+			e.postRef(gg, x, acc)
+			return
+		}
+		acc.OrShiftMasked(x, gg.sdelta, e.dests(gg))
+	})
+}
+
+func (e *Engine) EnabledSources(gs []core.Group) core.Set {
+	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
+		acc.OrInPlace(e.sources(gg))
+	})
+}
+
+// --- Per-state reference scans (test oracle / benchmark baseline) --------
+
+func (e *Engine) preRef(gg *group, x, acc *Bitset) {
+	e.forEachSrc(gg, func(src uint64) bool {
+		if x.Get(src + gg.delta) {
+			acc.Set(src)
+		}
+		return true
+	})
+}
+
+func (e *Engine) postRef(gg *group, x, acc *Bitset) {
+	e.forEachSrc(gg, func(src uint64) bool {
+		if x.Get(src) {
+			acc.Set(src + gg.delta)
+		}
+		return true
+	})
+}
+
+func (e *Engine) groupDstIntoRef(gg *group, x *Bitset) bool {
 	found := false
-	gg := g.(*group)
 	e.forEachSrc(gg, func(src uint64) bool {
 		if x.Get(src + gg.delta) {
 			found = true
@@ -249,10 +420,8 @@ func (e *Engine) GroupDstInto(g core.Group, X core.Set) bool {
 	return found
 }
 
-func (e *Engine) GroupFromTo(g core.Group, from, to core.Set) bool {
-	f, t := from.(*Bitset), to.(*Bitset)
+func (e *Engine) groupFromToRef(gg *group, f, t *Bitset) bool {
 	found := false
-	gg := g.(*group)
 	e.forEachSrc(gg, func(src uint64) bool {
 		if f.Get(src) && t.Get(src+gg.delta) {
 			found = true
@@ -263,41 +432,36 @@ func (e *Engine) GroupFromTo(g core.Group, from, to core.Set) bool {
 	return found
 }
 
-func (e *Engine) GroupWithin(g core.Group, X core.Set) bool {
-	return e.GroupFromTo(g, X, X)
+// --- Optional core capabilities ------------------------------------------
+
+// GroupSrcIntersects reports whether g's source set intersects X, using the
+// cached source set without cloning it (core.SrcIntersecter).
+func (e *Engine) GroupSrcIntersects(g core.Group, X core.Set) bool {
+	gg := g.(*group)
+	e.kstats.GroupTests++
+	if e.refKernels {
+		// Mirror the generic path's clone-and-intersect allocation profile
+		// so reference-mode benchmarks measure the pre-kernel engine.
+		return !e.sources(gg).Clone().And(X.(*Bitset)).IsEmpty()
+	}
+	return e.sources(gg).Intersects(X.(*Bitset))
 }
 
-func (e *Engine) Pre(gs []core.Group, X core.Set) core.Set {
-	x := X.(*Bitset)
-	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
-		e.forEachSrc(gg, func(src uint64) bool {
-			if x.Get(src + gg.delta) {
-				acc.Set(src)
-			}
-			return true
-		})
-	})
+// Dup, OrInto, DiffInto and OrSrcInto implement core.MutableSets: the rank
+// fixpoint and the recovery bookkeeping mutate sets they own instead of
+// allocating a fresh bitset per set operation.
+
+func (e *Engine) Dup(a core.Set) core.Set { return a.(*Bitset).Clone() }
+
+func (e *Engine) OrInto(dst, src core.Set) { dst.(*Bitset).OrInPlace(src.(*Bitset)) }
+
+func (e *Engine) DiffInto(dst, src core.Set) {
+	d := dst.(*Bitset)
+	d.AndNotInto(d, src.(*Bitset))
 }
 
-func (e *Engine) Post(gs []core.Group, X core.Set) core.Set {
-	x := X.(*Bitset)
-	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
-		e.forEachSrc(gg, func(src uint64) bool {
-			if x.Get(src) {
-				acc.Set(src + gg.delta)
-			}
-			return true
-		})
-	})
-}
-
-func (e *Engine) EnabledSources(gs []core.Group) core.Set {
-	return e.scanGroups(gs, func(gg *group, acc *Bitset) {
-		src := e.sources(gg)
-		for i := range acc.words {
-			acc.words[i] |= src.words[i]
-		}
-	})
+func (e *Engine) OrSrcInto(dst core.Set, g core.Group) {
+	dst.(*Bitset).OrInPlace(e.sources(g.(*group)))
 }
 
 func (e *Engine) PickState(a core.Set) (protocol.State, bool) {

@@ -1,0 +1,290 @@
+package explicit
+
+import (
+	"runtime"
+	"sync"
+
+	"stsyn/internal/core"
+)
+
+// SCCAlgorithm selects the explicit engine's cycle-detection algorithm,
+// mirroring the symbolic engine's SetSCCAlgorithm design.
+type SCCAlgorithm int
+
+const (
+	// Tarjan is the iterative per-state depth-first search. It is the
+	// default and the oracle the set-based search is differentially
+	// tested against.
+	Tarjan SCCAlgorithm = iota
+	// ForwardBackward first trims `within` to its cycle core with
+	// interleaved forward/backward fixpoints over the word-level shift
+	// kernels, then decomposes the core with Fleischer-Hendrickson-Pinar
+	// forward-backward reachability, recursing on the three independent
+	// subproblems of each pivot via a bounded goroutine pool.
+	ForwardBackward
+)
+
+// String returns the name the CLI and service use for the algorithm.
+func (a SCCAlgorithm) String() string {
+	if a == ForwardBackward {
+		return "fb"
+	}
+	return "tarjan"
+}
+
+// SetSCCAlgorithm selects the algorithm CyclicSCCs runs (default Tarjan).
+func (e *Engine) SetSCCAlgorithm(a SCCAlgorithm) { e.sccAlg = a }
+
+// SCCAlgorithm returns the selected cycle-detection algorithm.
+func (e *Engine) SCCAlgorithm() SCCAlgorithm { return e.sccAlg }
+
+// materialGroups converts gs to engine groups with their source and
+// destination caches materialized up front (the SCC worker pool reads
+// srcSet and dstSet concurrently, so the lazy fill must happen here).
+func (e *Engine) materialGroups(gs []core.Group) []*group {
+	groups := make([]*group, 0, len(gs))
+	for _, g := range gs {
+		gg := g.(*group)
+		e.sources(gg)
+		e.dests(gg)
+		groups = append(groups, gg)
+	}
+	return groups
+}
+
+// trimCore trims w to its cycle core: the greatest subset in which every
+// state has both a successor and a predecessor inside the subset. Every
+// cyclic SCC lies entirely within the core, so any SCC algorithm may search
+// the core instead of w. In the common case — the heuristic keeps the
+// recovery graph acyclic — the core empties out after a few word-level
+// fixpoint rounds and the search is skipped entirely. Returns nil when
+// canceled.
+func (e *Engine) trimCore(groups []*group, w *Bitset) *Bitset {
+	cc := w.Clone()
+	hasSucc := NewBitset(e.n)
+	hasPred := NewBitset(e.n)
+	for {
+		if e.canceled() {
+			return nil
+		}
+		hasSucc.ClearAll()
+		hasPred.ClearAll()
+		for _, gg := range groups {
+			// Pre(g, cc): states of src(g) whose successor stays in cc;
+			// Post(g, cc): states reached from cc ∩ src(g). Sparse groups
+			// take the per-state scan, like the Pre/Post kernels.
+			if e.sparse(gg) {
+				e.preRef(gg, cc, hasSucc)
+				e.postRef(gg, cc, hasPred)
+				continue
+			}
+			hasSucc.OrShiftMasked(cc, -gg.sdelta, gg.srcSet)
+			hasPred.OrShiftMasked(cc, gg.sdelta, gg.dstSet)
+		}
+		hasSucc.AndInto(hasSucc, hasPred)
+		hasSucc.AndInto(hasSucc, cc)
+		if hasSucc.Equal(cc) {
+			return cc
+		}
+		cc.CopyFrom(hasSucc)
+	}
+}
+
+// fbDecompose is the Fleischer-Hendrickson-Pinar forward-backward
+// decomposition of the (non-empty) cycle core cc. Unlike Tarjan, which
+// walks one state at a time, every step here is a word-level kernel over
+// whole bitsets, and independent subproblems run concurrently.
+func (e *Engine) fbDecompose(groups []*group, cc *Bitset) []core.Set {
+	// Sources of Δ=0 groups: the only way a single state forms a cyclic
+	// component.
+	var selfLoops *Bitset
+	for _, gg := range groups {
+		if gg.sdelta == 0 {
+			if selfLoops == nil {
+				selfLoops = NewBitset(e.n)
+			}
+			selfLoops.OrInPlace(gg.srcSet)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		results []core.Set
+		sizeSum int
+	)
+	emit := func(scc *Bitset) {
+		mu.Lock()
+		results = append(results, scc)
+		sizeSum += int(scc.Count())
+		mu.Unlock()
+	}
+
+	// Reusable closure/frontier buffers: the decomposition runs one pair of
+	// reachability searches per pivot, and allocating the working sets fresh
+	// each time dominates the profile on SCC-rich graphs.
+	var pool sync.Pool
+	getBuf := func() *Bitset {
+		if b, ok := pool.Get().(*Bitset); ok {
+			return b
+		}
+		return NewBitset(e.n)
+	}
+	putBuf := func(b *Bitset) { pool.Put(b) }
+
+	// filter keeps the groups with at least one transition inside v (both
+	// endpoints): shift(v, −Δ) ∩ src(g) ∩ v ≠ ∅, an early-exiting word scan.
+	// Groups outside cannot contribute to reachability within v, and the
+	// per-subproblem lists shrink geometrically as the recursion descends —
+	// without this every subproblem pays for the whole group set.
+	filter := func(gs []*group, v *Bitset) []*group {
+		out := make([]*group, 0, len(gs))
+		vlo, vhi, ok := v.wordRange()
+		if !ok {
+			return out
+		}
+		for _, gg := range gs {
+			keep := false
+			if e.sparse(gg) {
+				keep = e.groupFromToRef(gg, v, v)
+			} else {
+				keep = v.shiftIntersectsRange(-gg.sdelta, gg.srcSet, v, vlo, vhi)
+			}
+			if keep {
+				out = append(out, gg)
+			}
+		}
+		return out
+	}
+
+	type task struct {
+		v  *Bitset
+		gs []*group
+	}
+
+	nw := e.workers
+	if nw == 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	// Tokens for the extra workers: with nw = 1 the pool degenerates to a
+	// purely sequential recursion on the local worklist.
+	sem := make(chan struct{}, nw-1)
+	var wg sync.WaitGroup
+	var run func(work []task)
+	run = func(work []task) {
+		defer wg.Done()
+		for len(work) > 0 {
+			t := work[len(work)-1]
+			work = work[:len(work)-1]
+			if e.canceled() {
+				return
+			}
+			v, gs := t.v, filter(t.gs, t.v)
+			pivot, ok := v.First()
+			if !ok {
+				putBuf(v)
+				continue
+			}
+			f := e.fbReach(gs, v, pivot, false, getBuf, putBuf)
+			b := e.fbReach(gs, v, pivot, true, getBuf, putBuf)
+			scc := NewBitset(e.n).AndInto(f, b)
+			if scc.Count() > 1 || (selfLoops != nil && selfLoops.Get(pivot)) {
+				emit(scc)
+			}
+			// The three subproblems are independent: no SCC crosses the
+			// boundary of a forward or backward closure. Reuse v, f and b
+			// as their own remainders (rest before f/b are clobbered).
+			rest := v.AndNotInto(v, f)
+			rest.AndNotInto(rest, b)
+			fRem := f.AndNotInto(f, scc)
+			bRem := b.AndNotInto(b, scc)
+			for _, sub := range []*Bitset{fRem, bRem, rest} {
+				if sub.IsEmpty() {
+					putBuf(sub)
+					continue
+				}
+				select {
+				case sem <- struct{}{}:
+					wg.Add(1)
+					go func(t task) {
+						defer func() { <-sem }()
+						run([]task{t})
+					}(task{sub, gs})
+				default:
+					work = append(work, task{sub, gs})
+				}
+			}
+		}
+	}
+	wg.Add(1)
+	run([]task{{cc, groups}})
+	wg.Wait()
+
+	e.stats.SCCCount += len(results)
+	e.stats.SCCSizeTotal += sizeSum
+	return results
+}
+
+// fbReach computes the forward (backward=false) or backward (backward=true)
+// reachable closure of pivot within v, as a BFS whose levels are fused
+// shift-mask kernels over the transition groups. The returned closure is a
+// pool buffer owned by the caller; the other working sets go back to the
+// pool on return.
+func (e *Engine) fbReach(groups []*group, v *Bitset, pivot uint64, backward bool,
+	getBuf func() *Bitset, putBuf func(*Bitset)) *Bitset {
+	reach := getBuf().ClearAll()
+	reach.Set(pivot)
+	frontier := getBuf().ClearAll()
+	frontier.Set(pivot)
+	next := getBuf()
+	defer func() {
+		putBuf(frontier)
+		putBuf(next)
+	}()
+	for {
+		if e.canceled() {
+			return reach
+		}
+		next.ClearAll()
+		// The frontier is usually a localized slice of the state space;
+		// bounding each kernel to its live word window makes a BFS level
+		// cost O(groups × window) instead of O(groups × universe).
+		flo, fhi, ok := frontier.wordRange()
+		if !ok {
+			break
+		}
+		// Bit bounds of the frontier window, for the O(1) per-group skip.
+		floB, fhiB := int64(flo)*64, int64(fhi+1)*64
+		for _, gg := range groups {
+			// Skip groups that cannot touch the frontier: backward steps
+			// read the frontier at src+Δ, forward steps at src.
+			sLo, sHi := int64(gg.srcLoW)*64, int64(gg.srcHiW+1)*64
+			if backward {
+				if sLo+gg.sdelta >= fhiB || sHi+gg.sdelta <= floB {
+					continue
+				}
+			} else if sLo >= fhiB || sHi <= floB {
+				continue
+			}
+			switch {
+			case e.sparse(gg):
+				if backward {
+					e.preRef(gg, frontier, next)
+				} else {
+					e.postRef(gg, frontier, next)
+				}
+			case backward:
+				next.orShiftMaskedRange(frontier, -gg.sdelta, gg.srcSet, flo, fhi)
+			default:
+				next.orShiftMaskedRange(frontier, gg.sdelta, gg.dstSet, flo, fhi)
+			}
+		}
+		next.AndInto(next, v)
+		next.AndNotInto(next, reach)
+		if next.IsEmpty() {
+			break
+		}
+		reach.OrInPlace(next)
+		frontier, next = next, frontier
+	}
+	return reach
+}

@@ -1,0 +1,202 @@
+package explicit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/specgen"
+)
+
+// componentFingerprints renders a component list as a sorted slice of
+// canonical strings, so two SCC searches can be compared regardless of the
+// order they emit components in (the forward-backward pool is
+// nondeterministic).
+func componentFingerprints(sccs []core.Set) []string {
+	out := make([]string, 0, len(sccs))
+	for _, s := range sccs {
+		b := s.(*Bitset)
+		var elems []uint64
+		b.ForEach(func(i uint64) bool {
+			elems = append(elems, i)
+			return true
+		})
+		out = append(out, fmt.Sprint(elems))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkSCCEquivalence asserts that the forward-backward search returns
+// exactly the cyclic components Tarjan returns on sp, over several `within`
+// restrictions, with the goroutine pool forced on.
+func checkSCCEquivalence(t *testing.T, sp *protocol.Spec, seed int64) {
+	t.Helper()
+	tar, err := New(sp, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fb, err := New(sp, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fb.SetSCCAlgorithm(ForwardBackward)
+	fb.SetParallelism(4)
+
+	gs := func(e *Engine) []core.Group {
+		return append(e.ActionGroups(), e.CandidateGroups()...)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	withins := []*Bitset{
+		tar.Universe().(*Bitset),
+		tar.Not(tar.Invariant()).(*Bitset),
+		tar.Invariant().(*Bitset),
+		tar.Empty().(*Bitset),
+	}
+	for i := 0; i < 3; i++ {
+		withins = append(withins, randomSubset(tar, rng))
+	}
+
+	for wi, w := range withins {
+		want := componentFingerprints(tar.CyclicSCCs(gs(tar), w))
+		got := componentFingerprints(fb.CyclicSCCs(gs(fb), w.Clone()))
+		if len(got) != len(want) {
+			t.Fatalf("within %d: component counts differ: fb %d vs tarjan %d", wi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("within %d: component %d differs: fb %s vs tarjan %s", wi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFBSCCEquivalenceBuiltins(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sp   *protocol.Spec
+	}{
+		{"token-ring-4-3", protocols.TokenRing(4, 3)},
+		{"dijkstra-token-ring", protocols.DijkstraTokenRing(4, 4)},
+		{"matching-5", protocols.Matching(5)},
+		{"coloring-5", protocols.Coloring(5)},
+		{"two-ring", protocols.TwoRingTokenRing()},
+	} {
+		t.Run(tc.name, func(t *testing.T) { checkSCCEquivalence(t, tc.sp, 23) })
+	}
+}
+
+// TestFBSCCEquivalenceRandom compares the two searches over the shared
+// random-protocol corpus. Run under -race this also stresses the bounded
+// goroutine pool against the lazy caches.
+func TestFBSCCEquivalenceRandom(t *testing.T) {
+	iters := int64(30)
+	if testing.Short() {
+		iters = 8
+	}
+	for seed := int64(0); seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sp := specgen.RandomSpec(rng, true)
+		checkSCCEquivalence(t, sp, seed)
+	}
+}
+
+// TestFBSCCSelfLoops pins the one asymmetry between the searches: a
+// single-state component only counts as cyclic when the state has a
+// self-loop, which the set-based search must reconstruct from the Δ=0
+// groups.
+func TestFBSCCSelfLoops(t *testing.T) {
+	// x ranges over {0,1,2}; the action x:=x rewrites every state to itself.
+	sp := &protocol.Spec{
+		Name:      "self-loops",
+		Vars:      []protocol.Var{{Name: "x", Dom: 3}},
+		Invariant: protocol.True{},
+		Procs: []protocol.Process{{
+			Name:   "P0",
+			Reads:  []int{0},
+			Writes: []int{0},
+			Actions: []protocol.Action{{
+				Guard:   protocol.True{},
+				Assigns: []protocol.Assignment{{Var: 0, Expr: protocol.V{ID: 0}}},
+			}},
+		}},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	checkSCCEquivalence(t, sp, 1)
+
+	e, err := New(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetSCCAlgorithm(ForwardBackward)
+	sccs := e.CyclicSCCs(e.ActionGroups(), e.Universe())
+	if len(sccs) != 3 {
+		t.Fatalf("want 3 self-loop components, got %d", len(sccs))
+	}
+	for _, s := range sccs {
+		if s.(*Bitset).Count() != 1 {
+			t.Fatalf("self-loop component has size %d, want 1", s.(*Bitset).Count())
+		}
+	}
+}
+
+// TestAddConvergenceUnderFBSCC runs the full synthesis heuristic with the
+// forward-backward search selected and requires the same synthesized
+// protocol (same group keys) as the Tarjan run, for both cycle-resolution
+// strategies.
+func TestAddConvergenceUnderFBSCC(t *testing.T) {
+	specs := []*protocol.Spec{
+		protocols.TokenRing(4, 3),
+		protocols.Matching(4),
+		protocols.Coloring(4),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for seed := 0; seed < 10; seed++ {
+		specs = append(specs, specgen.RandomSpec(rng, seed%2 == 0))
+	}
+	for si, sp := range specs {
+		for _, res := range []core.CycleResolution{core.BatchResolution, core.IncrementalResolution} {
+			tar, err := New(sp, 0)
+			if err != nil {
+				t.Fatalf("spec %d: %v", si, err)
+			}
+			fb, err := New(sp, 0)
+			if err != nil {
+				t.Fatalf("spec %d: %v", si, err)
+			}
+			fb.SetSCCAlgorithm(ForwardBackward)
+			fb.SetParallelism(4)
+
+			opts := core.Options{CycleResolution: res}
+			tres, terr := core.AddConvergence(tar, opts)
+			fres, ferr := core.AddConvergence(fb, opts)
+			if (terr == nil) != (ferr == nil) {
+				t.Fatalf("spec %d res %v: outcome differs: tarjan=%v fb=%v", si, res, terr, ferr)
+			}
+			if terr != nil {
+				continue
+			}
+			tkeys := make(map[protocol.Key]bool)
+			for _, g := range tres.Protocol {
+				tkeys[g.ProtocolGroup().Key()] = true
+			}
+			if len(tkeys) != len(fres.Protocol) {
+				t.Fatalf("spec %d res %v: protocol sizes differ: %d vs %d",
+					si, res, len(tkeys), len(fres.Protocol))
+			}
+			for _, g := range fres.Protocol {
+				if !tkeys[g.ProtocolGroup().Key()] {
+					t.Fatalf("spec %d res %v: fb protocol has extra group %s",
+						si, res, g.ProtocolGroup().Render(sp))
+				}
+			}
+		}
+	}
+}

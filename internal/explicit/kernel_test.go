@@ -1,0 +1,229 @@
+package explicit
+
+import (
+	"math/rand"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/specgen"
+)
+
+// TestShiftInto exercises the word-level shift kernel directly: positive,
+// negative and zero deltas, across word boundaries, and aliased in place.
+func TestShiftInto(t *testing.T) {
+	const n = 200
+	elems := []uint64{0, 1, 63, 64, 65, 100, 127, 128, 199}
+	for _, delta := range []int64{0, 1, -1, 63, -63, 64, -64, 65, -65, 130, -130, 199, -199, 300, -300} {
+		src := NewBitset(n)
+		for _, i := range elems {
+			src.Set(i)
+		}
+		want := NewBitset(n)
+		for _, i := range elems {
+			if j := int64(i) + delta; j >= 0 && j < n {
+				want.Set(uint64(j))
+			}
+		}
+		got := NewBitset(n).ShiftInto(src, delta)
+		if !got.Equal(want) {
+			t.Errorf("ShiftInto(delta=%d) wrong result", delta)
+		}
+		// Aliased: shift src in place.
+		if !src.ShiftInto(src, delta).Equal(want) {
+			t.Errorf("ShiftInto(delta=%d) aliased in-place result differs", delta)
+		}
+	}
+}
+
+// TestInPlacePrimitives checks the destructive primitives against their
+// allocating counterparts on random sets.
+func TestInPlacePrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 321
+	randSet := func() *Bitset {
+		b := NewBitset(n)
+		for i := uint64(0); i < n; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		return b
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b := randSet(), randSet()
+		if got, want := a.Clone().OrInPlace(b), a.Or(b); !got.Equal(want) {
+			t.Fatal("OrInPlace disagrees with Or")
+		}
+		if got, want := NewBitset(n).AndInto(a, b), a.And(b); !got.Equal(want) {
+			t.Fatal("AndInto disagrees with And")
+		}
+		if got, want := NewBitset(n).AndNotInto(a, b), a.Diff(b); !got.Equal(want) {
+			t.Fatal("AndNotInto disagrees with Diff")
+		}
+		if got, want := a.Intersects(b), !a.And(b).IsEmpty(); got != want {
+			t.Fatal("Intersects disagrees with And+IsEmpty")
+		}
+		c := randSet()
+		if got, want := a.IntersectsBoth(b, c), !a.And(b).And(c).IsEmpty(); got != want {
+			t.Fatal("IntersectsBoth disagrees with And+And+IsEmpty")
+		}
+		if !a.Clone().ClearAll().IsEmpty() {
+			t.Fatal("ClearAll left elements behind")
+		}
+		if !NewBitset(n).CopyFrom(a).Equal(a) {
+			t.Fatal("CopyFrom is not a copy")
+		}
+	}
+}
+
+// randomSubset returns a random subset of the engine's universe.
+func randomSubset(e *Engine, rng *rand.Rand) *Bitset {
+	b := NewBitset(e.n)
+	for i := uint64(0); i < e.n; i++ {
+		if rng.Intn(4) != 0 {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// checkKernelEquivalence asserts that the word-level shift kernels agree
+// bit-for-bit with the retained per-state reference scans on sp: image
+// operations and group tests, over the invariant, its complement, the
+// universe, the empty set and a batch of random sets.
+func checkKernelEquivalence(t *testing.T, sp *protocol.Spec, seed int64) {
+	t.Helper()
+	kern, err := New(sp, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ref, err := New(sp, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ref.SetReferenceKernels(true)
+
+	rng := rand.New(rand.NewSource(seed))
+	sets := []*Bitset{
+		kern.Invariant().(*Bitset),
+		kern.Not(kern.Invariant()).(*Bitset),
+		kern.Universe().(*Bitset),
+		kern.Empty().(*Bitset),
+	}
+	for i := 0; i < 4; i++ {
+		sets = append(sets, randomSubset(kern, rng))
+	}
+
+	kgs := append(kern.ActionGroups(), kern.CandidateGroups()...)
+	rgs := append(ref.ActionGroups(), ref.CandidateGroups()...)
+	if len(kgs) != len(rgs) {
+		t.Fatalf("engines disagree on group count: %d vs %d", len(kgs), len(rgs))
+	}
+
+	for si, x := range sets {
+		if got, want := kern.Pre(kgs, x).(*Bitset), ref.Pre(rgs, x).(*Bitset); !got.Equal(want) {
+			t.Fatalf("set %d: Pre kernel != reference", si)
+		}
+		if got, want := kern.Post(kgs, x).(*Bitset), ref.Post(rgs, x).(*Bitset); !got.Equal(want) {
+			t.Fatalf("set %d: Post kernel != reference", si)
+		}
+		for gi := range kgs {
+			if got, want := kern.GroupDstInto(kgs[gi], x), ref.GroupDstInto(rgs[gi], x); got != want {
+				t.Fatalf("set %d group %d: GroupDstInto kernel %v != reference %v", si, gi, got, want)
+			}
+			if got, want := kern.GroupWithin(kgs[gi], x), ref.GroupWithin(rgs[gi], x); got != want {
+				t.Fatalf("set %d group %d: GroupWithin kernel %v != reference %v", si, gi, got, want)
+			}
+			if got, want := kern.GroupSrcIntersects(kgs[gi], x), ref.GroupSrcIntersects(rgs[gi], x); got != want {
+				t.Fatalf("set %d group %d: GroupSrcIntersects kernel %v != reference %v", si, gi, got, want)
+			}
+		}
+	}
+	// GroupFromTo across random (from, to) pairs.
+	for trial := 0; trial < 4; trial++ {
+		from, to := randomSubset(kern, rng), randomSubset(kern, rng)
+		for gi := range kgs {
+			if got, want := kern.GroupFromTo(kgs[gi], from, to), ref.GroupFromTo(rgs[gi], from, to); got != want {
+				t.Fatalf("trial %d group %d: GroupFromTo kernel %v != reference %v", trial, gi, got, want)
+			}
+		}
+	}
+	if got, want := kern.EnabledSources(kgs).(*Bitset), ref.EnabledSources(rgs).(*Bitset); !got.Equal(want) {
+		t.Fatal("EnabledSources kernel != reference")
+	}
+}
+
+func TestKernelEquivalenceBuiltins(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sp   *protocol.Spec
+	}{
+		{"token-ring-4-3", protocols.TokenRing(4, 3)},
+		{"matching-5", protocols.Matching(5)},
+		{"coloring-5", protocols.Coloring(5)},
+		{"two-ring", protocols.TwoRingTokenRing()},
+	} {
+		t.Run(tc.name, func(t *testing.T) { checkKernelEquivalence(t, tc.sp, 11) })
+	}
+}
+
+// TestKernelEquivalenceRandom runs the same battery over a corpus of random
+// protocols from the shared generator.
+func TestKernelEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sp := specgen.RandomSpec(rng, true)
+		checkKernelEquivalence(t, sp, seed)
+	}
+}
+
+// FuzzKernelEquivalence is the coverage-guided version: the fuzzer explores
+// random-spec seeds the fixed corpus missed.
+func FuzzKernelEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		sp := specgen.RandomSpec(rng, true)
+		if err := sp.Validate(); err != nil {
+			t.Skip()
+		}
+		checkKernelEquivalence(t, sp, seed)
+	})
+}
+
+// TestMutableSetsCapability checks the core.MutableSets implementation
+// against the allocating operations.
+func TestMutableSetsCapability(t *testing.T) {
+	e, err := New(protocols.Coloring(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms core.MutableSets = e
+	inv := e.Invariant()
+	dup := ms.Dup(inv)
+	if !e.Equal(dup, inv) {
+		t.Fatal("Dup is not equal to its source")
+	}
+	notInv := e.Not(inv)
+	ms.OrInto(dup, notInv)
+	if !e.Equal(dup, e.Universe()) {
+		t.Fatal("OrInto(I, ¬I) should be the universe")
+	}
+	if !e.Equal(inv, e.Invariant()) {
+		t.Fatal("OrInto mutated its source")
+	}
+	ms.DiffInto(dup, notInv)
+	if !e.Equal(dup, inv) {
+		t.Fatal("DiffInto(U, ¬I) should be I")
+	}
+	g := e.CandidateGroups()[0]
+	empty := e.Empty()
+	ms.OrSrcInto(empty, g)
+	if !e.Equal(empty, e.GroupSrc(g)) {
+		t.Fatal("OrSrcInto(∅, g) should equal GroupSrc(g)")
+	}
+}

@@ -21,13 +21,17 @@ import (
 const parallelThreshold = 64
 
 // SetParallelism sets the number of workers used by Pre/Post/EnabledSources
-// (0 restores the default GOMAXPROCS; 1 forces sequential execution).
+// and the forward-backward SCC search (0 restores the default GOMAXPROCS;
+// 1 forces sequential execution).
 func (e *Engine) SetParallelism(workers int) {
 	if workers < 0 {
 		workers = 0
 	}
 	e.workers = workers
 }
+
+// Workers returns the configured parallelism (0 = GOMAXPROCS).
+func (e *Engine) Workers() int { return e.workers }
 
 func (e *Engine) workerCount(ngroups int) int {
 	w := e.workers
@@ -44,7 +48,8 @@ func (e *Engine) workerCount(ngroups int) int {
 }
 
 // scanGroups partitions gs across workers; each worker folds its share into
-// a private bitset via fold, and the privates are OR-merged.
+// a private bitset via fold, and the privates are OR-merged pairwise. Chunks
+// past the end of gs leave their private nil and take no part in the merge.
 func (e *Engine) scanGroups(gs []core.Group, fold func(g *group, acc *Bitset)) *Bitset {
 	nw := e.workerCount(len(gs))
 	if nw == 1 {
@@ -64,8 +69,7 @@ func (e *Engine) scanGroups(gs []core.Group, fold func(g *group, acc *Bitset)) *
 			hi = len(gs)
 		}
 		if lo >= hi {
-			privates[w] = NewBitset(e.n)
-			continue
+			continue // leave privates[w] nil; the merge skips it
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
@@ -78,13 +82,34 @@ func (e *Engine) scanGroups(gs []core.Group, fold func(g *group, acc *Bitset)) *
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	out := privates[0]
-	for _, p := range privates[1:] {
-		if p != nil {
-			for i := range out.words {
-				out.words[i] |= p.words[i]
+	return mergePairwise(privates)
+}
+
+// mergePairwise OR-reduces the non-nil privates as a balanced binary tree:
+// each round merges pairs at the current stride concurrently, so the
+// reduction costs O(log nw) rounds of word-level ORs instead of a serial
+// fold into privates[0].
+func mergePairwise(privates []*Bitset) *Bitset {
+	for stride := 1; stride < len(privates); stride *= 2 {
+		var wg sync.WaitGroup
+		for lo := 0; lo+stride < len(privates); lo += 2 * stride {
+			a, b := privates[lo], privates[lo+stride]
+			switch {
+			case b == nil:
+				// Nothing to merge in.
+			case a == nil:
+				privates[lo] = b
+			default:
+				wg.Add(1)
+				go func(a, b *Bitset) {
+					defer wg.Done()
+					a.OrInPlace(b)
+				}(a, b)
 			}
 		}
+		wg.Wait()
 	}
-	return out
+	// Worker 0's chunk is never empty (workerCount ≤ len(gs)), so the
+	// reduction root is always materialized.
+	return privates[0]
 }

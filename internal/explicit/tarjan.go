@@ -6,18 +6,38 @@ import (
 	"stsyn/internal/core"
 )
 
-// CyclicSCCs runs an iterative Tarjan strongly-connected-components search
-// over the union of gs restricted to states in within, returning only the
-// components that contain a cycle: size ≥ 2, or a single state with a
-// self-loop.
+// CyclicSCCs returns the strongly connected components of the union of gs
+// restricted to states in within that contain a cycle: size ≥ 2, or a
+// single state with a self-loop. The search algorithm is selectable with
+// SetSCCAlgorithm: an iterative Tarjan DFS (the default, and the oracle
+// the set-based search is differentially tested against) or the parallel
+// forward-backward search of fbscc.go. Either way the search space is first
+// trimmed to its cycle core with word-level fixpoints — except in reference
+// mode, which measures the true pre-kernel engine.
 func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 	t0 := time.Now()
 	defer func() {
 		e.stats.SCCTime += time.Since(t0)
 		e.stats.SCCCalls++
 	}()
-
 	w := within.(*Bitset)
+	if e.refKernels {
+		return e.tarjanSCCs(gs, w)
+	}
+	groups := e.materialGroups(gs)
+	cc := e.trimCore(groups, w)
+	if cc == nil || cc.IsEmpty() {
+		return nil
+	}
+	if e.sccAlg == ForwardBackward {
+		return e.fbDecompose(groups, cc)
+	}
+	return e.tarjanSCCs(gs, cc)
+}
+
+// tarjanSCCs runs an iterative Tarjan strongly-connected-components search
+// over the union of gs restricted to states in w.
+func (e *Engine) tarjanSCCs(gs []core.Group, w *Bitset) []core.Set {
 	inSet := make([]bool, len(e.all))
 	for _, g := range gs {
 		inSet[g.(*group).id] = true

@@ -15,6 +15,7 @@ import (
 
 	"stsyn/internal/cli"
 	"stsyn/internal/core"
+	"stsyn/internal/explicit"
 	"stsyn/internal/gcl"
 	"stsyn/internal/pretty"
 	"stsyn/internal/protocol"
@@ -46,6 +47,14 @@ type Request struct {
 	// Fanout tries all cyclic-rotation schedules in parallel and keeps the
 	// first success; Schedule must be empty.
 	Fanout bool `json:"fanout,omitempty"`
+
+	// SCC selects the explicit engine's cycle-detection algorithm: tarjan
+	// (default) or fb (the trim-based parallel forward-backward search).
+	// Requires the explicit engine.
+	SCC string `json:"scc,omitempty"`
+	// Workers bounds the explicit engine's image/SCC parallelism (0 =
+	// GOMAXPROCS). Requires the explicit engine.
+	Workers int `json:"workers,omitempty"`
 
 	// TimeoutMS bounds the job (queue wait included); 0 means the server's
 	// default, and values above the server's maximum are clamped.
@@ -101,6 +110,10 @@ type Response struct {
 	// explicit engine, which has no shared node store).
 	BDD *BDDStats `json:"bdd,omitempty"`
 
+	// Explicit is the explicit engine's kernel configuration and activity
+	// counters (nil for the symbolic engine).
+	Explicit *ExplicitStats `json:"explicit,omitempty"`
+
 	// Cached reports whether the response was served from the result cache;
 	// ElapsedMS is the server-side job time (0 for CLI use).
 	Cached    bool    `json:"cached"`
@@ -122,6 +135,34 @@ type BDDStats struct {
 	CacheHitRate    float64 `json:"cache_hit_rate"`
 	GCRuns          int     `json:"gc_runs"`
 	GCReclaimed     uint64  `json:"gc_reclaimed"`
+}
+
+// ExplicitStats is the JSON rendering of the explicit engine's kernel
+// configuration (SCC algorithm, worker bound) and image-kernel activity
+// counters (explicit.KernelStats) for one synthesis run.
+type ExplicitStats struct {
+	SCCAlgorithm string `json:"scc_algorithm"`
+	Workers      int    `json:"workers"`
+	PreOps       uint64 `json:"pre_ops"`
+	PostOps      uint64 `json:"post_ops"`
+	GroupTests   uint64 `json:"group_tests"`
+}
+
+// explicitStats snapshots the explicit engine's kernel counters, or returns
+// nil for other engines.
+func explicitStats(e core.Engine) *ExplicitStats {
+	ee, ok := e.(*explicit.Engine)
+	if !ok {
+		return nil
+	}
+	ks := ee.KernelStats()
+	return &ExplicitStats{
+		SCCAlgorithm: ee.SCCAlgorithm().String(),
+		Workers:      ee.Workers(),
+		PreOps:       ks.PreCalls,
+		PostOps:      ks.PostCalls,
+		GroupTests:   ks.GroupTests,
+	}
 }
 
 // bddStats snapshots an engine's substrate statistics, or returns nil for
@@ -180,6 +221,8 @@ type Job struct {
 	Schedule    []int // always a concrete permutation
 	Resolution  core.CycleResolution
 	Fanout      bool
+	SCC         string // "tarjan" or "fb" (explicit engine)
+	Workers     int    // explicit engine parallelism (0 = GOMAXPROCS)
 	Key         string // content-addressed cache key
 }
 
@@ -214,6 +257,22 @@ func Normalize(req *Request, sp *protocol.Spec) (*Job, error) {
 		j.Convergence = core.Weak
 	default:
 		return nil, fmt.Errorf("unknown convergence %q (want strong or weak)", req.Convergence)
+	}
+
+	switch strings.ToLower(req.SCC) {
+	case "", "tarjan":
+		j.SCC = "tarjan"
+	case "fb", "forward-backward":
+		j.SCC = "fb"
+	default:
+		return nil, fmt.Errorf("unknown scc algorithm %q (want tarjan or fb)", req.SCC)
+	}
+	if req.Workers < 0 {
+		return nil, fmt.Errorf("workers must be non-negative, got %d", req.Workers)
+	}
+	j.Workers = req.Workers
+	if j.Engine != "explicit" && (j.SCC != "tarjan" || j.Workers != 0) {
+		return nil, fmt.Errorf("scc and workers are explicit-engine options (engine resolved to %s)", j.Engine)
 	}
 
 	switch strings.ToLower(req.Resolution) {
@@ -284,6 +343,7 @@ func EncodeResult(e core.Engine, res *core.Result, j *Job, verified bool) *Respo
 		},
 		Verified: verified,
 		BDD:      bddStats(e),
+		Explicit: explicitStats(e),
 	}
 	byProc := make(map[int][]protocol.Group)
 	for _, g := range res.Protocol {

@@ -167,3 +167,38 @@ func TestEncodeResult(t *testing.T) {
 		t.Errorf("rendered commands lack P0's increment:\n%s", joined)
 	}
 }
+
+// The SCC algorithm and worker bound are explicit-engine options: they must
+// validate, flow into the cache key, and be rejected on the symbolic engine.
+func TestNormalizeSCCAndWorkers(t *testing.T) {
+	sp := protocols.TokenRing(4, 3)
+
+	j, err := Normalize(&Request{Protocol: "tokenring", SCC: "fb", Workers: 2}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.SCC != "fb" || j.Workers != 2 {
+		t.Errorf("normalized scc=%q workers=%d, want fb/2", j.SCC, j.Workers)
+	}
+	base, err := Normalize(&Request{Protocol: "tokenring"}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SCC != "tarjan" {
+		t.Errorf("default scc = %q, want tarjan", base.SCC)
+	}
+	if j.Key == base.Key {
+		t.Error("scc/workers did not change the cache key")
+	}
+
+	for _, req := range []*Request{
+		{Protocol: "tokenring", SCC: "kosaraju"},
+		{Protocol: "tokenring", Workers: -1},
+		{Protocol: "tokenring", Engine: "symbolic", SCC: "fb"},
+		{Protocol: "tokenring", Engine: "symbolic", Workers: 2},
+	} {
+		if _, err := Normalize(req, sp); err == nil {
+			t.Errorf("Normalize(%+v) succeeded, want error", req)
+		}
+	}
+}

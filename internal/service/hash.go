@@ -20,8 +20,8 @@ import (
 func CanonicalKey(j *Job) string {
 	h := sha256.New()
 	writeCanonicalSpec(h, j.Spec)
-	fmt.Fprintf(h, "engine=%s\nconvergence=%s\nresolution=%d\nfanout=%v\n",
-		j.Engine, j.Convergence, j.Resolution, j.Fanout)
+	fmt.Fprintf(h, "engine=%s\nconvergence=%s\nresolution=%d\nfanout=%v\nscc=%s\nworkers=%d\n",
+		j.Engine, j.Convergence, j.Resolution, j.Fanout, j.SCC, j.Workers)
 	if !j.Fanout {
 		fmt.Fprintf(h, "schedule=%v\n", j.Schedule)
 	}

@@ -35,6 +35,11 @@ type Metrics struct {
 	BDDLiveNodes      atomic.Int64 // live nodes of the most recent job
 	BDDPeakNodes      atomic.Int64 // max peak live nodes over all jobs
 
+	// Explicit-engine kernel observability, aggregated across jobs.
+	ExplicitPreOps     atomic.Int64 // cumulative Pre image kernels
+	ExplicitPostOps    atomic.Int64 // cumulative Post image kernels
+	ExplicitGroupTests atomic.Int64 // cumulative per-group membership tests
+
 	mu      sync.Mutex
 	latency map[string]*histogram // per engine
 }
@@ -57,6 +62,17 @@ func (m *Metrics) ObserveBDD(s *BDDStats) {
 			break
 		}
 	}
+}
+
+// ObserveExplicit folds one finished job's explicit-engine kernel counters
+// into the service-level counters.
+func (m *Metrics) ObserveExplicit(s *ExplicitStats) {
+	if s == nil {
+		return
+	}
+	m.ExplicitPreOps.Add(int64(s.PreOps))
+	m.ExplicitPostOps.Add(int64(s.PostOps))
+	m.ExplicitGroupTests.Add(int64(s.GroupTests))
 }
 
 // latencyBucketsMS are the job-duration histogram bucket upper bounds in
@@ -110,6 +126,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("stsyn_bdd_op_cache_hits_total", "BDD operation-cache hits across symbolic jobs.", m.BDDCacheHits.Load())
 	counter("stsyn_bdd_op_cache_misses_total", "BDD operation-cache misses across symbolic jobs.", m.BDDCacheMisses.Load())
 	counter("stsyn_bdd_op_cache_evictions_total", "BDD operation-cache evictions across symbolic jobs.", m.BDDCacheEvictions.Load())
+	counter("stsyn_explicit_pre_ops_total", "Explicit-engine Pre image kernels across jobs.", m.ExplicitPreOps.Load())
+	counter("stsyn_explicit_post_ops_total", "Explicit-engine Post image kernels across jobs.", m.ExplicitPostOps.Load())
+	counter("stsyn_explicit_group_tests_total", "Explicit-engine per-group membership tests across jobs.", m.ExplicitGroupTests.Load())
 
 	if gauges == nil {
 		gauges = map[string]float64{}

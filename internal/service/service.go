@@ -268,6 +268,7 @@ func (s *Server) run(j *job) {
 	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
 	s.metrics.JobsSucceeded.Add(1)
 	s.metrics.ObserveBDD(resp.BDD)
+	s.metrics.ObserveExplicit(resp.Explicit)
 	if s.cfg.CacheBytes > 0 {
 		if data, err := json.Marshal(resp); err == nil {
 			s.cache.put(j.norm.Key, resp, int64(len(data))+int64(len(j.norm.Key)))
@@ -328,10 +329,18 @@ func (s *Server) synthesize(ctx context.Context, norm *Job) (*Response, error) {
 	return EncodeResult(e, res, norm, true), nil
 }
 
-// newEngine builds the job's engine.
+// newEngine builds the job's engine and applies its engine-level knobs.
 func newEngine(norm *Job) (core.Engine, error) {
 	if norm.Engine == "explicit" {
-		return explicit.New(norm.Spec, 0)
+		e, err := explicit.New(norm.Spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		if norm.SCC == "fb" {
+			e.SetSCCAlgorithm(explicit.ForwardBackward)
+		}
+		e.SetParallelism(norm.Workers)
+		return e, nil
 	}
 	return symbolic.New(norm.Spec)
 }

@@ -412,3 +412,51 @@ func TestShutdownRefusesNewJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A job with the forward-backward SCC search selected must synthesize the
+// same verified protocol, expose the explicit-engine kernel stats in the
+// response, and fold them into the service counters.
+func TestExplicitKernelOptionsEndToEnd(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+
+	status, data := postSynthesize(t, ts, `{"protocol":"tokenring","k":4,"dom":3}`)
+	if status != http.StatusOK {
+		t.Fatalf("tarjan status = %d, body %s", status, data)
+	}
+	tarjan := decodeResponse(t, data)
+
+	status, data = postSynthesize(t, ts, `{"protocol":"tokenring","k":4,"dom":3,"scc":"fb","workers":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("fb status = %d, body %s", status, data)
+	}
+	fb := decodeResponse(t, data)
+	if fb.Cached {
+		t.Fatal("fb job hit the tarjan cache entry: scc missing from the key")
+	}
+	if fb.Explicit == nil {
+		t.Fatal("explicit stats missing from the response")
+	}
+	if fb.Explicit.SCCAlgorithm != "fb" || fb.Explicit.Workers != 2 {
+		t.Errorf("explicit stats = %+v, want scc=fb workers=2", fb.Explicit)
+	}
+	if fb.Explicit.PreOps == 0 && fb.Explicit.PostOps == 0 && fb.Explicit.GroupTests == 0 {
+		t.Error("kernel counters all zero after a synthesis run")
+	}
+	if fb.ProgramSize != tarjan.ProgramSize || fb.AddedGroups != tarjan.AddedGroups {
+		t.Error("fb and tarjan synthesized different protocols")
+	}
+
+	if got := svc.Metrics().ExplicitGroupTests.Load(); got == 0 {
+		t.Error("service-level explicit kernel counters not aggregated")
+	}
+	var buf bytes.Buffer
+	svc.Metrics().WritePrometheus(&buf, nil)
+	if !strings.Contains(buf.String(), "stsyn_explicit_pre_ops_total") {
+		t.Error("explicit kernel counters missing from /metrics exposition")
+	}
+
+	status, data = postSynthesize(t, ts, `{"protocol":"tokenring","engine":"symbolic","scc":"fb"}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("symbolic+fb status = %d, want 400 (body %s)", status, data)
+	}
+}

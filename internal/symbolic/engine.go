@@ -198,6 +198,12 @@ func (e *Engine) CandidateGroups() []core.Group { return append([]core.Group(nil
 
 func (e *Engine) GroupSrc(g core.Group) core.Set { return g.(*group).src }
 
+// GroupSrcIntersects implements core.SrcIntersecter: one conjunction
+// against the interned source set, no extra refs to manage.
+func (e *Engine) GroupSrcIntersects(g core.Group, X core.Set) bool {
+	return e.m.And(g.(*group).src, X.(bdd.Ref)) != bdd.False
+}
+
 func (e *Engine) GroupDstInto(g core.Group, X core.Set) bool {
 	return e.preGroup(g.(*group), X.(bdd.Ref)) != bdd.False
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Regenerates the committed explicit-engine kernel baseline
+# (BENCH_explicit.json) and runs the Go micro-benchmarks for the
+# delta-shift kernels and both SCC searches. Run from the repository
+# root; pass -quick to shrink the synthesis instances (CI smoke).
+#
+#   scripts/bench.sh            # full baseline + micro-benchmarks
+#   scripts/bench.sh -quick     # CI smoke, prints JSON to stdout only
+set -eu
+cd "$(dirname "$0")/.."
+
+quick=""
+if [ "${1:-}" = "-quick" ]; then
+    quick="-quick"
+fi
+
+go build ./...
+
+if [ -n "$quick" ]; then
+    # Quick mode prints only the JSON document (CI captures stdout).
+    go run ./cmd/stsyn-bench -json -quick
+    exit 0
+fi
+
+go run ./cmd/stsyn-bench -json | tee BENCH_explicit.json.tmp
+mv BENCH_explicit.json.tmp BENCH_explicit.json
+echo "wrote BENCH_explicit.json" >&2
+
+# Micro-benchmarks: kernel vs reference image ops, Tarjan vs FB SCC.
+go test -run='^$' -bench='BenchmarkP(ost|re)|BenchmarkGroupDstInto|BenchmarkCyclicSCCs' \
+    -benchmem ./internal/explicit

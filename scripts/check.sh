@@ -20,6 +20,7 @@ go test -race ./...
 # harnesses surface here rather than only in long fuzz sessions.
 go test -run='^$' -fuzz='^FuzzCompilerVsEvaluation$' -fuzztime=5s ./internal/symbolic
 go test -run='^$' -fuzz='^FuzzDifferentialEngines$' -fuzztime=5s ./internal/core
+go test -run='^$' -fuzz='^FuzzKernelEquivalence$' -fuzztime=5s ./internal/explicit
 
 # Coverage floor for the BDD manager: the GC and cache paths must stay
 # exercised by the property tests.
