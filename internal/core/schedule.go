@@ -1,5 +1,11 @@
 package core
 
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
 // DefaultSchedule returns the paper's default recovery schedule for k
 // processes: (P1, P2, …, Pk-1, P0), as used for the token ring example.
 func DefaultSchedule(k int) []int {
@@ -36,22 +42,120 @@ func Rotations(k int) [][]int {
 }
 
 // AllSchedules returns every permutation of 0..k-1 in lexicographic order.
-// Use only for small k: there are k! of them.
+// Use only for small k: there are k! of them. Callers that do not need the
+// whole set at once should stream it through NewScheduleStream instead.
 func AllSchedules(k int) [][]int {
 	var out [][]int
-	perm := IdentitySchedule(k)
-	var rec func(i int)
-	rec = func(i int) {
-		if i == k {
-			out = append(out, append([]int(nil), perm...))
-			return
-		}
-		for j := i; j < k; j++ {
-			perm[i], perm[j] = perm[j], perm[i]
-			rec(i + 1)
-			perm[i], perm[j] = perm[j], perm[i]
-		}
+	st := NewScheduleStream(k)
+	for s, ok := st.Next(); ok; s, ok = st.Next() {
+		out = append(out, s)
 	}
-	rec(0)
+	return out
+}
+
+// ScheduleStream streams the permutations of 0..k-1 in lexicographic order
+// without ever materializing all k! of them — the k!-sized search space is
+// the scaling wall of the paper's method, so anything that fans schedules
+// out (TryScheduleStream, the distributed coordinator) consumes this one
+// permutation at a time.
+type ScheduleStream struct {
+	perm []int // current permutation; nil once exhausted
+}
+
+// NewScheduleStream returns a stream positioned at the identity schedule.
+func NewScheduleStream(k int) *ScheduleStream {
+	if k <= 0 {
+		return &ScheduleStream{}
+	}
+	return &ScheduleStream{perm: IdentitySchedule(k)}
+}
+
+// Next returns the next permutation (a fresh slice the caller owns) and
+// whether one was available.
+func (st *ScheduleStream) Next() ([]int, bool) {
+	if st.perm == nil {
+		return nil, false
+	}
+	out := append([]int(nil), st.perm...)
+	// Narayana's successor: pivot at the longest non-increasing suffix,
+	// swap with its ceiling, reverse the suffix.
+	p := st.perm
+	i := len(p) - 2
+	for i >= 0 && p[i] >= p[i+1] {
+		i--
+	}
+	if i < 0 {
+		st.perm = nil // out was the last (descending) permutation
+		return out, true
+	}
+	j := len(p) - 1
+	for p[j] <= p[i] {
+		j--
+	}
+	p[i], p[j] = p[j], p[i]
+	for l, r := i+1, len(p)-1; l < r; l, r = l+1, r-1 {
+		p[l], p[r] = p[r], p[l]
+	}
+	return out, true
+}
+
+// StreamSchedules adapts a fixed schedule list to the streaming interface
+// of TryScheduleStream: successive calls yield the schedules in order.
+func StreamSchedules(schedules [][]int) func() ([]int, bool) {
+	i := 0
+	return func() ([]int, bool) {
+		if i >= len(schedules) {
+			return nil, false
+		}
+		s := schedules[i]
+		i++
+		return s, true
+	}
+}
+
+// CountSchedules returns k! and true, or 0 and false when the count
+// overflows an int (k > 20 on 64-bit platforms).
+func CountSchedules(k int) (int, bool) {
+	if k <= 0 {
+		return 0, true
+	}
+	n := 1
+	for i := 2; i <= k; i++ {
+		if n > math.MaxInt/i {
+			return 0, false
+		}
+		n *= i
+	}
+	return n, true
+}
+
+// SampleSchedules returns up to n distinct schedules for k processes drawn
+// with a deterministic seeded generator: the same (k, n, seed) triple
+// always yields the same sample, so independent coordinators and workers
+// agree on the search space without exchanging it. The identity-first
+// guarantee of enumeration does not hold here; samples are uniform. When
+// k! < n the full (smaller) set is returned.
+func SampleSchedules(k, n int, seed int64) [][]int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if total, ok := CountSchedules(k); ok && total <= n {
+		return AllSchedules(k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([][]int, 0, n)
+	// Distinctness is enforced by rejection; the attempt bound only matters
+	// when n approaches k!, which the enumeration branch above rules out
+	// for computable k!.
+	for attempts := 0; len(out) < n && attempts < 20*n+100; attempts++ {
+		p := rng.Perm(k)
+		key := fmt.Sprint(p)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
 	return out
 }

@@ -1,0 +1,401 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"stsyn/internal/service"
+)
+
+// ClientConfig configures the resilient worker client. Zero values select
+// the documented defaults.
+type ClientConfig struct {
+	// Workers are the base URLs of the stsyn-serve workers (e.g.
+	// "http://10.0.0.5:8080"). At least one is required.
+	Workers []string
+	// HTTPClient is the transport (default http.DefaultClient). The client
+	// applies RequestTimeout per attempt itself; the http.Client's own
+	// Timeout should stay 0.
+	HTTPClient *http.Client
+	// RequestTimeout bounds one HTTP attempt (default 2m — synthesis jobs
+	// are slow by design).
+	RequestTimeout time.Duration
+	// MaxAttempts bounds the attempts per logical request, first try
+	// included (default 2×len(Workers); 1 disables retries).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between attempts (defaults 50ms and 2s); jitter of ±50% is applied.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetryAfterMax caps how long a worker's Retry-After advice is honored
+	// (default 5s).
+	RetryAfterMax time.Duration
+	// FailureThreshold is the number of consecutive failures after which a
+	// worker is cooled down — skipped by the rotation — for Cooldown
+	// (defaults 3 and 5s). The cooled worker is still used when every
+	// worker is cooling, so the client never deadlocks itself.
+	FailureThreshold int
+	Cooldown         time.Duration
+	// HedgeAfter, when positive, launches a second attempt on another
+	// worker if the first has not answered within this duration, keeping
+	// whichever finishes first (straggler hedging). Zero disables hedging.
+	HedgeAfter time.Duration
+	// Metrics, when non-nil, receives the client's counters.
+	Metrics *Metrics
+	// Logf, when non-nil, receives one line per retry/hedge/cooldown event.
+	Logf func(format string, args ...interface{})
+}
+
+// WorkerError is a failed worker interaction: a transport failure (Status
+// 0) or a non-200 worker response.
+type WorkerError struct {
+	Worker     string
+	Status     int // 0 for transport errors
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After advice, 0 if absent
+	Err        error
+}
+
+func (e *WorkerError) Error() string {
+	if e.Status == 0 {
+		return fmt.Sprintf("worker %s: %v", e.Worker, e.Err)
+	}
+	return fmt.Sprintf("worker %s: HTTP %d: %s", e.Worker, e.Status, e.Message)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// Temporary reports whether retrying elsewhere could help: transport
+// failures and 429/5xx are retryable, other 4xx are not (the request
+// itself is wrong, every worker will agree).
+func (e *WorkerError) Temporary() bool {
+	return e.Status == 0 || e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// IsSynthesisFailure reports whether err is a worker's 422 — the heuristic
+// failed on that schedule. That is a result, not an infrastructure
+// failure: the coordinator moves to the next schedule.
+func IsSynthesisFailure(err error) bool {
+	var we *WorkerError
+	return errors.As(err, &we) && we.Status == http.StatusUnprocessableEntity
+}
+
+type workerState struct {
+	fails     int // consecutive failures
+	coolUntil time.Time
+}
+
+// Client fans synthesis requests out to a fleet of stsyn-serve workers
+// with per-attempt timeouts, capped exponential backoff with jitter,
+// Retry-After honoring, failure-aware worker rotation, and optional
+// straggler hedging. Safe for concurrent use.
+type Client struct {
+	cfg     ClientConfig
+	metrics *Metrics
+	logf    func(string, ...interface{})
+
+	mu    sync.Mutex
+	rr    int // round-robin cursor
+	state []workerState
+	rand  *rand.Rand
+}
+
+// NewClient validates cfg and builds a Client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: no workers configured")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 2 * len(cfg.Workers)
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.RetryAfterMax <= 0 {
+		cfg.RetryAfterMax = 5 * time.Second
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		logf:    cfg.Logf,
+		state:   make([]workerState, len(cfg.Workers)),
+		rand:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if c.metrics == nil {
+		c.metrics = &Metrics{}
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...interface{}) {}
+	}
+	return c, nil
+}
+
+// Metrics returns the counters the client publishes to.
+func (c *Client) Metrics() *Metrics { return c.metrics }
+
+// WorkerStatus is one worker's health snapshot.
+type WorkerStatus struct {
+	URL        string
+	Fails      int           // consecutive failures
+	CoolingFor time.Duration // 0 when healthy
+}
+
+// Workers snapshots each worker's health.
+func (c *Client) Workers() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerStatus, len(c.cfg.Workers))
+	for i, u := range c.cfg.Workers {
+		out[i] = WorkerStatus{URL: u, Fails: c.state[i].fails}
+		if d := c.state[i].coolUntil.Sub(now); d > 0 {
+			out[i].CoolingFor = d
+		}
+	}
+	return out
+}
+
+// pick returns the next worker in rotation, skipping ones in failure
+// cooldown; when every worker is cooling it falls back to plain rotation.
+func (c *Client) pick(exclude int) (int, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	n := len(c.cfg.Workers)
+	for scan := 0; scan < n; scan++ {
+		i := c.rr % n
+		c.rr++
+		if i == exclude && n > 1 {
+			continue
+		}
+		if now.Before(c.state[i].coolUntil) {
+			continue
+		}
+		return i, c.cfg.Workers[i]
+	}
+	i := c.rr % n
+	c.rr++
+	return i, c.cfg.Workers[i]
+}
+
+func (c *Client) markSuccess(i int) {
+	c.mu.Lock()
+	c.state[i].fails = 0
+	c.state[i].coolUntil = time.Time{}
+	c.mu.Unlock()
+}
+
+func (c *Client) markFailure(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state[i].fails++
+	if c.state[i].fails >= c.cfg.FailureThreshold && time.Now().After(c.state[i].coolUntil) {
+		c.state[i].coolUntil = time.Now().Add(c.cfg.Cooldown)
+		c.metrics.WorkerCooldowns.Add(1)
+		c.logf("dist: worker %s cooling down for %s after %d consecutive failures",
+			c.cfg.Workers[i], c.cfg.Cooldown, c.state[i].fails)
+	}
+}
+
+// backoff computes the wait before retry number attempt (1-based), honoring
+// the failed worker's Retry-After advice when it is larger.
+func (c *Client) backoff(attempt int, last error) time.Duration {
+	d := c.cfg.BackoffBase << uint(attempt-1)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.rand.Float64() // ±50%
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	var we *WorkerError
+	if errors.As(last, &we) && we.RetryAfter > d {
+		d = we.RetryAfter
+		if d > c.cfg.RetryAfterMax {
+			d = c.cfg.RetryAfterMax
+		}
+	}
+	return d
+}
+
+// Synthesize runs one synthesis request against the fleet, retrying and —
+// when configured — hedging. reqID is the X-Request-ID shared by every
+// attempt of this logical request, so worker logs join across retries. It
+// returns the decoded response plus the raw response bytes (for the
+// journal). A 422 comes back as a *WorkerError without further retries;
+// see IsSynthesisFailure.
+func (c *Client) Synthesize(ctx context.Context, req *service.Request, reqID string) (*service.Response, []byte, error) {
+	if c.cfg.HedgeAfter <= 0 {
+		return c.do(ctx, req, reqID)
+	}
+	type outcome struct {
+		resp  *service.Response
+		raw   []byte
+		err   error
+		hedge bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan outcome, 2)
+	launch := func(isHedge bool) {
+		go func() {
+			resp, raw, err := c.do(hctx, req, reqID)
+			results <- outcome{resp, raw, err, isHedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	inFlight := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case out := <-results:
+			if out.err == nil || !isTemporary(out.err) {
+				if out.err == nil && out.hedge {
+					c.metrics.HedgeWins.Add(1)
+				}
+				return out.resp, out.raw, out.err
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if inFlight--; inFlight == 0 {
+				return nil, nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				c.metrics.RequestHedges.Add(1)
+				c.logf("dist: hedging straggler request %s after %s", reqID, c.cfg.HedgeAfter)
+				launch(true)
+				inFlight++
+			}
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+func isTemporary(err error) bool {
+	var we *WorkerError
+	if errors.As(err, &we) {
+		return we.Temporary()
+	}
+	return false
+}
+
+// do is the retry loop: rotate workers, back off between attempts, stop on
+// success, permanent errors, context cancellation, or attempt exhaustion.
+func (c *Client) do(ctx context.Context, req *service.Request, reqID string) (*service.Response, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: marshal request: %w", err)
+	}
+	var last error
+	lastWorker := -1
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.metrics.RequestRetries.Add(1)
+			wait := c.backoff(attempt-1, last)
+			c.logf("dist: request %s retrying (attempt %d/%d) in %s after: %v",
+				reqID, attempt, c.cfg.MaxAttempts, wait, last)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		i, worker := c.pick(lastWorker)
+		lastWorker = i
+		resp, raw, err := c.once(ctx, worker, body, reqID)
+		if err == nil {
+			c.markSuccess(i)
+			return resp, raw, nil
+		}
+		if !isTemporary(err) || ctx.Err() != nil {
+			// The request itself is bad (or a 422 synthesis verdict), or the
+			// caller is gone: no point rotating.
+			return nil, nil, err
+		}
+		c.markFailure(i)
+		last = err
+	}
+	return nil, nil, fmt.Errorf("dist: request %s failed after %d attempts: %w", reqID, c.cfg.MaxAttempts, last)
+}
+
+// once sends one HTTP attempt to one worker.
+func (c *Client) once(ctx context.Context, worker string, body []byte, reqID string) (*service.Response, []byte, error) {
+	c.metrics.RequestsTotal.Add(1)
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, worker+"/v1/synthesize", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, &WorkerError{Worker: worker, Err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(service.RequestIDHeader, reqID)
+	hresp, err := c.cfg.HTTPClient.Do(hreq)
+	if err != nil {
+		return nil, nil, &WorkerError{Worker: worker, Err: err}
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return nil, nil, &WorkerError{Worker: worker, Err: fmt.Errorf("reading response: %w", err)}
+	}
+	// The worker pretty-prints its body; the journal stores the response as
+	// a json.RawMessage, which Marshal compacts. Compact here so a live
+	// response and its journal replay are byte-identical.
+	if compacted := new(bytes.Buffer); json.Compact(compacted, raw) == nil {
+		raw = compacted.Bytes()
+	}
+	if hresp.StatusCode != http.StatusOK {
+		we := &WorkerError{Worker: worker, Status: hresp.StatusCode}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			we.Message = envelope.Error
+		} else {
+			we.Message = fmt.Sprintf("%.200s", raw)
+		}
+		if secs, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			we.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, nil, we
+	}
+	var out service.Response
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, nil, &WorkerError{Worker: worker, Err: fmt.Errorf("bad response body: %w", err)}
+	}
+	return &out, raw, nil
+}

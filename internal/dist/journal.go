@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// The job journal is an append-only JSONL write-ahead log: one record per
+// line, each wrapped in an envelope carrying the CRC-32 (IEEE) of the
+// payload bytes. A coordinator appends a job header when it starts and one
+// shard record per finished shard; a restarted coordinator replays the
+// journal and skips every shard already recorded. The last line of a
+// journal may be torn (the process died mid-write) and is then ignored;
+// a corrupt record anywhere else fails the replay loudly, because silently
+// dropping completed shards could change the deterministic winner.
+
+// Record is one journal entry. Type "job" records the job identity
+// (payload: key, source, shard size); type "shard" records one finished
+// shard's outcome, including the winning worker response when the shard
+// found one.
+type Record struct {
+	Type   string `json:"type"` // "job" or "shard"
+	JobKey string `json:"job_key"`
+
+	// Job-header fields.
+	Source    string `json:"source,omitempty"`     // human-readable schedule source
+	ShardSize int    `json:"shard_size,omitempty"` // schedules per shard
+
+	// Shard fields. WinIndex is the global schedule index of the shard's
+	// success, -1 when every tried schedule failed; Tried counts schedules
+	// actually dispatched (a shard stops early once it wins).
+	Shard       int             `json:"shard,omitempty"`
+	Start       int             `json:"start,omitempty"` // global index of the shard's first schedule
+	Tried       int             `json:"tried,omitempty"`
+	WinIndex    int             `json:"win_index"`
+	WinSchedule []int           `json:"win_schedule,omitempty"`
+	Response    json.RawMessage `json:"response,omitempty"` // raw worker response of the win
+}
+
+// envelope wraps a record on disk with a checksum of its payload bytes.
+type envelope struct {
+	CRC     string          `json:"crc"` // 8 hex digits, CRC-32 (IEEE) of payload
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Journal appends checksummed records to a WAL file. Safe for concurrent
+// use; every append is synced before returning, so a record that Append
+// acknowledged survives a crash.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append durably writes one record: marshal, checksum, write the envelope
+// line, fsync.
+func (j *Journal) Append(rec *Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dist: marshal journal record: %w", err)
+	}
+	line, err := json.Marshal(&envelope{
+		CRC:     fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("dist: marshal journal envelope: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("dist: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("dist: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Replay is the validated state recovered from a journal: the job header
+// (nil when the journal was empty or absent) and every completed shard.
+type Replay struct {
+	Job    *Record
+	Shards map[int]*Record
+}
+
+// ReplayJournal reads and validates the journal at path. A missing file
+// yields an empty replay. A torn final line is tolerated (the write that
+// died with the previous coordinator); any other malformed or
+// checksum-mismatched line is an error, as is a record belonging to a
+// different job than jobKey (an empty jobKey accepts any job).
+func ReplayJournal(path, jobKey string) (*Replay, error) {
+	rep := &Replay{Shards: make(map[int]*Record)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return rep, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: open journal for replay: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var pendingErr error // a bad line is only fatal if another line follows it
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := decodeLine(line)
+		if err != nil {
+			pendingErr = fmt.Errorf("dist: journal line %d: %w", lineNo, err)
+			continue
+		}
+		if jobKey != "" && rec.JobKey != jobKey {
+			return nil, fmt.Errorf("dist: journal line %d: belongs to job %.12s…, want %.12s…",
+				lineNo, rec.JobKey, jobKey)
+		}
+		switch rec.Type {
+		case "job":
+			rep.Job = rec
+		case "shard":
+			rep.Shards[rec.Shard] = rec
+		default:
+			// The checksum validated, so this is not a torn write but a
+			// record this version does not understand: fail loudly.
+			return nil, fmt.Errorf("dist: journal line %d: unknown record type %q", lineNo, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: read journal: %w", err)
+	}
+	// pendingErr still set here means the bad line was the last one: a torn
+	// final write, dropped by design.
+	return rep, nil
+}
+
+func decodeLine(line []byte) (*Record, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("bad envelope: %w", err)
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.Payload)); got != env.CRC {
+		return nil, fmt.Errorf("checksum mismatch: payload sums to %s, envelope says %s", got, env.CRC)
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Payload, &rec); err != nil {
+		return nil, fmt.Errorf("bad payload: %w", err)
+	}
+	return &rec, nil
+}

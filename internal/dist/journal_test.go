@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "job.wal")
+}
+
+// Records written through the journal come back intact from a replay.
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	jn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		{Type: "job", JobKey: "k1", Source: "rotations", ShardSize: 2, WinIndex: -1},
+		{Type: "shard", JobKey: "k1", Shard: 0, Start: 0, Tried: 2, WinIndex: -1},
+		{Type: "shard", JobKey: "k1", Shard: 1, Start: 2, Tried: 1, WinIndex: 2,
+			WinSchedule: []int{2, 3, 0, 1}, Response: json.RawMessage(`{"verified":true}`)},
+	}
+	for _, r := range recs {
+		if err := jn.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReplayJournal(path, "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Job == nil || rep.Job.Source != "rotations" || rep.Job.ShardSize != 2 {
+		t.Fatalf("job header = %+v", rep.Job)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("replayed %d shards, want 2", len(rep.Shards))
+	}
+	s1 := rep.Shards[1]
+	if s1.WinIndex != 2 || !reflect.DeepEqual(s1.WinSchedule, []int{2, 3, 0, 1}) {
+		t.Errorf("shard 1 = %+v", s1)
+	}
+	if !bytes.Equal(s1.Response, []byte(`{"verified":true}`)) {
+		t.Errorf("shard 1 response = %s", s1.Response)
+	}
+}
+
+// A missing journal is an empty replay, not an error.
+func TestJournalReplayMissingFile(t *testing.T) {
+	rep, err := ReplayJournal(filepath.Join(t.TempDir(), "nope.wal"), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Job != nil || len(rep.Shards) != 0 {
+		t.Errorf("replay of missing file = %+v", rep)
+	}
+}
+
+// A torn final line — the write the dying coordinator never finished — is
+// dropped silently; the same damage in the middle of the journal is fatal.
+func TestJournalTornAndCorrupt(t *testing.T) {
+	path := journalPath(t)
+	jn, _ := OpenJournal(path)
+	if err := jn.Append(&Record{Type: "shard", JobKey: "k", Shard: 0, WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn final line: replay sees only the good record.
+	torn := append(append([]byte{}, good...), []byte(`{"crc":"dead`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayJournal(path, "k")
+	if err != nil {
+		t.Fatalf("torn final line not tolerated: %v", err)
+	}
+	if len(rep.Shards) != 1 {
+		t.Fatalf("replayed %d shards, want 1", len(rep.Shards))
+	}
+
+	// The same bad line followed by a good one is corruption, not tearing.
+	corrupt := append(append([]byte{}, []byte("{\"crc\":\"dead\n")...), good...)
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayJournal(path, "k"); err == nil {
+		t.Fatal("corrupt middle line not detected")
+	}
+}
+
+// Flipping a payload byte fails the checksum.
+func TestJournalChecksumMismatch(t *testing.T) {
+	path := journalPath(t)
+	jn, _ := OpenJournal(path)
+	if err := jn.Append(&Record{Type: "shard", JobKey: "k", Shard: 3, WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// Second record so the damaged first line cannot pass as a torn tail.
+	if err := jn.Append(&Record{Type: "shard", JobKey: "k", Shard: 4, WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+	data, _ := os.ReadFile(path)
+	flipped := bytes.Replace(data, []byte(`"shard":3`), []byte(`"shard":7`), 1)
+	if bytes.Equal(flipped, data) {
+		t.Fatal("test bug: payload byte not flipped")
+	}
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReplayJournal(path, "k")
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+}
+
+// A journal written for one job refuses to resume another.
+func TestJournalJobKeyMismatch(t *testing.T) {
+	path := journalPath(t)
+	jn, _ := OpenJournal(path)
+	if err := jn.Append(&Record{Type: "job", JobKey: "job-a", WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(&Record{Type: "shard", JobKey: "job-a", Shard: 0, WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+	if _, err := ReplayJournal(path, "job-b"); err == nil {
+		t.Fatal("journal for job-a replayed under job-b")
+	}
+	if _, err := ReplayJournal(path, "job-a"); err != nil {
+		t.Fatalf("matching key rejected: %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled gates the long tworing differential cases: TR² synthesis on
+// a failing rotation takes seconds per schedule un-raced and minutes under
+// the race detector, so those cases run only in the un-instrumented suite.
+const raceEnabled = true

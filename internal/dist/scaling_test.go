@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/service"
+)
+
+// TestScalingExperiment regenerates the EXPERIMENTS.md distributed-search
+// scaling rows. Opt-in — the tworing row takes minutes:
+//
+//	STSYN_DIST_SCALING=1 go test -run TestScalingExperiment -v -timeout 30m ./internal/dist
+//
+// Two workloads, scaled over 1, 2 and 4 workers:
+//
+//   - coloring: the issue's case study. Every coloring schedule
+//     synthesizes, so the first-success winner sits at global index 0 and
+//     the row measures what the coordinator *avoids*: added workers start
+//     speculative shards that are cancelled the moment index 0 wins, so
+//     wall time stays one job regardless of fleet size.
+//   - tworing-overhead: fixed total work. The schedule list [rot2, rot3,
+//     rot6, rot7, rot0] fails on its first four entries (several seconds
+//     each to prove) and wins on the last, so every schedule must be tried
+//     whatever the worker count; the row isolates coordination overhead
+//     against a single-node core.TrySchedules baseline and, on multi-core
+//     hosts, shows the speedup.
+func TestScalingExperiment(t *testing.T) {
+	if os.Getenv("STSYN_DIST_SCALING") == "" {
+		t.Skip("set STSYN_DIST_SCALING=1 to run the scaling experiment")
+	}
+	t.Logf("host: GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+
+	runScaling := func(t *testing.T, req service.Request, source ScheduleSource, shardSize int) {
+		for _, n := range []int{1, 2, 4} {
+			workers := make([]string, n)
+			for i := range workers {
+				workers[i] = newWorker(t, nil).URL
+			}
+			coord := newTestCoordinator(t,
+				Config{ShardSize: shardSize, Concurrency: n},
+				ClientConfig{Workers: workers, RequestTimeout: 15 * time.Minute})
+			start := time.Now()
+			res, err := coord.Run(context.Background(), Job{Request: req, Source: source})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("scaling[%s]: workers=%d wall=%.2fs win_index=%d requests=%d cancelled=%d\n",
+				t.Name(), n, time.Since(start).Seconds(), res.WinIndex,
+				res.Stats.Requests, res.Stats.ShardsCancelled)
+		}
+	}
+
+	t.Run("coloring", func(t *testing.T) {
+		req := service.Request{Protocol: "coloring", K: 11, Engine: "explicit", TimeoutMS: 600000}
+		runScaling(t, req, ScheduleSource{Kind: "sample", N: 32, Seed: 1}, 8)
+	})
+
+	t.Run("tworing-overhead", func(t *testing.T) {
+		req := service.Request{Protocol: "tworing", K: 4, Dom: 3, Engine: "explicit", TimeoutMS: 600000}
+		rot := core.Rotations(8)
+		list := [][]int{rot[2], rot[3], rot[6], rot[7], rot[0]}
+
+		// Single-node baseline: core.TrySchedules in-process.
+		sp, err := service.BuildSpec(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factory := func() (core.Engine, error) { return explicit.New(sp, 0) }
+		start := time.Now()
+		best, _, err := core.TrySchedules(factory, core.Options{}, list, runtime.GOMAXPROCS(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("scaling[%s]: single-node wall=%.2fs (winner %v)\n",
+			t.Name(), time.Since(start).Seconds(), best.Schedule)
+
+		runScaling(t, req, ScheduleSource{Kind: "list", List: list}, 1)
+	})
+}

@@ -11,6 +11,7 @@ package service
 
 import (
 	"fmt"
+	"net/http"
 	"strings"
 
 	"stsyn/internal/cli"
@@ -189,7 +190,10 @@ func bddStats(e core.Engine) *BDDStats {
 }
 
 // BuildSpec resolves a request to a protocol specification: a built-in by
-// name, or a parsed inline .stsyn spec.
+// name, or a parsed inline .stsyn spec. An unknown built-in name (or bad
+// parameters for one) is a semantic error and carries status 422; the
+// structural failures — both fields, neither field, unparsable inline spec
+// — are left to the caller's 400 fallback.
 func BuildSpec(req *Request) (*protocol.Spec, error) {
 	switch {
 	case req.Protocol != "" && req.Spec != "":
@@ -202,12 +206,28 @@ func BuildSpec(req *Request) (*protocol.Spec, error) {
 		if dom == 0 {
 			dom = 3
 		}
-		return cli.BuildSpec(req.Protocol, k, dom)
+		sp, err := buildBuiltin(req.Protocol, k, dom)
+		if err != nil {
+			return nil, &Error{Status: http.StatusUnprocessableEntity, Message: "unknown protocol", Err: err}
+		}
+		return sp, nil
 	case req.Spec != "":
 		return gcl.Parse("request", req.Spec)
 	default:
 		return nil, fmt.Errorf("need protocol (built-in name) or spec (inline .stsyn source)")
 	}
+}
+
+// buildBuiltin calls the CLI's built-in constructor, converting the
+// panics its protocol constructors use for parameter validation (fine for
+// the CLI, fatal for a serving goroutine) into ordinary errors.
+func buildBuiltin(name string, k, dom int) (sp *protocol.Spec, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sp, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	return cli.BuildSpec(name, k, dom)
 }
 
 // Job is a fully normalized synthesis job: the specification, resolved

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"stsyn/internal/cli"
@@ -18,13 +19,16 @@ const maxRequestBytes = 1 << 20
 //	GET  /v1/protocols   — list the built-in protocol names
 //	GET  /healthz        — liveness
 //	GET  /metrics        — Prometheus text-format counters
+//
+// Every request gets an X-Request-ID correlation header (inbound one
+// echoed, fresh one generated) that also appears in JSON error bodies.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/synthesize", s.handleSynthesize)
 	mux.HandleFunc("/v1/protocols", s.handleProtocols)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return withRequestID(mux)
 }
 
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
@@ -37,6 +41,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, &Error{Status: http.StatusRequestEntityTooLarge, Message: "request body too large", Err: err})
+			return
+		}
 		writeError(w, &Error{Status: http.StatusBadRequest, Message: "bad request body", Err: err})
 		return
 	}
@@ -68,9 +77,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := s.cache.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w, map[string]float64{
-		"stsyn_queue_depth":   float64(s.QueueDepth()),
-		"stsyn_cache_entries": float64(entries),
-		"stsyn_cache_bytes":   float64(bytes),
+		"stsyn_queue_depth":              float64(s.QueueDepth()),
+		"stsyn_cache_entries":            float64(entries),
+		"stsyn_cache_bytes":              float64(bytes),
+		"stsyn_retry_after_hint_seconds": float64(s.retryAfterHint()),
 	})
 }
 
@@ -82,14 +92,24 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	enc.Encode(v) //nolint:errcheck // nothing to do about a broken client pipe
 }
 
-// writeError maps a service error to its HTTP status and a JSON error body.
+// writeError maps a service error to its HTTP status and a JSON error body
+// carrying the request's correlation ID (already echoed on the response
+// header by the request-ID middleware).
 func writeError(w http.ResponseWriter, err error) {
 	var se *Error
 	if !errors.As(err, &se) {
 		se = &Error{Status: http.StatusInternalServerError, Message: "internal error", Err: err}
 	}
 	if se.Status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		secs := se.RetryAfter
+		if secs <= 0 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	writeJSON(w, se.Status, map[string]string{"error": se.Error()})
+	body := map[string]string{"error": se.Error()}
+	if id := w.Header().Get(RequestIDHeader); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, se.Status, body)
 }

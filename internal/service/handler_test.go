@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newHandlerServer serves an already-built Server (for tests needing a
+// specific Config) and ties its shutdown to the test's cleanup.
+func newHandlerServer(t *testing.T, svc *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+// The HTTP error surface end to end: oversized bodies are 413, malformed
+// JSON 400, semantically invalid requests 422, and a full queue 503 with a
+// numeric Retry-After — each with a JSON envelope carrying error and
+// request_id.
+func TestHandlerErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	oversized := `{"spec":"` + strings.Repeat("x", maxRequestBytes) + `"}`
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"oversized body", oversized, http.StatusRequestEntityTooLarge},
+		{"malformed json", `{"protocol":`, http.StatusBadRequest},
+		{"unknown protocol", `{"protocol":"nope"}`, http.StatusUnprocessableEntity},
+		{"unknown engine", `{"protocol":"tokenring","engine":"quantum"}`, http.StatusUnprocessableEntity},
+		{"bad builtin params", `{"protocol":"tokenring","k":-1}`, http.StatusUnprocessableEntity},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, data := postSynthesize(t, ts, tc.body)
+			if status != tc.status {
+				t.Fatalf("status = %d (body %.200s), want %d", status, data, tc.status)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
+				t.Fatalf("error body not a JSON envelope: %.200s", data)
+			}
+			if e["request_id"] == "" {
+				t.Errorf("error envelope lacks request_id: %s", data)
+			}
+		})
+	}
+}
+
+// A full queue answers 503 with a Retry-After derived from backlog and mean
+// job latency — a positive whole number of seconds, also exposed as the
+// stsyn_retry_after_hint_seconds gauge.
+func TestQueueFullRetryAfterDerived(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: -1})
+	ts := newHandlerServer(t, svc)
+
+	// Occupy the only worker with a long symbolic job; retry submission
+	// until it is actually running (no queue means submissions can race the
+	// worker parking in its receive).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			_, err := svc.Do(ctx, &Request{Protocol: "matching", K: 9, Engine: "symbolic", TimeoutMS: 120000})
+			var se *Error
+			if errors.As(err, &se) && se.Status == http.StatusServiceUnavailable && ctx.Err() == nil {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			errc <- err
+			return
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Metrics().JobsStarted.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/synthesize", "application/json",
+		bytes.NewReader([]byte(`{"protocol":"tokenring"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (body %s), want 503", resp.StatusCode, data)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want a whole number of seconds in [1, 60]", ra)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "stsyn_retry_after_hint_seconds") {
+		t.Error("metrics exposition lacks stsyn_retry_after_hint_seconds")
+	}
+
+	cancel()
+	select {
+	case <-errc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled job did not come back")
+	}
+}
+
+// X-Request-ID: a fresh ID is generated when the client sends none, a
+// client-supplied ID is echoed verbatim, and both reach the JSON error
+// envelope.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/synthesize", "application/json",
+		bytes.NewReader([]byte(`{"protocol":"nope"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	generated := resp.Header.Get(RequestIDHeader)
+	if generated == "" {
+		t.Fatal("no X-Request-ID generated")
+	}
+	var e map[string]string
+	if err := json.Unmarshal(data, &e); err != nil || e["request_id"] != generated {
+		t.Errorf("envelope request_id = %q, header %q (body %s)", e["request_id"], generated, data)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/synthesize",
+		bytes.NewReader([]byte(`{"protocol":"tokenring"}`)))
+	req.Header.Set(RequestIDHeader, "coord-42")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "coord-42" {
+		t.Errorf("echoed request id = %q, want coord-42", got)
+	}
+
+	if a, b := NewRequestID(), NewRequestID(); a == b || len(a) != 16 {
+		t.Errorf("NewRequestID not unique 16-hex: %q %q", a, b)
+	}
+}

@@ -107,6 +107,24 @@ func (m *Metrics) ObserveJob(engine string, d time.Duration) {
 	h.count++
 }
 
+// MeanJobMS returns the mean wall-clock duration in milliseconds of every
+// finished job across all engines, or 0 when none has finished yet. It
+// feeds the server's Retry-After estimate on queue-full responses.
+func (m *Metrics) MeanJobMS() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	var n int64
+	for _, h := range m.latency {
+		sum += h.sum
+		n += h.count
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // WritePrometheus writes all counters in the Prometheus text exposition
 // format. gauges are point-in-time values supplied by the server (queue
 // depth, cache size).

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -50,6 +51,10 @@ type Error struct {
 	Status  int
 	Message string
 	Err     error
+	// RetryAfter, when positive on a 503, is the server's advice in whole
+	// seconds for when a retry may succeed (derived from queue depth and
+	// mean job latency); it becomes the Retry-After response header.
+	RetryAfter int
 }
 
 func (e *Error) Error() string {
@@ -136,17 +141,49 @@ func (s *Server) QueueDepth() int { return len(s.jobs) }
 // CacheStats returns the result cache's entry count and bytes in use.
 func (s *Server) CacheStats() (entries int, bytes int64) { return s.cache.stats() }
 
+// asServiceError passes through an error that already carries an HTTP
+// status and wraps any other in the given fallback status and message.
+func asServiceError(err error, status int, msg string) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	return &Error{Status: status, Message: msg, Err: err}
+}
+
+// retryAfterHint estimates, in whole seconds, how long a rejected client
+// should wait before retrying: the current backlog (plus the rejected job
+// itself) times the mean job latency, divided across the worker pool. With
+// no latency data yet it assumes 1s per job; the result is clamped to
+// [1, 60].
+func (s *Server) retryAfterHint() int {
+	meanMS := s.metrics.MeanJobMS()
+	if meanMS <= 0 {
+		meanMS = 1000
+	}
+	secs := int(math.Ceil(float64(len(s.jobs)+1) * meanMS / float64(s.cfg.Workers) / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // Do runs one synthesis request to completion: cache lookup, then — on a
 // miss — a queued job bounded by the request context and the job timeout.
-// Errors are always *Error values carrying an HTTP status.
+// Errors are always *Error values carrying an HTTP status: malformed
+// requests are 400s, semantically invalid ones (unknown protocol, engine or
+// option) are 422s.
 func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 	sp, err := BuildSpec(req)
 	if err != nil {
-		return nil, &Error{Status: http.StatusBadRequest, Message: "bad specification", Err: err}
+		return nil, asServiceError(err, http.StatusBadRequest, "bad specification")
 	}
 	norm, err := Normalize(req, sp)
 	if err != nil {
-		return nil, &Error{Status: http.StatusBadRequest, Message: "bad options", Err: err}
+		return nil, asServiceError(err, http.StatusUnprocessableEntity, "bad options")
 	}
 
 	if resp, ok := s.cache.get(norm.Key); ok {
@@ -187,7 +224,11 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 		s.mu.Unlock()
 		cancel()
 		s.metrics.QueueRejected.Add(1)
-		return nil, &Error{Status: http.StatusServiceUnavailable, Message: "job queue full, retry later"}
+		return nil, &Error{
+			Status:     http.StatusServiceUnavailable,
+			Message:    "job queue full, retry later",
+			RetryAfter: s.retryAfterHint(),
+		}
 	}
 
 	select {
@@ -296,8 +337,8 @@ func (s *Server) synthesize(ctx context.Context, norm *Job) (*Response, error) {
 	opts.Ctx = ctx
 
 	if norm.Fanout {
-		best, _, err := core.TrySchedules(factory, opts,
-			core.Rotations(len(norm.Spec.Procs)), runtime.GOMAXPROCS(0))
+		best, _, err := core.TryScheduleStream(factory, opts,
+			core.StreamSchedules(core.Rotations(len(norm.Spec.Procs))), runtime.GOMAXPROCS(0))
 		if err != nil {
 			return nil, err
 		}

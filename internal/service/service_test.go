@@ -261,8 +261,9 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 }
 
-// Bad inputs are 400s with a JSON error body; synthesis-level failures are
-// 422s.
+// Structurally malformed inputs are 400s, semantically invalid ones
+// (unknown protocol, engine or option) and synthesis-level failures are
+// 422s — all with a JSON error body carrying the request ID.
 func TestErrorMapping(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, tc := range []struct {
@@ -271,10 +272,10 @@ func TestErrorMapping(t *testing.T) {
 	}{
 		{"empty", `{}`, http.StatusBadRequest},
 		{"both", `{"protocol":"tokenring","spec":"x"}`, http.StatusBadRequest},
-		{"unknown protocol", `{"protocol":"nope"}`, http.StatusBadRequest},
+		{"unknown protocol", `{"protocol":"nope"}`, http.StatusUnprocessableEntity},
 		{"unknown field", `{"protocl":"tokenring"}`, http.StatusBadRequest},
-		{"bad engine", `{"protocol":"tokenring","engine":"quantum"}`, http.StatusBadRequest},
-		{"bad schedule", `{"protocol":"tokenring","schedule":[0,0,1,2]}`, http.StatusBadRequest},
+		{"bad engine", `{"protocol":"tokenring","engine":"quantum"}`, http.StatusUnprocessableEntity},
+		{"bad schedule", `{"protocol":"tokenring","schedule":[0,0,1,2]}`, http.StatusUnprocessableEntity},
 		{"bad spec", `{"spec":"protocol X\n"}`, http.StatusBadRequest},
 		// Gouda-Acharya matching has an unresolvable structure for the
 		// heuristic on 4 processes: synthesis itself fails.
@@ -288,6 +289,9 @@ func TestErrorMapping(t *testing.T) {
 			var e map[string]string
 			if err := json.Unmarshal(data, &e); err != nil || e["error"] == "" {
 				t.Errorf("error body not JSON with error field: %s", data)
+			}
+			if e["request_id"] == "" {
+				t.Errorf("error body lacks request_id: %s", data)
 			}
 		})
 	}
@@ -456,7 +460,7 @@ func TestExplicitKernelOptionsEndToEnd(t *testing.T) {
 	}
 
 	status, data = postSynthesize(t, ts, `{"protocol":"tokenring","engine":"symbolic","scc":"fb"}`)
-	if status != http.StatusBadRequest {
-		t.Errorf("symbolic+fb status = %d, want 400 (body %s)", status, data)
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("symbolic+fb status = %d, want 422 (body %s)", status, data)
 	}
 }

@@ -22,6 +22,12 @@ go test -run='^$' -fuzz='^FuzzCompilerVsEvaluation$' -fuzztime=5s ./internal/sym
 go test -run='^$' -fuzz='^FuzzDifferentialEngines$' -fuzztime=5s ./internal/core
 go test -run='^$' -fuzz='^FuzzKernelEquivalence$' -fuzztime=5s ./internal/explicit
 
+# Cluster smoke: a coordinator over two in-process workers, one dead from
+# the start, with a journal that must replay idempotently. The full suite
+# above already runs it; this names the distributed tier's end-to-end gate
+# so a failure is unmistakable.
+go test -race -count=1 -run='^TestClusterSmoke$' ./internal/dist
+
 # Coverage floor for the BDD manager: the GC and cache paths must stay
 # exercised by the property tests.
 floor=85
