@@ -160,6 +160,13 @@ func TryScheduleStream(factory EngineFactory, opts Options, next func() ([]int, 
 		return best, tried, nil
 	}
 	if firstErr == nil {
+		// No attempt started and none failed: either the stream was empty or
+		// the context was already cancelled before the first pull.
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, tried, err
+			}
+		}
 		return nil, 0, errors.New("no schedules given")
 	}
 	return nil, tried, firstErr

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -157,6 +159,15 @@ func TestTryScheduleStreamMatchesTrySchedules(t *testing.T) {
 	// Empty stream is an error.
 	if _, _, err := core.TryScheduleStream(factory, core.Options{}, core.StreamSchedules(nil), 2); err == nil {
 		t.Error("empty stream returned no error")
+	}
+
+	// An already-cancelled context surfaces the context error, not the
+	// misleading empty-stream error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = core.TryScheduleStream(factory, core.Options{Ctx: ctx}, core.StreamSchedules(rot), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context err = %v, want context.Canceled", err)
 	}
 }
 

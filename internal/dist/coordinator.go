@@ -122,7 +122,8 @@ type Config struct {
 	// of the slowest shard, so even "all" sources stay O(1) in memory.
 	Concurrency int
 	// ShardRetries is how many times a shard is requeued after a transport
-	// failure that survived the client's own retries (default 2).
+	// failure that survived the client's own retries. Zero selects the
+	// default of 2; pass a negative value to disable requeues entirely.
 	ShardRetries int
 	// JournalPath, when set, makes the job durable: shard completions are
 	// logged there and a restarted coordinator resumes, skipping finished

@@ -56,12 +56,78 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if needed) the journal at path for appending.
+// A torn final line left by a crashed writer is truncated away first, so the
+// next Append starts on a fresh line instead of merging with the torn bytes
+// into one corrupt record that a later replay would reject.
 func OpenJournal(path string) (*Journal, error) {
+	if err := repairTail(path); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("dist: open journal: %w", err)
 	}
 	return &Journal{f: f}, nil
+}
+
+// repairTail truncates the journal at path back to its last complete
+// ('\n'-terminated) line. Every acknowledged Append ends in a synced '\n',
+// so anything after the last newline is a write the dying process never
+// finished — ReplayJournal already ignores it, and dropping it here keeps
+// the file appendable.
+func repairTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dist: open journal for tail repair: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("dist: stat journal: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, size-1); err != nil {
+		return fmt.Errorf("dist: read journal tail: %w", err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	// Scan backwards in chunks for the last newline; keep everything
+	// through it (keep stays 0 if the whole file is one torn line).
+	var keep int64
+	const chunk = 64 * 1024
+scan:
+	for off := size; off > 0; {
+		n := int64(chunk)
+		if n > off {
+			n = off
+		}
+		off -= n
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return fmt.Errorf("dist: read journal tail: %w", err)
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				keep = off + i + 1
+				break scan
+			}
+		}
+	}
+	if err := f.Truncate(keep); err != nil {
+		return fmt.Errorf("dist: truncate torn journal tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("dist: sync repaired journal: %w", err)
+	}
+	return nil
 }
 
 // Append durably writes one record: marshal, checksum, write the envelope

@@ -104,6 +104,70 @@ func TestJournalTornAndCorrupt(t *testing.T) {
 	}
 }
 
+// A coordinator that crashes mid-write leaves a torn final line; reopening
+// the journal must repair the tail so post-crash appends land on a fresh
+// line and survive a second replay (crash -> resume/append -> crash ->
+// replay). Without the repair the first new record merges with the torn
+// bytes into one corrupt line, destroying an fsync-acknowledged append.
+func TestJournalAppendAfterTornTail(t *testing.T) {
+	path := journalPath(t)
+	jn, _ := OpenJournal(path)
+	if err := jn.Append(&Record{Type: "shard", JobKey: "k", Shard: 0, WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+
+	// Simulate the crash: a partial, unterminated envelope at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":"dead`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// First resume: reopen repairs the tail, then appends a new record.
+	jn, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(&Record{Type: "shard", JobKey: "k", Shard: 1, WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+
+	// Second resume: the replay must see both intact records.
+	rep, err := ReplayJournal(path, "k")
+	if err != nil {
+		t.Fatalf("replay after crash->append: %v", err)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("replayed %d shards, want 2", len(rep.Shards))
+	}
+
+	// A journal that is nothing but a torn line repairs to empty.
+	solo := filepath.Join(t.TempDir(), "solo.wal")
+	if err := os.WriteFile(solo, []byte(`{"crc":"dead`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jn, err = OpenJournal(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(&Record{Type: "shard", JobKey: "k", Shard: 0, WinIndex: -1}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+	rep, err = ReplayJournal(solo, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shards) != 1 {
+		t.Fatalf("replayed %d shards, want 1", len(rep.Shards))
+	}
+}
+
 // Flipping a payload byte fails the checksum.
 func TestJournalChecksumMismatch(t *testing.T) {
 	path := journalPath(t)
