@@ -93,10 +93,10 @@ var _ core.SpaceReporter = (*Engine)(nil)
 //
 // Every BDD the engine itself holds beyond one call — the valid-state and
 // invariant predicates, the compiler's value cubes, and each group's cubes —
-// is registered as a garbage-collection root here; everything else is fair
-// game for the manager's mark-and-sweep collector, which runs at the safe
-// points inside CyclicSCCs and Compact once the live-node watermark
-// (SetCompactionThreshold) is reached.
+// is registered as a garbage-collection root with Keep at its store site;
+// everything else is fair game for the manager's mark-and-sweep collector,
+// which runs at the safe points inside CyclicSCCs and Compact once the
+// live-node watermark (SetCompactionThreshold) is reached.
 func New(sp *protocol.Spec) (*Engine, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
@@ -106,18 +106,11 @@ func New(sp *protocol.Spec) (*Engine, error) {
 	cmp := newCompiler(l, m)
 	e := &Engine{
 		sp: sp, l: l, m: m, cmp: cmp,
-		valid:    cmp.valid(),
+		valid:    m.Keep(cmp.valid()),
 		byKey:    make(map[protocol.Key]*group),
 		nextBits: float64(l.total),
 	}
-	e.inv = m.And(cmp.boolExpr(sp.Invariant), e.valid)
-	m.Keep(e.valid)
-	m.Keep(e.inv)
-	for _, row := range cmp.eqc {
-		for _, r := range row {
-			m.Keep(r)
-		}
-	}
+	e.inv = m.Keep(m.And(cmp.boolExpr(sp.Invariant), e.valid))
 	for pi := range sp.Procs {
 		for _, pg := range sp.ActionGroups(pi) {
 			e.actions = append(e.actions, e.intern(pg))
@@ -321,8 +314,7 @@ func (e *Engine) Stats() *core.Stats { return &e.stats }
 // root until a matching Release. Set identities are stable across
 // collections, so the same value is returned.
 func (e *Engine) Retain(a core.Set) core.Set {
-	e.m.Keep(a.(bdd.Ref))
-	return a
+	return e.m.Keep(a.(bdd.Ref))
 }
 
 // Release implements core.RefRegistry.
