@@ -38,7 +38,7 @@ type Attempt struct {
 func tryStream(factory EngineFactory, opts Options, next func() ([]int, bool), workers int, record func(idx int, a Attempt)) (best *Attempt, bestIdx, tried int, firstErr error) {
 	ctx := opts.Ctx
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:ignore ctxflow documented API default: Options.Ctx nil means Background
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -118,7 +118,7 @@ func TrySchedules(factory EngineFactory, opts Options, schedules [][]int, worker
 	}
 	ctx := opts.Ctx
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:ignore ctxflow documented API default: Options.Ctx nil means Background
 	}
 	attempts := make([]Attempt, len(schedules))
 	started := make([]bool, len(schedules))

@@ -49,6 +49,7 @@ func RecoveryCandidates(e Engine) []Group {
 // from which no computation prefix of pim reaches I. By Theorem IV.1,
 // infinite is empty iff a (weakly) stabilizing version of p exists.
 func ComputeRanks(e Engine, pim []Group) (ranks []Set, infinite Set) {
+	//lint:ignore ctxflow public context-free wrapper; computeRanks is the cancellable variant
 	ranks, infinite, _ = computeRanks(context.Background(), e, pim)
 	return ranks, infinite
 }

@@ -15,9 +15,9 @@ import (
 // trimmed to its cycle core with word-level fixpoints — except in reference
 // mode, which measures the true pre-kernel engine.
 func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
-	t0 := time.Now()
+	t0 := time.Now() //lint:ignore determinism wall-clock SCC stats only; synthesis results never read them
 	defer func() {
-		e.stats.SCCTime += time.Since(t0)
+		e.stats.SCCTime += time.Since(t0) //lint:ignore determinism wall-clock SCC stats only; synthesis results never read them
 		e.stats.SCCCalls++
 	}()
 	w := within.(*Bitset)
