@@ -1,66 +1,42 @@
 package stsyn_test
 
 import (
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
 	"strings"
 	"testing"
+
+	"stsyn/internal/lint"
 )
 
-// Architecture hygiene: dependency direction is enforced by tests so that a
-// refactor cannot silently invert it.
+// Architecture hygiene: dependency direction is enforced by the archdeps
+// analyzer (internal/lint), so the rule set lives in exactly one place.
+// These tests are thin wrappers that make `go test ./...` fail with the
+// same findings `stsyn-vet ./...` reports:
 //
 //   - internal/bdd and internal/protocol are leaf packages: stdlib imports
 //     only. Everything else may build on them, they build on nothing.
 //   - no internal package may import a cmd/ package; binaries sit on top.
 
-// imports parses every .go file under dir (recursively) and returns a map
-// from file path to its import paths.
-func imports(t *testing.T, dir string) map[string][]string {
+func archFindings(t *testing.T) []lint.Finding {
 	t.Helper()
-	out := make(map[string][]string)
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
-			return err
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-		if err != nil {
-			return err
-		}
-		for _, imp := range f.Imports {
-			out[path] = append(out[path], strings.Trim(imp.Path.Value, `"`))
-		}
-		return nil
-	})
+	findings, err := lint.ArchCheck(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return out
+	return findings
 }
 
 func TestLeafPackagesImportOnlyStdlib(t *testing.T) {
-	for _, dir := range []string{"internal/bdd", "internal/protocol"} {
-		for file, imps := range imports(t, dir) {
-			for _, imp := range imps {
-				// In this dependency-free module, non-stdlib means either an
-				// stsyn package or a dotted module path.
-				if strings.HasPrefix(imp, "stsyn") || strings.Contains(strings.SplitN(imp, "/", 2)[0], ".") {
-					t.Errorf("%s imports %q; %s must depend on the stdlib only", file, imp, dir)
-				}
-			}
+	for _, f := range archFindings(t) {
+		if strings.Contains(f.Message, "leaf rule") {
+			t.Errorf("%s", f)
 		}
 	}
 }
 
 func TestInternalDoesNotImportCmd(t *testing.T) {
-	for file, imps := range imports(t, "internal") {
-		for _, imp := range imps {
-			if strings.HasPrefix(imp, "stsyn/cmd") {
-				t.Errorf("%s imports %q; internal packages must not depend on binaries", file, imp)
-			}
+	for _, f := range archFindings(t) {
+		if strings.Contains(f.Message, "binary rule") {
+			t.Errorf("%s", f)
 		}
 	}
 }

@@ -1,0 +1,101 @@
+// Command stsyn-vet runs the repository's custom static analyzers: the
+// project-specific correctness invariants (Keep/Release protection of BDD
+// refs, determinism of the synthesis core, context propagation, dependency
+// direction, panic-freedom of the serving path) as a gating check rather
+// than reviewer folklore.
+//
+// Usage:
+//
+//	stsyn-vet [-json] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Findings are
+// printed as "file:line:col: analyzer: message" (or a JSON array with
+// -json) and the exit status is 1 when any finding survives the
+// //lint:ignore directives, 2 on load errors, 0 when clean.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"stsyn/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stsyn-vet [-json] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := run(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stsyn-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "stsyn-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string) ([]lint.Finding, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	r, err := lint.NewRunner(cwd)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var findings []lint.Finding
+	for _, pattern := range patterns {
+		dirs, err := r.PackageDirs(pattern)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			if seen[dir] {
+				continue
+			}
+			seen[dir] = true
+			pkg, err := r.LoadPackage(dir)
+			if err != nil {
+				return nil, err
+			}
+			findings = append(findings, r.Check(pkg, lint.All)...)
+		}
+	}
+	return findings, nil
+}

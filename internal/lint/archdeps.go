@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ArchDeps enforces the repository's dependency direction (formerly two
+// hand-rolled tests in arch_test.go, which now wrap this analyzer so the
+// rule set lives in exactly one place):
+//
+//   - internal/bdd and internal/protocol are leaf packages: stdlib imports
+//     only. Everything else may build on them, they build on nothing.
+//   - no internal package may import a cmd/ package; binaries sit on top.
+//
+// Unlike the other analyzers it also inspects _test.go files — a test
+// import inverts the dependency arrow just as effectively.
+var ArchDeps = &Analyzer{
+	Name: "archdeps",
+	Doc:  "leaf packages depend on the stdlib only; internal packages never import binaries",
+	Run:  runArchDeps,
+}
+
+// LeafPackages are the module-relative packages that must import nothing
+// beyond the standard library.
+var LeafPackages = []string{"internal/bdd", "internal/protocol"}
+
+func runArchDeps(p *Pass) {
+	rel := p.RelPath()
+	leaf := false
+	for _, l := range LeafPackages {
+		if rel == l {
+			leaf = true
+		}
+	}
+	internal := strings.HasPrefix(rel, "internal/")
+	if !leaf && !internal {
+		return
+	}
+	for _, f := range append(append([]*ast.File(nil), p.Files...), p.TestFiles...) {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if leaf && !stdlibImportPath(p.ModPath, path) {
+				p.Reportf(imp.Pos(), "leaf rule: %s must depend on the stdlib only, not %q", rel, path)
+			}
+			if internal && strings.HasPrefix(path, p.ModPath+"/cmd") {
+				p.Reportf(imp.Pos(), "binary rule: internal packages must not import %q; binaries sit on top", path)
+			}
+		}
+	}
+}
+
+// stdlibImportPath reports whether path is a standard-library import. In
+// this dependency-free module, non-stdlib means either a module-internal
+// path or a dotted host path.
+func stdlibImportPath(modPath, path string) bool {
+	if path == modPath || strings.HasPrefix(path, modPath+"/") {
+		return false
+	}
+	return !strings.Contains(strings.SplitN(path, "/", 2)[0], ".")
+}
+
+// ArchCheck loads every package under the module containing startDir
+// (syntax only, test files included) and returns the ArchDeps findings.
+// It is the entry point the architecture-hygiene tests wrap.
+func ArchCheck(startDir string) ([]Finding, error) {
+	r, err := NewRunner(startDir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := r.PackageDirs("./...")
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, dir := range dirs {
+		path, err := r.pathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := r.LoadDir(dir, path, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.Check(pkg, []*Analyzer{ArchDeps})...)
+	}
+	return out, nil
+}

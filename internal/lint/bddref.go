@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BDDRef enforces the BDD substrate's Keep/Release protection discipline
+// (the GC contract introduced with the mark-and-sweep collector): a
+// bdd.Ref that outlives the expression that built it — stored into a
+// struct field, a slice or map reachable from one, or a package variable —
+// must be protected at the store site, i.e. come directly from Keep (or a
+// RefRegistry Retain). A Keep whose result is discarded hides the
+// protected root from the reader, and a kept Ref that is never released,
+// returned, stored, or passed on is a permanent GC root: both are
+// reported. Violations of this discipline are use-after-free bugs that
+// only surface once the live-node watermark triggers a collection.
+var BDDRef = &Analyzer{
+	Name:       "bddref",
+	Doc:        "bdd.Ref stores must be protected with Keep at the store site; Keep results must be used",
+	NeedsTypes: true,
+	Run:        runBDDRef,
+}
+
+func runBDDRef(p *Pass) {
+	bddPath := p.ModPath + "/internal/bdd"
+	if p.PkgPath == bddPath {
+		// The manager's own internals legitimately juggle raw refs; its
+		// discipline is validated by the GC property tests.
+		return
+	}
+	b := &bddrefPass{Pass: p, bddPath: bddPath}
+	for _, f := range p.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && b.isKeepCall(call) {
+					p.Reportf(n.Pos(), "result of %s is discarded; assign the kept Ref at the store site so the protected root stays visible", calleeName(call))
+				}
+			case *ast.AssignStmt:
+				b.checkAssign(n)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if lit, ok := n.X.(*ast.CompositeLit); ok {
+						b.checkCompositeLit(lit)
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					b.checkKeepLeaks(n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+type bddrefPass struct {
+	*Pass
+	bddPath string
+}
+
+func (b *bddrefPass) isRef(t types.Type) bool {
+	return isNamedType(t, b.bddPath, "Ref")
+}
+
+// isKeepCall reports whether call is a protection call: bdd.Manager.Keep
+// (any method named Keep returning a bdd.Ref) or a module Retain (the
+// core.RefRegistry capability).
+func (b *bddrefPass) isKeepCall(call *ast.CallExpr) bool {
+	name := calleeName(call)
+	switch name {
+	case "Keep":
+		return b.isRef(b.typeOf(call))
+	case "Retain":
+		obj := b.calleeObject(call)
+		return obj != nil && obj.Pkg() != nil &&
+			(obj.Pkg().Path() == b.ModPath || len(obj.Pkg().Path()) > len(b.ModPath) && obj.Pkg().Path()[:len(b.ModPath)+1] == b.ModPath+"/")
+	}
+	return false
+}
+
+// allowedRefSource reports whether expr may be stored into a long-lived
+// location: a Keep/Retain call, or a constant (bdd.False, bdd.True, or a
+// zero literal — terminals are always live).
+func (b *bddrefPass) allowedRefSource(expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if call, ok := expr.(*ast.CallExpr); ok && b.isKeepCall(call) {
+		return true
+	}
+	if tv, ok := b.Info.Types[expr]; ok && tv.Value != nil {
+		return true
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// storeTarget classifies lhs as a long-lived store destination: a struct
+// field, a package variable, or an element of either. Stores into plain
+// locals are not in scope — protection is checked where a ref becomes
+// reachable beyond the current call.
+func (b *bddrefPass) storeTarget(lhs ast.Expr) (string, bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj, ok := b.objectOf(e).(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return "package variable " + e.Name, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := b.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return "field " + e.Sel.Name, true
+		}
+		if obj, ok := b.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return "package variable " + e.Sel.Name, true
+		}
+	case *ast.IndexExpr:
+		if desc, ok := b.storeTarget(e.X); ok {
+			return "element of " + desc, true
+		}
+	case *ast.StarExpr:
+		return b.storeTarget(e.X)
+	}
+	return "", false
+}
+
+func (b *bddrefPass) objectOf(id *ast.Ident) types.Object {
+	if obj := b.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return b.Info.Defs[id]
+}
+
+func (b *bddrefPass) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[i]
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && b.isKeepCall(call) {
+				b.Reportf(as.Pos(), "result of %s assigned to the blank identifier; assign the kept Ref so the protected root stays visible", calleeName(call))
+			}
+			continue
+		}
+		if as.Tok == token.DEFINE {
+			continue // new locals; the leak check covers kept refs
+		}
+		target, ok := b.storeTarget(lhs)
+		if !ok {
+			continue
+		}
+		rt := b.typeOf(rhs)
+		switch {
+		case b.isRef(rt):
+			if !b.allowedRefSource(rhs) {
+				b.Reportf(rhs.Pos(), "bdd.Ref stored into %s without Keep: unprotected refs are reclaimed by the next collection", target)
+			}
+		default:
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(b.Pass, call) {
+				for _, arg := range call.Args[1:] {
+					if b.isRef(b.typeOf(arg)) && !b.allowedRefSource(arg) {
+						b.Reportf(arg.Pos(), "bdd.Ref appended to %s without Keep: unprotected refs are reclaimed by the next collection", target)
+					}
+				}
+			}
+			if lit, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+				b.checkCompositeLit(lit)
+			}
+		}
+	}
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// checkCompositeLit verifies Ref-typed fields of an escaping (address-
+// taken or field-stored) struct literal are protected at the store site.
+func (b *bddrefPass) checkCompositeLit(lit *ast.CompositeLit) {
+	t := b.typeOf(lit)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if b.isRef(b.typeOf(val)) && !b.allowedRefSource(val) {
+			b.Reportf(val.Pos(), "bdd.Ref in escaping composite literal without Keep: unprotected refs are reclaimed by the next collection")
+		}
+	}
+}
+
+// checkKeepLeaks flags locals holding a Keep result that are never
+// consumed — not passed to any call (Release included), not returned, not
+// stored into a literal or another location. Such a root can never be
+// released and pins its whole BDD for the manager's lifetime.
+func (b *bddrefPass) checkKeepLeaks(body *ast.BlockStmt) {
+	keeps := make(map[*types.Var]token.Pos)
+	names := make(map[*types.Var]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !b.isKeepCall(call) {
+				continue
+			}
+			obj, ok := b.objectOf(id).(*types.Var)
+			if !ok || obj.Pkg() == nil || obj.Parent() == obj.Pkg().Scope() {
+				continue // package vars are handled by the store check
+			}
+			keeps[obj] = id.Pos()
+			names[obj] = id.Name
+		}
+		return true
+	})
+	if len(keeps) == 0 {
+		return
+	}
+	consumed := make(map[*types.Var]bool)
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := b.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, tracked := keeps[obj]; !tracked {
+			return true
+		}
+		// Climb through parens to the semantically relevant parent.
+		j := len(stack) - 1
+		for j >= 0 {
+			if _, ok := stack[j].(*ast.ParenExpr); ok {
+				j--
+				continue
+			}
+			break
+		}
+		if j < 0 {
+			return true
+		}
+		switch parent := stack[j].(type) {
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if containsNode(arg, id) {
+					consumed[obj] = true
+				}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+			consumed[obj] = true
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if containsNode(rhs, id) {
+					consumed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj, pos := range keeps {
+		if !consumed[obj] {
+			b.Reportf(pos, "kept Ref %s is never released, returned, stored, or passed on: a leaked GC root pins its BDD forever", names[obj])
+		}
+	}
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

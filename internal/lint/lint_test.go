@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// newTestRunner builds one Runner per test; the expensive part of a load is
+// type-checking standard-library imports, and the runner caches those, so
+// fixture cases share it through t.Run subtests.
+func newTestRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFixtures runs each analyzer over a firing and a non-firing golden
+// package under testdata/src, comparing the findings against the fixtures'
+// trailing "// want <analyzer>" markers. Fixtures are checked under an
+// import path chosen to land inside (or outside) the analyzer's scope.
+func TestFixtures(t *testing.T) {
+	r := newTestRunner(t)
+	cases := []struct {
+		dir       string
+		asPath    string
+		analyzer  *Analyzer
+		needTypes bool
+	}{
+		{"bddref_bad", "stsyn/internal/fixture/bddref", BDDRef, true},
+		{"bddref_ok", "stsyn/internal/fixture/bddref", BDDRef, true},
+		{"determinism_bad", "stsyn/internal/core", Determinism, true},
+		{"determinism_ok", "stsyn/internal/core", Determinism, true},
+		{"ctxflow_bad", "stsyn/internal/fixture/ctxflow", CtxFlow, true},
+		{"ctxflow_ok", "stsyn/internal/fixture/ctxflow", CtxFlow, true},
+		{"ctxflow_cmd", "stsyn/cmd/fixture", CtxFlow, true},
+		{"archdeps_bad", "stsyn/internal/bdd", ArchDeps, false},
+		{"archdeps_ok", "stsyn/internal/protocol", ArchDeps, false},
+		{"panicsafe_bad", "stsyn/internal/service", PanicSafe, false},
+		{"panicsafe_ok", "stsyn/internal/service", PanicSafe, false},
+		{"ignore", "stsyn/internal/service/fixture", PanicSafe, false},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", c.dir)
+			pkg, err := r.LoadDir(dir, c.asPath, c.needTypes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for _, f := range r.Check(pkg, []*Analyzer{c.analyzer}) {
+				got = append(got, fmt.Sprintf("%s:%d: %s", f.File, f.Line, f.Analyzer))
+			}
+			want := wantMarkers(t, r, dir)
+			sort.Strings(got)
+			sort.Strings(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("findings mismatch\n got: %q\nwant: %q", got, want)
+			}
+		})
+	}
+}
+
+// wantMarkers collects the fixture's expected findings: each trailing
+// "// want <analyzer>..." comment expects one finding per listed analyzer
+// on that line, keyed by the same module-relative display name the loader
+// assigns.
+func wantMarkers(t *testing.T, r *Runner, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := filepath.Rel(r.Root, abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		display := filepath.ToSlash(rel)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, rest, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			for _, analyzer := range strings.Fields(rest) {
+				want = append(want, fmt.Sprintf("%s:%d: %s", display, line, analyzer))
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return want
+}
+
+// TestMalformedDirective checks the escape hatch's escape hatch: a
+// directive without a reason is itself reported (pseudo-analyzer "lint",
+// which cannot be ignored) and suppresses nothing. Marker comments cannot
+// sit on the directive's own line, hence the explicit expectations.
+func TestMalformedDirective(t *testing.T) {
+	r := newTestRunner(t)
+	dir := filepath.Join("testdata", "src", "ignore_malformed")
+	pkg, err := r.LoadDir(dir, "stsyn/internal/service/fixture", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range r.Check(pkg, []*Analyzer{PanicSafe}) {
+		got = append(got, f.Analyzer)
+	}
+	sort.Strings(got)
+	if want := []string{"lint", "panicsafe"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("analyzers = %q, want %q", got, want)
+	}
+}
+
+// TestRepoIsClean is the suite's own dogfood gate: every analyzer over
+// every package of this module must report nothing. It duplicates the
+// `stsyn-vet ./...` run that scripts/check.sh gates on, so a regression
+// fails plain `go test ./...` too.
+func TestRepoIsClean(t *testing.T) {
+	if raceEnabled {
+		t.Skip("source-mode type-checking of the whole module is too slow under the race detector; check.sh runs stsyn-vet directly")
+	}
+	if testing.Short() {
+		t.Skip("whole-module analysis skipped in -short mode")
+	}
+	r := newTestRunner(t)
+	dirs, err := r.PackageDirs("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		pkg, err := r.LoadPackage(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range r.Check(pkg, All) {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded (and, unless syntax-only, type-checked) package.
+type Package struct {
+	Dir     string // absolute directory
+	PkgPath string // import path the package was checked under
+	Files   []*ast.File
+	// TestFiles are parsed _test.go files (internal and external test
+	// package alike); they are never type-checked.
+	TestFiles []*ast.File
+	Pkg       *types.Package // nil for syntax-only loads
+	Info      *types.Info    // nil for syntax-only loads
+}
+
+// Runner loads and type-checks the module's packages with a shared file
+// set and package cache. Standard-library imports are type-checked from
+// $GOROOT source via go/importer's "source" mode; module-internal imports
+// are resolved recursively from the module root. Nothing outside the
+// standard library is required.
+type Runner struct {
+	Root    string // absolute module root (directory containing go.mod)
+	ModPath string // module path from go.mod
+	Fset    *token.FileSet
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // canonical import path -> loaded package
+	loading map[string]bool     // import-cycle guard
+}
+
+// NewRunner locates the module containing startDir and prepares a loader.
+func NewRunner(startDir string) (*Runner, error) {
+	root, modPath, err := findModule(startDir)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer must never need the cgo tool: with cgo disabled
+	// go/build selects the pure-Go variants of net, os/user, etc.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Runner{
+		Root:    root,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer.
+func (r *Runner) Import(path string) (*types.Package, error) {
+	return r.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// recursively from source under the module root, everything else is
+// delegated to the standard library's source importer.
+func (r *Runner) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == r.ModPath || strings.HasPrefix(path, r.ModPath+"/") {
+		pkg, err := r.loadCanonical(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return r.std.ImportFrom(path, dir, 0)
+}
+
+// loadCanonical loads (with types) the module package with the given
+// import path, caching the result.
+func (r *Runner) loadCanonical(path string) (*Package, error) {
+	if pkg, ok := r.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if r.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	r.loading[path] = true
+	defer delete(r.loading, path)
+	pkg, err := r.loadDir(r.dirFor(path), path, true)
+	if err != nil {
+		return nil, err
+	}
+	r.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (r *Runner) dirFor(path string) string {
+	if path == r.ModPath {
+		return r.Root
+	}
+	return filepath.Join(r.Root, filepath.FromSlash(strings.TrimPrefix(path, r.ModPath+"/")))
+}
+
+// pathFor is the canonical import path of a directory under the module
+// root.
+func (r *Runner) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(r.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return r.ModPath, nil
+	}
+	return r.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadPackage loads and type-checks the package in dir under its canonical
+// import path, sharing the runner's cache with import resolution.
+func (r *Runner) LoadPackage(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := r.pathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	return r.loadCanonical(path)
+}
+
+// LoadDir loads the package in dir, checking it under the given import
+// path (which may differ from the canonical one — the fixture tests use
+// this to place test packages inside an analyzer's scope). Syntax-only
+// loads skip type checking entirely. The result is not cached.
+func (r *Runner) LoadDir(dir, asPath string, needTypes bool) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return r.loadDir(abs, asPath, needTypes)
+}
+
+func (r *Runner) loadDir(dir, pkgPath string, needTypes bool) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); !ok {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+	}
+	pkg := &Package{Dir: dir, PkgPath: pkgPath}
+	parse := func(names []string) ([]*ast.File, error) {
+		var out []*ast.File
+		for _, name := range names {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			// Display (and directive-matching) names are module-relative.
+			display := name
+			if rel, err := filepath.Rel(r.Root, filepath.Join(dir, name)); err == nil && !strings.HasPrefix(rel, "..") {
+				display = filepath.ToSlash(rel)
+			}
+			f, err := parser.ParseFile(r.Fset, display, src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	if pkg.Files, err = parse(bp.GoFiles); err != nil {
+		return nil, err
+	}
+	testNames := append(append([]string(nil), bp.TestGoFiles...), bp.XTestGoFiles...)
+	sort.Strings(testNames)
+	if pkg.TestFiles, err = parse(testNames); err != nil {
+		return nil, err
+	}
+	if len(pkg.Files) == 0 && len(pkg.TestFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	if !needTypes || len(pkg.Files) == 0 {
+		return pkg, nil
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: r}
+	tpkg, err := conf.Check(pkgPath, r.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	pkg.Pkg = tpkg
+	return pkg, nil
+}
+
+// PackageDirs expands a package pattern relative to the runner's module
+// root: "./..." (or "...") walks the whole module, "dir/..." walks a
+// subtree, anything else names a single package directory. Directories
+// named testdata, hidden directories, and directories without Go files are
+// skipped.
+func (r *Runner) PackageDirs(pattern string) ([]string, error) {
+	pattern = filepath.ToSlash(pattern)
+	recursive := false
+	if rest, ok := strings.CutSuffix(pattern, "..."); ok {
+		recursive = true
+		pattern = strings.TrimSuffix(rest, "/")
+	}
+	if pattern == "." || pattern == "" {
+		pattern = r.Root
+	} else if !filepath.IsAbs(pattern) {
+		pattern = filepath.Join(r.Root, filepath.FromSlash(pattern))
+	}
+	if !recursive {
+		return []string{pattern}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(pattern, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != pattern && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		hasGo, err := dirHasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if hasGo {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+func dirHasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicSafe bans naked panics from the request-handling tiers. A panic in
+// internal/service or internal/dist is a remote crash or a blanket 500 for
+// every in-flight job — exactly the class of bug the builtin-constructor
+// panic→422 fix patched by hand. Handlers and the coordinator/client
+// return errors; invariant violations worth dying for belong in the
+// engine packages, not on the serving path.
+var PanicSafe = &Analyzer{
+	Name: "panicsafe",
+	Doc:  "no naked panic in request-handling packages (internal/service, internal/dist)",
+	Run:  runPanicSafe,
+}
+
+// panicSafePackages are the module-relative package prefixes on the
+// serving path.
+var panicSafePackages = []string{"internal/service", "internal/dist"}
+
+func runPanicSafe(p *Pass) {
+	rel := p.RelPath()
+	inScope := false
+	for _, prefix := range panicSafePackages {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				p.Reportf(call.Pos(), "naked panic on the serving path: return an error instead (a panic here kills the worker or 500s every in-flight job)")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package lint
+
+// raceEnabled gates TestRepoIsClean: type-checking the whole module (and
+// the standard-library packages it pulls in) from source is minutes under
+// the race detector and seconds without, so the whole-module pass runs
+// only in the un-instrumented suite; scripts/check.sh gates the same run
+// via `go run ./cmd/stsyn-vet ./...`.
+const raceEnabled = true

@@ -1,0 +1,17 @@
+// Package fixture is checked under a leaf import path; every marked import
+// must be reported by the archdeps analyzer (the tool is syntax-only here,
+// so the imports need not resolve).
+package fixture
+
+import (
+	"os"
+
+	"github.com/example/dep" // want archdeps
+	"stsyn/internal/core"    // want archdeps
+)
+
+var (
+	_ = os.Args
+	_ = dep.Thing
+	_ = core.Thing
+)

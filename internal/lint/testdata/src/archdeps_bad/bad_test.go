@@ -1,0 +1,9 @@
+package fixture
+
+// A test import inverts the dependency arrow just as effectively, so
+// archdeps inspects _test.go files too. Importing a binary from a leaf
+// breaks both rules at once: two findings on one line.
+
+import "stsyn/cmd/stsyn" // want archdeps archdeps
+
+var _ = stsyn.Thing

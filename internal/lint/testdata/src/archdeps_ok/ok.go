@@ -1,0 +1,13 @@
+// Package fixture is checked under a leaf import path and imports only the
+// standard library; the archdeps analyzer must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func show(xs []int) string {
+	sort.Ints(xs)
+	return fmt.Sprint(xs)
+}

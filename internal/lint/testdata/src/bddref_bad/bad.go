@@ -1,0 +1,32 @@
+// Package fixture deliberately violates the Keep/Release store discipline;
+// every marked line must be reported by the bddref analyzer.
+package fixture
+
+import "stsyn/internal/bdd"
+
+var global bdd.Ref
+
+type holder struct {
+	f    bdd.Ref
+	refs []bdd.Ref
+}
+
+func discard(m *bdd.Manager, r bdd.Ref) {
+	m.Keep(r)     // want bddref
+	_ = m.Keep(r) // want bddref
+}
+
+func stores(m *bdd.Manager, h *holder, r bdd.Ref) {
+	h.f = m.And(r, r)                 // want bddref
+	global = m.Or(r, r)               // want bddref
+	h.refs = append(h.refs, m.Not(r)) // want bddref
+}
+
+func escape(m *bdd.Manager, r bdd.Ref) *holder {
+	return &holder{f: m.And(r, r)} // want bddref
+}
+
+func leak(m *bdd.Manager, r bdd.Ref) bool {
+	kept := m.Keep(r) // want bddref
+	return kept == bdd.False
+}

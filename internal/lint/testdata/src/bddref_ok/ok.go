@@ -1,0 +1,26 @@
+// Package fixture follows the Keep/Release store discipline; the bddref
+// analyzer must stay silent.
+package fixture
+
+import "stsyn/internal/bdd"
+
+type holder struct {
+	f    bdd.Ref
+	refs []bdd.Ref
+}
+
+func stores(m *bdd.Manager, h *holder, r bdd.Ref) {
+	h.f = m.Keep(m.And(r, r))
+	h.refs = append(h.refs, m.Keep(m.Not(r)))
+	h.f = bdd.False
+}
+
+func build(m *bdd.Manager, r bdd.Ref) *holder {
+	return &holder{f: m.Keep(m.And(r, r))}
+}
+
+func pin(m *bdd.Manager, r bdd.Ref) int {
+	kept := m.Keep(r)
+	defer m.Release(kept)
+	return m.DagSize(kept)
+}

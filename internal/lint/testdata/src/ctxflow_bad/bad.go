@@ -1,0 +1,16 @@
+// Package fixture creates root contexts in library code; every marked line
+// must be reported by the ctxflow analyzer.
+package fixture
+
+import "context"
+
+func threaded(ctx context.Context) error {
+	sub := context.Background() // want ctxflow
+	_ = sub
+	return ctx.Err()
+}
+
+func rootless() error {
+	ctx := context.TODO() // want ctxflow
+	return ctx.Err()
+}

@@ -1,0 +1,10 @@
+// Package fixture is checked under a cmd/ import path, where creating root
+// contexts is the binaries' privilege: no findings expected.
+package fixture
+
+import "context"
+
+func run() error {
+	ctx := context.Background()
+	return ctx.Err()
+}

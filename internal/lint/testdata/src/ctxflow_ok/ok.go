@@ -1,0 +1,13 @@
+// Package fixture threads the caller's context; the ctxflow analyzer must
+// stay silent.
+package fixture
+
+import "context"
+
+func threaded(ctx context.Context) error {
+	return step(ctx)
+}
+
+func step(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,25 @@
+// Package fixture is checked under a deterministic import path; every
+// marked line must be reported by the determinism analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Duration {
+	t0 := time.Now()      // want determinism
+	return time.Since(t0) // want determinism
+}
+
+func draw() int {
+	return rand.Intn(6) // want determinism
+}
+
+func collect(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want determinism
+	}
+	return keys
+}

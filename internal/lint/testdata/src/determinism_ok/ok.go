@@ -1,0 +1,20 @@
+// Package fixture uses only the reproducible variants; the determinism
+// analyzer must stay silent.
+package fixture
+
+import "math/rand"
+
+func draw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func flatten(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

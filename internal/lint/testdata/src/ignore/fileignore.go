@@ -1,0 +1,7 @@
+//lint:file-ignore panicsafe fixture: the whole file is exempt
+
+package fixture
+
+func whole() {
+	panic("silenced by the file-level directive")
+}

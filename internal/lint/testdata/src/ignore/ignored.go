@@ -1,0 +1,17 @@
+// Package fixture exercises the //lint:ignore escape hatch against the
+// panicsafe analyzer (checked under a serving-path import path).
+package fixture
+
+func trailing() {
+	panic("silenced") //lint:ignore panicsafe fixture: a trailing directive silences its own line
+}
+
+func preceding() {
+	//lint:ignore panicsafe fixture: a directive silences the line directly below
+	panic("silenced")
+}
+
+func wrongAnalyzer() {
+	//lint:ignore determinism fixture: naming another analyzer silences nothing here
+	panic("still reported") // want panicsafe
+}

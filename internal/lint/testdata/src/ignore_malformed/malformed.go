@@ -1,0 +1,10 @@
+// Package fixture holds a directive without a reason: the driver reports
+// the directive itself (pseudo-analyzer "lint") and the directive silences
+// nothing, so the panic below it is still reported. Checked by its own test
+// rather than want-markers, since the directive line cannot carry one.
+package fixture
+
+func malformed() {
+	//lint:ignore panicsafe
+	panic("the directive above lacks a reason, so nothing is silenced")
+}

@@ -1,0 +1,12 @@
+// Package fixture is checked under a serving-path import path; the naked
+// panic must be reported by the panicsafe analyzer.
+package fixture
+
+import "errors"
+
+func handle(ok bool) error {
+	if !ok {
+		panic("bad request") // want panicsafe
+	}
+	return errors.New("handled")
+}

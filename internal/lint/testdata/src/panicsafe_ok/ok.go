@@ -1,0 +1,12 @@
+// Package fixture returns errors on the serving path; the panicsafe
+// analyzer must stay silent.
+package fixture
+
+import "errors"
+
+func handle(ok bool) error {
+	if !ok {
+		return errors.New("bad request")
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package fixture
+
+// Test files may panic: panicsafe inspects only the non-test sources.
+
+func mustPanic() {
+	panic("test helpers may panic")
+}
