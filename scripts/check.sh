@@ -13,7 +13,14 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-go test -race ./...
+
+# Project invariants: the repo's own analyzers (Keep/Release discipline,
+# determinism of the synthesis core, context flow, dependency direction,
+# panic-freedom of the serving tiers). Gating: any finding fails the build;
+# intentional violations carry //lint:ignore directives with reasons.
+go run ./cmd/stsyn-vet ./...
+
+go test -race -count=1 ./...
 
 # Fuzz smokes: a few seconds of coverage-guided exploration on the two
 # cross-checking fuzz targets, so regressions in the generators or the
@@ -32,8 +39,11 @@ go test -race -count=1 -run='^TestClusterSmoke$' ./internal/dist
 # exercised by the property tests.
 floor=85
 cov=$(go test -cover ./internal/bdd | awk '{for (i=1;i<=NF;i++) if ($i ~ /^coverage:/) {sub(/%$/,"",$(i+1)); print $(i+1)}}')
-if [ -z "$cov" ]; then
-    echo "check.sh: could not determine internal/bdd coverage" >&2
+# The parse must yield exactly one numeric value: multi-line or non-numeric
+# output means the coverage format changed, and silently comparing garbage
+# against the floor would turn the gate into a no-op.
+if [ "$(printf '%s\n' "$cov" | grep -c .)" -ne 1 ] || ! printf '%s\n' "$cov" | grep -Eq '^[0-9]+(\.[0-9]+)?$'; then
+    echo "check.sh: could not parse internal/bdd coverage (got: '$cov')" >&2
     exit 1
 fi
 if ! awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c >= f) }'; then
