@@ -53,11 +53,11 @@ func scheduleRows() []experiments.ScheduleRow {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, table1, domain, schedule, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, table1, domain, schedule, prune, scc-crossover, all")
 		max     = flag.Int("max", 0, "largest process count (0 = the paper's full sweep)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
 		jsonOut = flag.Bool("json", false, "run the explicit-engine kernel benchmark and emit the BENCH_explicit.json document")
-		quick   = flag.Bool("quick", false, "with -json: shrink the benchmark instances (CI smoke)")
+		quick   = flag.Bool("quick", false, "with -json or -fig scc-crossover: shrink the benchmark instances (CI smoke)")
 	)
 	flag.Parse()
 
@@ -79,6 +79,13 @@ func main() {
 		// The recovery-schedule investigation the paper omits for space.
 		rows := scheduleRows()
 		fmt.Print(experiments.FormatScheduleRows(rows))
+	case "prune":
+		// The symmetry-pruning effect on the committed ring case studies.
+		fmt.Print(experiments.FormatPruneRows(experiments.PruneEffect()))
+	case "scc-crossover":
+		// The measurement behind the explicit engine's Auto SCC selection
+		// (-quick keeps the small instances for smoke runs).
+		fmt.Print(experiments.FormatCrossover(experiments.SCCCrossover(*quick)))
 	case "table1":
 		fmt.Print(experiments.FormatCorrectability(experiments.LocalCorrectability()))
 	case "6", "7":

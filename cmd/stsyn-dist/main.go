@@ -43,6 +43,7 @@ func main() {
 		engine    = flag.String("engine", "", "worker engine: auto (default), explicit or symbolic")
 		jobTO     = flag.Duration("timeout", 0, "per-schedule synthesis timeout sent to workers (0 = worker default)")
 		schedules = flag.String("schedules", "rotations", "search space: rotations, all, or sample:N[:SEED]")
+		pruneOn   = flag.Bool("prune", false, "quotient the search by the spec's symmetry group before sharding; workers memoize shared sub-results (result is unchanged)")
 
 		shardSize    = flag.Int("shard-size", 4, "consecutive schedules per shard")
 		concurrency  = flag.Int("concurrency", 0, "shards in flight (0 = worker count)")
@@ -72,6 +73,7 @@ func main() {
 		Dom:       *dom,
 		Engine:    *engine,
 		TimeoutMS: int(*jobTO / time.Millisecond),
+		Prune:     *pruneOn,
 	}
 	if *specPath != "" {
 		spec, err := os.ReadFile(*specPath)
@@ -122,10 +124,10 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("winner at index %d schedule %v in %s (tried %d/%d schedules, %d requests, %d shards done, %d resumed, %d requeues)",
+	logger.Printf("winner at index %d schedule %v in %s (tried %d/%d schedules, %d pruned, %d requests, %d shards done, %d resumed, %d requeues)",
 		res.WinIndex, res.WinSchedule, time.Since(start).Round(time.Millisecond),
-		res.Stats.SchedulesTried, res.Stats.TotalSchedules, res.Stats.Requests,
-		res.Stats.ShardsCompleted, res.Stats.ShardsResumed, res.Stats.ShardRequeues)
+		res.Stats.SchedulesTried, res.Stats.TotalSchedules, res.Stats.SchedulesPruned,
+		res.Stats.Requests, res.Stats.ShardsCompleted, res.Stats.ShardsResumed, res.Stats.ShardRequeues)
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

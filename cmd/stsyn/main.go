@@ -20,10 +20,12 @@ import (
 
 	"stsyn"
 	"stsyn/internal/cli"
+	"stsyn/internal/core"
 	"stsyn/internal/dot"
 	"stsyn/internal/explicit"
 	"stsyn/internal/gcl"
 	"stsyn/internal/protocol"
+	"stsyn/internal/prune"
 	"stsyn/internal/service"
 )
 
@@ -38,7 +40,8 @@ func main() {
 		schedule = flag.String("schedule", "", "recovery schedule, e.g. 1,2,3,0 (default: P1..Pk-1,P0)")
 		resol    = flag.String("resolution", "batch", "cycle resolution: batch (paper) or incremental")
 		fanout   = flag.Bool("fanout", false, "try all cyclic-rotation schedules in parallel, first success wins")
-		sccAlg   = flag.String("scc", "tarjan", "explicit-engine SCC search: tarjan or fb (trim-based forward-backward)")
+		pruneOn  = flag.Bool("prune", false, "quotient the schedule search by the spec's symmetry group and memoize shared sub-results (result is unchanged)")
+		sccAlg   = flag.String("scc", "auto", "explicit-engine SCC search: auto (by state count), tarjan, or fb (trim-based forward-backward)")
 		workers  = flag.Int("workers", 0, "explicit-engine image/SCC parallelism (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("q", false, "print only statistics, not the protocol")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON (the same encoding stsyn-serve returns)")
@@ -63,22 +66,38 @@ func main() {
 	opts.Schedule, err = cli.ParseSchedule(*schedule)
 	fatalIf(err)
 
+	// -prune: the orbit quotient needs schedule-equivariant synthesis, which
+	// incremental cycle resolution does not provide (the retry order flips
+	// under relabeling).
+	var group *prune.Group
+	var jobMemo *prune.JobMemo
+	if *pruneOn {
+		if opts.CycleResolution == stsyn.IncrementalResolution {
+			fatalIf(fmt.Errorf("-prune requires batch resolution: incremental cycle resolution is not equivariant under the symmetry group"))
+		}
+		group = prune.DeriveGroup(sp)
+		jobMemo = prune.NewMemo(0).ForJob(prune.Scope(sp, *engine, opts.Convergence, opts.CycleResolution))
+		opts.Memo = jobMemo
+	}
+
 	// configure applies the explicit-engine knobs; non-default values on the
 	// symbolic engine are an error rather than a silent no-op.
 	configure := func(e stsyn.Engine) error {
 		ee, ok := e.(*explicit.Engine)
 		if !ok {
-			if *sccAlg != "tarjan" || *workers != 0 {
+			if *sccAlg != "auto" || *workers != 0 {
 				return fmt.Errorf("-scc and -workers require the explicit engine")
 			}
 			return nil
 		}
 		switch *sccAlg {
+		case "auto":
 		case "tarjan":
+			ee.SetSCCAlgorithm(explicit.Tarjan)
 		case "fb":
 			ee.SetSCCAlgorithm(explicit.ForwardBackward)
 		default:
-			return fmt.Errorf("unknown scc algorithm %q (want tarjan or fb)", *sccAlg)
+			return fmt.Errorf("unknown scc algorithm %q (want auto, tarjan or fb)", *sccAlg)
 		}
 		ee.SetParallelism(*workers)
 		return nil
@@ -97,9 +116,24 @@ func main() {
 			sp.Name, len(sp.Procs), len(sp.Vars), n)
 	}
 
+	var quotient *prune.QuotientStats
 	if *fanout {
+		scheds := stsyn.Rotations(len(sp.Procs))
+		if group != nil {
+			// The rotations list is lex-ordered and closed under the
+			// rotation-generated group, so keeping canonical members keeps
+			// exactly the first member of each orbit: the winner (and its
+			// index among survivors) is the unpruned winner.
+			q := prune.NewQuotientStream(group, core.StreamSchedules(scheds), true)
+			scheds = nil
+			for s, ok := q.Next(); ok; s, ok = q.Next() {
+				scheds = append(scheds, s)
+			}
+			qs := q.Stats()
+			quotient = &qs
+		}
 		best, attempts, err := stsyn.TrySchedules(mkEngine, opts,
-			stsyn.Rotations(len(sp.Procs)), runtime.GOMAXPROCS(0))
+			scheds, runtime.GOMAXPROCS(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "all %d schedules failed: %v\n", len(attempts), err)
 			os.Exit(1)
@@ -122,6 +156,16 @@ func main() {
 			res.TotalTime.Round(1e6), res.RankingTime.Round(1e6), res.SCCTime.Round(1e6))
 		fmt.Printf("space: program=%d avg-scc=%.1f (#scc=%d)\n",
 			res.ProgramSize, res.AvgSCCSize, res.SCCCount)
+		if group != nil {
+			line := fmt.Sprintf("prune: group=%d", group.Size())
+			if quotient != nil {
+				line += fmt.Sprintf(" schedules-emitted=%d schedules-pruned=%d", quotient.Emitted, quotient.Pruned)
+			}
+			if jobMemo != nil {
+				line += fmt.Sprintf(" memo-hits=%d memo-misses=%d", jobMemo.Hits(), jobMemo.Misses())
+			}
+			fmt.Println(line)
+		}
 		if sr, ok := e.(stsyn.SpaceReporter); ok {
 			st := sr.SpaceStats()
 			fmt.Printf("bdd: live=%d peak=%d cache-hit=%.0f%% gc-runs=%d reclaimed=%d\n",
@@ -160,14 +204,28 @@ func main() {
 			Schedule:    sched,
 			Resolution:  opts.CycleResolution,
 			Fanout:      *fanout,
+			Prune:       *pruneOn,
 		}
 		if _, ok := e.(*explicit.Engine); ok {
 			j.SCC = *sccAlg
 			j.Workers = *workers
 		}
+		out := service.EncodeResult(e, res, j, verdict.OK)
+		if group != nil {
+			ps := &service.PruneStats{GroupSize: group.Size()}
+			if quotient != nil {
+				ps.SchedulesEmitted = quotient.Emitted
+				ps.SchedulesPruned = quotient.Pruned
+			}
+			if jobMemo != nil {
+				ps.MemoHits = jobMemo.Hits()
+				ps.MemoMisses = jobMemo.Misses()
+			}
+			out.Prune = ps
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		fatalIf(enc.Encode(service.EncodeResult(e, res, j, verdict.OK)))
+		fatalIf(enc.Encode(out))
 	}
 
 	if verdict.OK {

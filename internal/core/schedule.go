@@ -130,19 +130,21 @@ func CountSchedules(k int) (int, bool) {
 }
 
 // SampleSchedules returns up to n distinct schedules for k processes drawn
-// with a deterministic seeded generator: the same (k, n, seed) triple
-// always yields the same sample, so independent coordinators and workers
-// agree on the search space without exchanging it. The identity-first
-// guarantee of enumeration does not hold here; samples are uniform. When
-// k! < n the full (smaller) set is returned.
-func SampleSchedules(k, n int, seed int64) [][]int {
+// from the given generator. Callers construct the generator from an
+// explicit seed at the boundary (rand.New(rand.NewSource(seed))): the same
+// (k, n, seed) triple always yields the same sample, so independent
+// coordinators and workers agree on the search space without exchanging
+// it. Taking the generator — rather than a seed — keeps this package free
+// of randomness sources, which the determinism analyzer enforces. The
+// identity-first guarantee of enumeration does not hold here; samples are
+// uniform. When k! < n the full (smaller) set is returned.
+func SampleSchedules(k, n int, rng *rand.Rand) [][]int {
 	if k <= 0 || n <= 0 {
 		return nil
 	}
 	if total, ok := CountSchedules(k); ok && total <= n {
 		return AllSchedules(k)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[string]bool, n)
 	out := make([][]int, 0, n)
 	// Distinctness is enforced by rejection; the attempt bound only matters

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"sort"
 	"testing"
@@ -86,8 +87,8 @@ func TestCountSchedules(t *testing.T) {
 // Sampling is deterministic per seed, yields distinct valid permutations,
 // and degrades to full enumeration when n >= k!.
 func TestSampleSchedules(t *testing.T) {
-	a := core.SampleSchedules(7, 10, 42)
-	b := core.SampleSchedules(7, 10, 42)
+	a := core.SampleSchedules(7, 10, rand.New(rand.NewSource(42)))
+	b := core.SampleSchedules(7, 10, rand.New(rand.NewSource(42)))
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("same seed produced different samples")
 	}
@@ -109,11 +110,11 @@ func TestSampleSchedules(t *testing.T) {
 			seen[key] = true
 		}
 	}
-	c := core.SampleSchedules(7, 10, 43)
+	c := core.SampleSchedules(7, 10, rand.New(rand.NewSource(43)))
 	if reflect.DeepEqual(a, c) {
 		t.Error("different seeds produced identical samples")
 	}
-	if all := core.SampleSchedules(3, 100, 1); len(all) != 6 {
+	if all := core.SampleSchedules(3, 100, rand.New(rand.NewSource(1))); len(all) != 6 {
 		t.Errorf("oversized sample returned %d schedules, want all 6", len(all))
 	}
 }

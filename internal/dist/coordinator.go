@@ -23,10 +23,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 
 	"stsyn/internal/core"
+	"stsyn/internal/prune"
 	"stsyn/internal/service"
 )
 
@@ -63,7 +66,7 @@ func (s *ScheduleSource) stream(k int) (func() ([]int, bool), int, error) {
 		if s.N <= 0 {
 			return nil, 0, fmt.Errorf("dist: sample source needs n > 0, got %d", s.N)
 		}
-		scheds := core.SampleSchedules(k, s.N, s.Seed)
+		scheds := core.SampleSchedules(k, s.N, rand.New(rand.NewSource(s.Seed)))
 		return core.StreamSchedules(scheds), len(scheds), nil
 	case "list":
 		if len(s.List) == 0 {
@@ -140,6 +143,7 @@ type Config struct {
 type RunStats struct {
 	TotalSchedules  int // size of the search space, -1 if unknown
 	SchedulesTried  int // schedules actually dispatched this run
+	SchedulesPruned int // schedules dropped pre-shard by the orbit quotient
 	Requests        int // logical worker requests issued this run
 	ShardsCompleted int
 	ShardsCancelled int
@@ -227,6 +231,22 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*JobResult, error) {
 	next, total, err := job.Source.stream(k)
 	if err != nil {
 		return nil, err
+	}
+
+	// Prune-enabled jobs quotient the stream before sharding: orbit-mates
+	// of an already-emitted schedule never become worker requests. Global
+	// indices then number the quotiented stream — consistently across
+	// resumes, because the group derivation is deterministic and Prune is
+	// part of the JobKey, so a journal never mixes pruned and unpruned
+	// numbering. Workers see Prune on every request and memo locally.
+	var q *prune.QuotientStream
+	if job.Request.Prune {
+		if strings.EqualFold(job.Request.Resolution, "incremental") {
+			return nil, errors.New("dist: prune requires batch resolution: incremental cycle resolution is not equivariant under the symmetry group")
+		}
+		lexOrdered := job.Source.Kind == "" || job.Source.Kind == "rotations" || job.Source.Kind == "all"
+		q = prune.NewQuotientStream(prune.DeriveGroup(sp), next, lexOrdered)
+		next = q.Next
 	}
 	key := JobKey(&job)
 	shardSize := c.cfg.ShardSize
@@ -342,6 +362,14 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*JobResult, error) {
 		}(shard, start, scheds)
 	}
 	wg.Wait()
+
+	if q != nil {
+		pruned := q.Stats().Pruned
+		st.mu.Lock()
+		st.stats.SchedulesPruned = pruned
+		st.mu.Unlock()
+		c.metrics.SchedulesPruned.Add(int64(pruned))
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -459,3 +459,48 @@ func TestClusterSmoke(t *testing.T) {
 		t.Error("second run's winner not byte-identical")
 	}
 }
+
+// Prune through the distributed tier: the coordinator quotients the
+// rotation stream before sharding, so only one representative of the
+// 5-coloring's single rotation orbit becomes a worker request, yet the
+// winner and protocol are identical to the unpruned single-node search.
+func TestCoordinatorPruneDifferential(t *testing.T) {
+	w1 := newWorker(t, nil)
+	w2 := newWorker(t, nil)
+
+	req := service.Request{Protocol: "coloring", K: 5, Engine: "explicit", Prune: true}
+	wantSched, wantActions := reference(t, req, core.Rotations(5))
+
+	coord := newTestCoordinator(t,
+		Config{ShardSize: 1, Concurrency: 2},
+		ClientConfig{Workers: []string{w1.URL, w2.URL}})
+	res, err := coord.Run(context.Background(), Job{Request: req, Source: ScheduleSource{Kind: "rotations"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.WinSchedule, wantSched) {
+		t.Fatalf("pruned coordinator winner %v, single-node %v", res.WinSchedule, wantSched)
+	}
+	if got := winnerActions(t, res); !bytes.Equal(got, wantActions) {
+		t.Errorf("protocols differ:\npruned coordinator: %s\nsingle-node: %s", got, wantActions)
+	}
+	if !res.Winner.Verified {
+		t.Error("winner not verified")
+	}
+	if res.Winner.Prune == nil || res.Winner.Prune.GroupSize != 5 {
+		t.Errorf("winner prune stats = %+v, want group size 5", res.Winner.Prune)
+	}
+	// The five rotations are one orbit: one dispatched, four pruned.
+	st := res.Stats
+	if st.TotalSchedules != 5 || st.SchedulesTried != 1 || st.SchedulesPruned != 4 {
+		t.Errorf("stats = %+v, want total=5 tried=1 pruned=4", st)
+	}
+
+	// The equivariance argument needs batch resolution; the coordinator
+	// rejects the combination before contacting any worker.
+	bad := req
+	bad.Resolution = "incremental"
+	if _, err := coord.Run(context.Background(), Job{Request: bad, Source: ScheduleSource{Kind: "rotations"}}); err == nil {
+		t.Error("prune with incremental resolution was not rejected")
+	}
+}

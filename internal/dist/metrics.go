@@ -31,6 +31,7 @@ type Metrics struct {
 	SchedulesTried     atomic.Int64
 	SchedulesSucceeded atomic.Int64
 	ScheduleFailures   atomic.Int64 // worker said 422: heuristic failed on that schedule
+	SchedulesPruned    atomic.Int64 // schedules dropped pre-shard by the orbit quotient
 }
 
 // WritePrometheus writes the counters in the Prometheus text exposition
@@ -52,6 +53,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("stsyn_dist_schedules_tried_total", "Schedules dispatched to workers.", m.SchedulesTried.Load())
 	counter("stsyn_dist_schedules_succeeded_total", "Schedules whose synthesis succeeded.", m.SchedulesSucceeded.Load())
 	counter("stsyn_dist_schedule_failures_total", "Schedules the heuristic failed on (worker 422).", m.ScheduleFailures.Load())
+	counter("stsyn_dist_schedules_pruned_total", "Schedules dropped pre-shard by the symmetry orbit quotient.", m.SchedulesPruned.Load())
 
 	fmt.Fprintf(w, "# TYPE stsyn_dist_shards_in_flight gauge\nstsyn_dist_shards_in_flight %d\n", m.ShardsInFlight.Load())
 	lines := make([]string, 0, len(gauges))

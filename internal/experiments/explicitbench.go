@@ -148,10 +148,16 @@ func ExplicitBenchmark(quick bool) ExplicitBench {
 			row.Groups = len(e.ActionGroups()) + len(e.CandidateGroups())
 		}
 		var refKeys, kernKeys, fbKeys []protocol.Key
+		// Both baseline legs pin Tarjan: the row isolates the kernel
+		// speedup, and the Auto default would otherwise fold the SCC
+		// choice into the comparison.
 		row.Reference, refKeys = runExplicitLeg(c.Spec, func(e *explicit.Engine) {
 			e.SetReferenceKernels(true)
+			e.SetSCCAlgorithm(explicit.Tarjan)
 		})
-		row.Kernel, kernKeys = runExplicitLeg(c.Spec, func(e *explicit.Engine) {})
+		row.Kernel, kernKeys = runExplicitLeg(c.Spec, func(e *explicit.Engine) {
+			e.SetSCCAlgorithm(explicit.Tarjan)
+		})
 		row.KernelFB, fbKeys = runExplicitLeg(c.Spec, func(e *explicit.Engine) {
 			e.SetSCCAlgorithm(explicit.ForwardBackward)
 		})

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/explicit"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+)
+
+// The SCC-crossover experiment behind the explicit engine's Auto selection:
+// the same synthesis run with Tarjan and with the forward-backward search
+// pinned, over case studies whose state counts straddle the candidate
+// threshold. The Auto resolution (explicit.SetSCCAlgorithm's default)
+// switches on state count alone so that every node of a distributed search
+// resolves it identically; this sweep is how the threshold constant was
+// measured. Regenerate with `stsyn-bench -fig scc-crossover`; the resulting
+// table is committed in DESIGN.md ("Choosing the SCC algorithm").
+
+// CrossoverRow is one case study measured under both SCC algorithms.
+type CrossoverRow struct {
+	Name   string
+	States float64
+
+	TarjanSCC   time.Duration // SCC time with Tarjan pinned
+	FBSCC       time.Duration // SCC time with forward-backward pinned
+	TarjanTotal time.Duration
+	FBTotal     time.Duration
+
+	// Auto is the algorithm the Auto policy picks for this state count.
+	Auto string
+	Err  string
+}
+
+// sccCrossoverCases spans roughly 10^3..5*10^5 states. quick keeps only the
+// small half (CI smoke).
+func sccCrossoverCases(quick bool) []struct {
+	Name string
+	Spec *protocol.Spec
+} {
+	cases := []struct {
+		Name string
+		Spec *protocol.Spec
+	}{
+		{"token-ring-4-3", protocols.TokenRing(4, 3)},
+		{"matching-8", protocols.Matching(8)},
+		{"coloring-7", protocols.Coloring(7)},
+		{"coloring-9", protocols.Coloring(9)},
+	}
+	if quick {
+		return cases
+	}
+	return append(cases, []struct {
+		Name string
+		Spec *protocol.Spec
+	}{
+		{"coloring-10", protocols.Coloring(10)},
+		{"coloring-11", protocols.Coloring(11)},
+		{"coloring-12", protocols.Coloring(12)},
+		// Matching stops at k=10: its SCC-rich graphs make the FB leg
+		// super-linearly slower, and the point — Tarjan keeps winning on
+		// matching at every size — is already unambiguous there.
+		{"matching-10", protocols.Matching(10)},
+	}...)
+}
+
+// SCCCrossover runs the crossover sweep. Each leg is a full AddConvergence
+// with the algorithm pinned, so the reported SCC time is what the selection
+// actually buys during synthesis (trim included) rather than an isolated
+// decomposition microbenchmark.
+func SCCCrossover(quick bool) []CrossoverRow {
+	var rows []CrossoverRow
+	for _, c := range sccCrossoverCases(quick) {
+		row := CrossoverRow{Name: c.Name}
+		leg := func(alg explicit.SCCAlgorithm) (time.Duration, time.Duration, error) {
+			e, err := explicit.New(c.Spec, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			if row.States == 0 {
+				row.States = e.States(e.Universe())
+				row.Auto = e.SCCAlgorithmName()
+			}
+			e.SetSCCAlgorithm(alg)
+			t0 := time.Now() //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+			res, err := core.AddConvergence(e, core.Options{})
+			total := time.Since(t0) //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+			if err != nil {
+				return 0, total, err
+			}
+			return res.SCCTime, total, nil
+		}
+		var err1, err2 error
+		row.TarjanSCC, row.TarjanTotal, err1 = leg(explicit.Tarjan)
+		row.FBSCC, row.FBTotal, err2 = leg(explicit.ForwardBackward)
+		for _, err := range []error{err1, err2} {
+			if err != nil && row.Err == "" {
+				row.Err = err.Error()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatCrossover renders the sweep as the DESIGN.md table.
+func FormatCrossover(rows []CrossoverRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCC crossover: Tarjan vs forward-backward (full synthesis, SCC time)\n")
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s %12s %12s %-14s\n",
+		"case", "states", "tarjan-scc", "fb-scc", "tarjan-total", "fb-total", "auto-picks")
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-16s %12g  error: %s\n", r.Name, r.States, r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %12g %12s %12s %12s %12s %-14s\n",
+			r.Name, r.States, ms(r.TarjanSCC), ms(r.FBSCC),
+			ms(r.TarjanTotal), ms(r.FBTotal), r.Auto)
+	}
+	return b.String()
+}

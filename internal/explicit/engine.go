@@ -54,7 +54,7 @@ type Engine struct {
 	readDom    [][]int
 
 	workers int          // image/SCC parallelism (0 = GOMAXPROCS)
-	sccAlg  SCCAlgorithm // cycle-detection algorithm (default Tarjan)
+	sccAlg  SCCAlgorithm // cycle-detection algorithm (default Auto)
 
 	// refKernels switches the image operations back to the per-state
 	// reference scans the word-level kernels replaced. The scans are kept

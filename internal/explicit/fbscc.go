@@ -12,10 +12,16 @@ import (
 type SCCAlgorithm int
 
 const (
-	// Tarjan is the iterative per-state depth-first search. It is the
-	// default and the oracle the set-based search is differentially
-	// tested against.
-	Tarjan SCCAlgorithm = iota
+	// Auto — the default — picks per engine instance by state count:
+	// Tarjan below autoFBStateThreshold, ForwardBackward at or above it.
+	// The two algorithms return identical SCC sets (enforced by the
+	// fb-vs-tarjan differential battery), so the choice is purely a
+	// performance decision; the measured crossover is tabulated in
+	// DESIGN.md ("Choosing the SCC algorithm").
+	Auto SCCAlgorithm = iota
+	// Tarjan is the iterative per-state depth-first search — the oracle
+	// the set-based search is differentially tested against.
+	Tarjan
 	// ForwardBackward first trims `within` to its cycle core with
 	// interleaved forward/backward fixpoints over the word-level shift
 	// kernels, then decomposes the core with Fleischer-Hendrickson-Pinar
@@ -24,19 +30,58 @@ const (
 	ForwardBackward
 )
 
+// autoFBStateThreshold is the state count at which Auto switches from
+// Tarjan to ForwardBackward. Measured with `stsyn-bench -fig scc-crossover`
+// (the table lives in DESIGN.md, "Choosing the SCC algorithm"): up to
+// ~1.8*10^5 states the two are within noise of each other on the coloring
+// family while Tarjan wins outright on SCC-rich graphs (13x on
+// matching-10), so Auto stays with Tarjan through that whole range; at
+// ~5*10^5 states forward-backward's word-level kernels pull ahead
+// (coloring-12: 343ms vs 258ms of SCC time). The threshold sits above the
+// largest measured instance where FB can lose. Graph shape still matters
+// more than size on matching-type graphs — SetSCCAlgorithm(Tarjan) is the
+// override for those.
+const autoFBStateThreshold = 250_000
+
 // String returns the name the CLI and service use for the algorithm.
 func (a SCCAlgorithm) String() string {
-	if a == ForwardBackward {
+	switch a {
+	case ForwardBackward:
 		return "fb"
+	case Tarjan:
+		return "tarjan"
+	default:
+		return "auto"
 	}
-	return "tarjan"
 }
 
-// SetSCCAlgorithm selects the algorithm CyclicSCCs runs (default Tarjan).
+// SetSCCAlgorithm overrides the algorithm CyclicSCCs runs (default Auto).
 func (e *Engine) SetSCCAlgorithm(a SCCAlgorithm) { e.sccAlg = a }
 
 // SCCAlgorithm returns the selected cycle-detection algorithm.
 func (e *Engine) SCCAlgorithm() SCCAlgorithm { return e.sccAlg }
+
+// effectiveSCC resolves Auto to the algorithm this engine actually runs.
+// The choice depends only on the engine's state count, so every node of a
+// distributed search resolves it identically.
+func (e *Engine) effectiveSCC() SCCAlgorithm {
+	if e.sccAlg != Auto {
+		return e.sccAlg
+	}
+	if e.n >= autoFBStateThreshold {
+		return ForwardBackward
+	}
+	return Tarjan
+}
+
+// SCCAlgorithmName renders the selection for stats: an explicit choice by
+// its name, Auto with its resolution ("auto(tarjan)").
+func (e *Engine) SCCAlgorithmName() string {
+	if e.sccAlg == Auto {
+		return "auto(" + e.effectiveSCC().String() + ")"
+	}
+	return e.sccAlg.String()
+}
 
 // materialGroups converts gs to engine groups with their source and
 // destination caches materialized up front (the SCC worker pool reads

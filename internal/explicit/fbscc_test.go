@@ -200,3 +200,38 @@ func TestAddConvergenceUnderFBSCC(t *testing.T) {
 		}
 	}
 }
+
+// TestAutoSCCSelection pins the Auto policy: resolution by state count
+// alone (so every node of a distributed search agrees), explicit choices
+// untouched, and the stats name reporting the resolution.
+func TestAutoSCCSelection(t *testing.T) {
+	e, err := New(protocols.TokenRing(4, 3), 0) // 81 states, far below the threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SCCAlgorithm() != Auto {
+		t.Fatalf("fresh engine algorithm = %v, want Auto (the zero value)", e.SCCAlgorithm())
+	}
+	if got := e.effectiveSCC(); got != Tarjan {
+		t.Errorf("effectiveSCC() below threshold = %v, want Tarjan", got)
+	}
+	if got := e.SCCAlgorithmName(); got != "auto(tarjan)" {
+		t.Errorf("SCCAlgorithmName() = %q, want auto(tarjan)", got)
+	}
+	// Force both sides of the threshold without building a huge engine.
+	e.n = autoFBStateThreshold
+	if got := e.effectiveSCC(); got != ForwardBackward {
+		t.Errorf("effectiveSCC() at threshold = %v, want ForwardBackward", got)
+	}
+	if got := e.SCCAlgorithmName(); got != "auto(fb)" {
+		t.Errorf("SCCAlgorithmName() = %q, want auto(fb)", got)
+	}
+	// An explicit choice is never second-guessed by the state count.
+	e.SetSCCAlgorithm(Tarjan)
+	if got := e.effectiveSCC(); got != Tarjan {
+		t.Errorf("pinned Tarjan resolved to %v", got)
+	}
+	if got := e.SCCAlgorithmName(); got != "tarjan" {
+		t.Errorf("SCCAlgorithmName() = %q, want tarjan", got)
+	}
+}

@@ -9,9 +9,10 @@ import (
 // CyclicSCCs returns the strongly connected components of the union of gs
 // restricted to states in within that contain a cycle: size ≥ 2, or a
 // single state with a self-loop. The search algorithm is selectable with
-// SetSCCAlgorithm: an iterative Tarjan DFS (the default, and the oracle
-// the set-based search is differentially tested against) or the parallel
-// forward-backward search of fbscc.go. Either way the search space is first
+// SetSCCAlgorithm: an iterative Tarjan DFS (the oracle the set-based
+// search is differentially tested against), the parallel forward-backward
+// search of fbscc.go, or Auto — the default — which picks by state count
+// (see effectiveSCC). Either way the search space is first
 // trimmed to its cycle core with word-level fixpoints — except in reference
 // mode, which measures the true pre-kernel engine.
 func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
@@ -29,7 +30,7 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 	if cc == nil || cc.IsEmpty() {
 		return nil
 	}
-	if e.sccAlg == ForwardBackward {
+	if e.effectiveSCC() == ForwardBackward {
 		return e.fbDecompose(groups, cc)
 	}
 	return e.tarjanSCCs(gs, cc)

@@ -12,6 +12,9 @@ import (
 //   - internal/bdd and internal/protocol are leaf packages: stdlib imports
 //     only. Everything else may build on them, they build on nothing.
 //   - no internal package may import a cmd/ package; binaries sit on top.
+//   - packages in RestrictedImports may import only their allow-listed
+//     module-internal packages (non-test files; tests may reach wider for
+//     differential oracles).
 //
 // Unlike the other analyzers it also inspects _test.go files — a test
 // import inverts the dependency arrow just as effectively.
@@ -25,6 +28,14 @@ var ArchDeps = &Analyzer{
 // beyond the standard library.
 var LeafPackages = []string{"internal/bdd", "internal/protocol"}
 
+// RestrictedImports pins a package's module-internal imports to an explicit
+// allow-list. internal/prune sits beside the search drivers, not above
+// them: it may know the synthesis core, the symmetry layer and the protocol
+// model, never the service or distributed tiers that consume it.
+var RestrictedImports = map[string][]string{
+	"internal/prune": {"internal/core", "internal/symmetry", "internal/protocol"},
+}
+
 func runArchDeps(p *Pass) {
 	rel := p.RelPath()
 	leaf := false
@@ -34,6 +45,7 @@ func runArchDeps(p *Pass) {
 		}
 	}
 	internal := strings.HasPrefix(rel, "internal/")
+	restricted, isRestricted := RestrictedImports[rel]
 	if !leaf && !internal {
 		return
 	}
@@ -45,6 +57,27 @@ func runArchDeps(p *Pass) {
 			}
 			if internal && strings.HasPrefix(path, p.ModPath+"/cmd") {
 				p.Reportf(imp.Pos(), "binary rule: internal packages must not import %q; binaries sit on top", path)
+			}
+		}
+	}
+	if !isRestricted {
+		return
+	}
+	for _, f := range p.Files { // non-test files only
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if stdlibImportPath(p.ModPath, path) {
+				continue
+			}
+			ok := false
+			for _, allow := range restricted {
+				if path == p.ModPath+"/"+allow {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				p.Reportf(imp.Pos(), "restricted rule: %s may import only %v from this module, not %q", rel, restricted, path)
 			}
 		}
 	}

@@ -8,13 +8,14 @@ import (
 // Determinism enforces byte-reproducibility of the synthesis core. The
 // distributed tier's lowest-index winner is only correct because a
 // single-node TrySchedules is deterministic, so the packages on that path
-// must not read the wall clock, draw from math/rand's global (racily
-// seeded) source, or let map iteration order leak into an accumulated
-// slice. Explicitly seeded rand.New(rand.NewSource(seed)) generators are
-// fine — they are how the schedule sampler stays reproducible.
+// must not read the wall clock, call any math/rand package-level function,
+// or let map iteration order leak into an accumulated slice. Randomness is
+// allowed only through an explicitly seeded *rand.Rand handed in by the
+// caller (method calls on a generator parameter are fine); constructing
+// generators — even seeded ones — is the boundary's job, not the core's.
 var Determinism = &Analyzer{
 	Name:       "determinism",
-	Doc:        "no wall-clock reads, global rand, or map-order-dependent accumulation in the synthesis core",
+	Doc:        "no wall-clock reads, package-level rand, or map-order-dependent accumulation in the synthesis core",
 	NeedsTypes: true,
 	Run:        runDeterminism,
 }
@@ -27,16 +28,6 @@ var deterministicPackages = map[string]bool{
 	"internal/symbolic": true,
 	"internal/protocol": true,
 	"internal/bdd":      true,
-}
-
-// deterministicRandFuncs are the math/rand package-level functions that do
-// not touch the global source.
-var deterministicRandFuncs = map[string]bool{
-	"New":        true,
-	"NewSource":  true,
-	"NewZipf":    true,
-	"NewPCG":     true, // math/rand/v2
-	"NewChaCha8": true,
 }
 
 func runDeterminism(p *Pass) {
@@ -55,8 +46,8 @@ func runDeterminism(p *Pass) {
 				if pkg == "time" && (name == "Now" || name == "Since" || name == "Until") {
 					p.Reportf(n.Pos(), "wall-clock read time.%s in a deterministic package: results must be byte-reproducible across nodes", name)
 				}
-				if (pkg == "math/rand" || pkg == "math/rand/v2") && !deterministicRandFuncs[name] && obj.Parent() == obj.Pkg().Scope() {
-					p.Reportf(n.Pos(), "%s.%s draws from the global source in a deterministic package: use rand.New(rand.NewSource(seed))", pkg, name)
+				if (pkg == "math/rand" || pkg == "math/rand/v2") && obj.Parent() == obj.Pkg().Scope() {
+					p.Reportf(n.Pos(), "%s.%s in a deterministic package: take an explicitly seeded *rand.Rand from the caller instead", pkg, name)
 				}
 			case *ast.RangeStmt:
 				checkMapRangeAppend(p, n)

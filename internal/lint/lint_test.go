@@ -44,6 +44,8 @@ func TestFixtures(t *testing.T) {
 		{"ctxflow_cmd", "stsyn/cmd/fixture", CtxFlow, true},
 		{"archdeps_bad", "stsyn/internal/bdd", ArchDeps, false},
 		{"archdeps_ok", "stsyn/internal/protocol", ArchDeps, false},
+		{"prunedeps_bad", "stsyn/internal/prune", ArchDeps, false},
+		{"prunedeps_ok", "stsyn/internal/prune", ArchDeps, false},
 		{"panicsafe_bad", "stsyn/internal/service", PanicSafe, false},
 		{"panicsafe_ok", "stsyn/internal/service", PanicSafe, false},
 		{"ignore", "stsyn/internal/service/fixture", PanicSafe, false},

@@ -16,6 +16,11 @@ func draw() int {
 	return rand.Intn(6) // want determinism
 }
 
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // want determinism determinism
+	return r.Intn(6)
+}
+
 func collect(m map[int]string) []int {
 	var keys []int
 	for k := range m {

@@ -4,9 +4,10 @@ package fixture
 
 import "math/rand"
 
-func draw(seed int64) int {
-	r := rand.New(rand.NewSource(seed))
-	return r.Intn(6)
+// draw consumes a caller-provided generator: method calls on a *rand.Rand
+// are fine, only package-level math/rand functions are banned.
+func draw(rng *rand.Rand) int {
+	return rng.Intn(6)
 }
 
 func flatten(m map[int][]int) int {

@@ -1,0 +1,13 @@
+// Package fixture is checked under the internal/prune import path; imports
+// outside the allow-list must be reported by the archdeps analyzer.
+package fixture
+
+import (
+	"fmt"
+
+	"stsyn/internal/core"
+	"stsyn/internal/service"  // want archdeps
+	"stsyn/internal/symbolic" // want archdeps
+)
+
+var _ = fmt.Sprint(core.Strong, service.StatusClientClosed, symbolic.New)

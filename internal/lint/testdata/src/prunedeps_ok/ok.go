@@ -1,0 +1,13 @@
+// Package fixture only uses the prune allow-list (plus the stdlib); the
+// archdeps analyzer must stay silent.
+package fixture
+
+import (
+	"fmt"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/symmetry"
+)
+
+var _ = fmt.Sprint(core.Strong, protocol.Spec{}, symmetry.Rotation)

@@ -1,0 +1,130 @@
+package prune
+
+import (
+	"fmt"
+	"testing"
+
+	"stsyn/internal/cli"
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+)
+
+func buildSpec(t *testing.T, name string, k, dom int) *protocol.Spec {
+	t.Helper()
+	sp, err := cli.BuildSpec(name, k, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// lineColoring is a coloring spec on a line: like the ring, but the last
+// process does not wrap around to the first. No rotation maps the end
+// processes onto interior ones, so the automorphism group must be trivial.
+func lineColoring(k int) *protocol.Spec {
+	sp := &protocol.Spec{Name: fmt.Sprintf("linecoloring-%d", k)}
+	for i := 0; i < k; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{Name: fmt.Sprintf("c%d", i), Dom: 3})
+	}
+	var inv []protocol.BoolExpr
+	for i := 0; i < k; i++ {
+		reads := []int{i}
+		if i+1 < k {
+			reads = append(reads, i+1)
+			inv = append(inv, protocol.Neq{A: protocol.V{ID: i}, B: protocol.V{ID: i + 1}})
+		}
+		sp.Procs = append(sp.Procs, protocol.Process{
+			Name:   fmt.Sprintf("P%d", i),
+			Reads:  protocol.SortedIDs(reads...),
+			Writes: []int{i},
+		})
+	}
+	sp.Invariant = protocol.And{Xs: inv}
+	return sp
+}
+
+func TestDeriveGroupRings(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     *protocol.Spec
+		wantSize int
+	}{
+		// The coloring and matching rings are fully rotation-symmetric.
+		{"coloring-4", buildSpec(t, "coloring", 4, 0), 4},
+		{"coloring-5", buildSpec(t, "coloring", 5, 0), 5},
+		{"matching-4", buildSpec(t, "matching", 4, 0), 4},
+		// The token ring is a ring topology, but P0's actions differ from
+		// the others' — no non-trivial rotation preserves the problem.
+		{"tokenring-4", buildSpec(t, "tokenring", 4, 3), 1},
+		// A line topology has no ring rotation at all.
+		{"linecoloring-4", lineColoring(4), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := DeriveGroup(c.spec)
+			if g.Size() != c.wantSize {
+				t.Fatalf("group size = %d, want %d", g.Size(), c.wantSize)
+			}
+			if got := g.Trivial(); got != (c.wantSize == 1) {
+				t.Fatalf("Trivial() = %v with size %d", got, c.wantSize)
+			}
+		})
+	}
+}
+
+// TestOrbitPartition is the coverage property behind the quotient's
+// soundness: over the full k! space, the orbits of the canonical
+// representatives partition every schedule exactly once, and — the action
+// being free — every orbit has exactly group-size members.
+func TestOrbitPartition(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		sp := buildSpec(t, "coloring", k, 0)
+		g := DeriveGroup(sp)
+		if g.Size() != k {
+			t.Fatalf("coloring-%d: group size = %d, want %d", k, g.Size(), k)
+		}
+		all := core.AllSchedules(k)
+		covered := make(map[string]int)
+		reps := 0
+		for _, s := range all {
+			if sameSchedule(s, g.Canonical(s)) {
+				reps++
+				orbit := g.Orbit(s)
+				if len(orbit) != g.Size() {
+					t.Fatalf("orbit of %v has %d members, want %d (free action)", s, len(orbit), g.Size())
+				}
+				for _, m := range orbit {
+					covered[fmt.Sprint(m)]++
+				}
+			}
+		}
+		if want := len(all) / g.Size(); reps != want {
+			t.Fatalf("coloring-%d: %d canonical representatives, want %d", k, reps, want)
+		}
+		if len(covered) != len(all) {
+			t.Fatalf("coloring-%d: orbits cover %d schedules, want all %d", k, len(covered), len(all))
+		}
+		for s, n := range covered {
+			if n != 1 {
+				t.Fatalf("coloring-%d: schedule %s covered %d times, want exactly once", k, s, n)
+			}
+		}
+	}
+}
+
+func TestRepresentativeOfRoundTrip(t *testing.T) {
+	sp := buildSpec(t, "coloring", 4, 0)
+	g := DeriveGroup(sp)
+	for _, s := range core.AllSchedules(4) {
+		rep, via := g.RepresentativeOf(s)
+		if !sameSchedule(rep, g.Canonical(s)) {
+			t.Fatalf("RepresentativeOf(%v) rep = %v, want canonical %v", s, rep, g.Canonical(s))
+		}
+		if got := via.ApplySchedule(rep); !sameSchedule(got, s) {
+			t.Fatalf("via(rep) = %v, want %v", got, s)
+		}
+		if lexLess(s, rep) {
+			t.Fatalf("canonical %v is not lex-least: %v is smaller", rep, s)
+		}
+	}
+}

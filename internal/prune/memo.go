@@ -1,0 +1,216 @@
+package prune
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+)
+
+// DefaultMemoBytes is the memo budget used when none is configured: big
+// enough for the rank snapshots of every committed case study at once,
+// small enough to be irrelevant next to an engine's state space.
+const DefaultMemoBytes = 32 << 20
+
+// Scope returns the content address that confines memo entries to one
+// synthesis problem modulo schedule: a SHA-256 over the canonical spec
+// rendering (protocol.WriteCanonicalSpec — the same machinery behind the
+// service cache key and the distributed journal key) plus every
+// result-affecting option except the schedule itself. Entries from
+// different scopes can never meet, so a shared memo is safe across
+// heterogeneous requests.
+func Scope(sp *protocol.Spec, engine string, conv core.Convergence, res core.CycleResolution) string {
+	h := sha256.New()
+	protocol.WriteCanonicalSpec(h, sp)
+	fmt.Fprintf(h, "engine=%s\nconvergence=%s\nresolution=%d\n", engine, conv, res)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MemoStats is a point-in-time snapshot of a Memo's counters.
+type MemoStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// Memo is a bounded, content-addressed store for cross-schedule synthesis
+// sub-results (core.RankSnapshot, core.PrefixSnapshot), evicting least
+// recently used entries once the byte budget is exceeded. Safe for
+// concurrent use; one Memo may serve many jobs (the service holds a single
+// server-wide instance). Stored values are shared on load, never copied —
+// both producers (AddConvergence) and consumers treat them as immutable.
+type Memo struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	order     *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type memoEntry struct {
+	key   string
+	value interface{}
+	size  int64
+}
+
+// NewMemo returns a memo with the given byte budget (<= 0 selects
+// DefaultMemoBytes).
+func NewMemo(budget int64) *Memo {
+	if budget <= 0 {
+		budget = DefaultMemoBytes
+	}
+	return &Memo{budget: budget, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Stats returns the memo's counters.
+func (m *Memo) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{
+		Hits: m.hits, Misses: m.misses, Evictions: m.evictions,
+		Entries: len(m.items), Bytes: m.used,
+	}
+}
+
+func (m *Memo) get(key string) (interface{}, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	m.order.MoveToFront(el)
+	return el.Value.(*memoEntry).value, true
+}
+
+// peek is get without touching the hit/miss counters — used by the
+// longest-prefix probe, which counts once per logical lookup, not once per
+// probed length.
+func (m *Memo) peek(key string) (interface{}, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		return nil, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memoEntry).value, true
+}
+
+func (m *Memo) put(key string, value interface{}, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		// First store wins: synthesis snapshots for one key are all
+		// equivalent, and keeping the resident one avoids churning the LRU
+		// under concurrent attempts.
+		m.order.MoveToFront(el)
+		return
+	}
+	if size > m.budget {
+		return
+	}
+	el := m.order.PushFront(&memoEntry{key: key, value: value, size: size})
+	m.items[key] = el
+	m.used += size
+	for m.used > m.budget {
+		back := m.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*memoEntry)
+		m.order.Remove(back)
+		delete(m.items, ent.key)
+		m.used -= ent.size
+		m.evictions++
+	}
+}
+
+func (m *Memo) countHit()  { m.mu.Lock(); m.hits++; m.mu.Unlock() }
+func (m *Memo) countMiss() { m.mu.Lock(); m.misses++; m.mu.Unlock() }
+
+// ForJob scopes the memo to one synthesis problem (a Scope string): the
+// returned JobMemo implements core.SynthMemo and additionally tracks
+// per-job hit/miss counters for response stats.
+func (m *Memo) ForJob(scope string) *JobMemo {
+	return &JobMemo{m: m, scope: scope}
+}
+
+// JobMemo is a Memo confined to one scope. Safe for concurrent use — the
+// attempts of one fan-out share it.
+type JobMemo struct {
+	m     *Memo
+	scope string
+	hits  atomic.Int64
+	miss  atomic.Int64
+}
+
+// Hits and Misses return this job's counters.
+func (j *JobMemo) Hits() int64   { return j.hits.Load() }
+func (j *JobMemo) Misses() int64 { return j.miss.Load() }
+
+func (j *JobMemo) ranksKey() string { return j.scope + "\x00ranks" }
+
+func (j *JobMemo) prefixKey(prefix []int) string {
+	return fmt.Sprintf("%s\x00prefix%v", j.scope, prefix)
+}
+
+// LoadRanks implements core.SynthMemo.
+func (j *JobMemo) LoadRanks() (core.RankSnapshot, bool) {
+	v, ok := j.m.get(j.ranksKey())
+	if !ok {
+		j.miss.Add(1)
+		return core.RankSnapshot{}, false
+	}
+	j.hits.Add(1)
+	return v.(core.RankSnapshot), true
+}
+
+// StoreRanks implements core.SynthMemo.
+func (j *JobMemo) StoreRanks(snap core.RankSnapshot) {
+	size := int64(64)
+	for _, k := range snap.RemovedKeys {
+		size += int64(len(k)) + 16
+	}
+	for _, words := range snap.Ranks {
+		size += int64(len(words))*8 + 24
+	}
+	j.m.put(j.ranksKey(), snap, size)
+}
+
+// LoadPrefix implements core.SynthMemo: the longest stored snapshot whose
+// prefix matches a prefix of sched. One logical lookup counts one hit or
+// miss, however many lengths were probed.
+func (j *JobMemo) LoadPrefix(sched []int) (int, core.PrefixSnapshot, bool) {
+	for n := len(sched); n >= 1; n-- {
+		if v, ok := j.m.peek(j.prefixKey(sched[:n])); ok {
+			j.hits.Add(1)
+			j.m.countHit()
+			return n, v.(core.PrefixSnapshot), true
+		}
+	}
+	j.miss.Add(1)
+	j.m.countMiss()
+	return 0, core.PrefixSnapshot{}, false
+}
+
+// StorePrefix implements core.SynthMemo.
+func (j *JobMemo) StorePrefix(prefix []int, snap core.PrefixSnapshot) {
+	size := int64(64 + 8*len(prefix))
+	for _, k := range snap.AddedKeys {
+		size += int64(len(k)) + 16
+	}
+	j.m.put(j.prefixKey(prefix), snap, size)
+}

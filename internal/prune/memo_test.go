@@ -1,0 +1,117 @@
+package prune
+
+import (
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+)
+
+func TestScopeSeparatesProblems(t *testing.T) {
+	spA := buildSpec(t, "coloring", 4, 0)
+	spB := buildSpec(t, "coloring", 5, 0)
+	a := Scope(spA, "explicit", core.Strong, core.BatchResolution)
+	if b := Scope(spB, "explicit", core.Strong, core.BatchResolution); a == b {
+		t.Fatal("different specs share a scope")
+	}
+	if b := Scope(spA, "symbolic", core.Strong, core.BatchResolution); a == b {
+		t.Fatal("different engines share a scope")
+	}
+	if b := Scope(spA, "explicit", core.Weak, core.BatchResolution); a == b {
+		t.Fatal("different convergence properties share a scope")
+	}
+	if b := Scope(spA, "explicit", core.Strong, core.BatchResolution); a != b {
+		t.Fatal("scope is not deterministic")
+	}
+}
+
+func TestJobMemoRanksRoundTrip(t *testing.T) {
+	m := NewMemo(0)
+	jm := m.ForJob("scope-a")
+	if _, ok := jm.LoadRanks(); ok {
+		t.Fatal("empty memo reported a hit")
+	}
+	snap := core.RankSnapshot{
+		RemovedKeys: []protocol.Key{"1|0,|1,"},
+		Ranks:       [][]uint64{{1, 2}, {3}},
+	}
+	jm.StoreRanks(snap)
+	got, ok := jm.LoadRanks()
+	if !ok || len(got.Ranks) != 2 || len(got.RemovedKeys) != 1 {
+		t.Fatalf("LoadRanks = %+v, %v", got, ok)
+	}
+	if _, ok := m.ForJob("scope-b").LoadRanks(); ok {
+		t.Fatal("scopes leaked into each other")
+	}
+	if jm.Hits() != 1 || jm.Misses() != 1 {
+		t.Fatalf("job counters hits=%d misses=%d, want 1/1", jm.Hits(), jm.Misses())
+	}
+}
+
+func TestJobMemoLongestPrefix(t *testing.T) {
+	m := NewMemo(0)
+	jm := m.ForJob("s")
+	jm.StorePrefix([]int{1}, core.PrefixSnapshot{Pass: 1, RankIndex: 1})
+	jm.StorePrefix([]int{1, 2, 3}, core.PrefixSnapshot{Pass: 1, RankIndex: 1, Done: true})
+
+	n, snap, ok := jm.LoadPrefix([]int{1, 2, 3, 0})
+	if !ok || n != 3 || !snap.Done {
+		t.Fatalf("LoadPrefix = %d, %+v, %v; want longest match 3", n, snap, ok)
+	}
+	n, _, ok = jm.LoadPrefix([]int{1, 0, 3, 2})
+	if !ok || n != 1 {
+		t.Fatalf("LoadPrefix = %d, %v; want fallback match 1", n, ok)
+	}
+	if _, _, ok := jm.LoadPrefix([]int{3, 2, 1, 0}); ok {
+		t.Fatal("unrelated schedule hit the prefix memo")
+	}
+	// One logical lookup = one counter tick, however many lengths probed.
+	if jm.Hits() != 2 || jm.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", jm.Hits(), jm.Misses())
+	}
+}
+
+func TestMemoEvictsLRU(t *testing.T) {
+	// Budget fits about two prefix entries (64 + 8*len(prefix) each).
+	m := NewMemo(200)
+	jm := m.ForJob("s")
+	jm.StorePrefix([]int{1}, core.PrefixSnapshot{Pass: 1})
+	jm.StorePrefix([]int{2}, core.PrefixSnapshot{Pass: 1})
+	// Touch {1} so {2} is the least recently used.
+	if _, _, ok := jm.LoadPrefix([]int{1, 0}); !ok {
+		t.Fatal("expected {1} to be resident")
+	}
+	jm.StorePrefix([]int{3}, core.PrefixSnapshot{Pass: 1})
+
+	st := m.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions, stats = %+v", st)
+	}
+	if st.Bytes > 200 {
+		t.Fatalf("memo over budget: %+v", st)
+	}
+	if _, _, ok := jm.LoadPrefix([]int{2, 0}); ok {
+		t.Fatal("LRU entry {2} should have been evicted")
+	}
+	if _, _, ok := jm.LoadPrefix([]int{1, 0}); !ok {
+		t.Fatal("recently used entry {1} was evicted")
+	}
+}
+
+func TestMemoOversizeAndFirstStoreWins(t *testing.T) {
+	m := NewMemo(100)
+	jm := m.ForJob("s")
+	// An entry larger than the whole budget is skipped, not stored.
+	huge := core.RankSnapshot{Ranks: [][]uint64{make([]uint64, 64)}}
+	jm.StoreRanks(huge)
+	if st := m.Stats(); st.Entries != 0 {
+		t.Fatalf("oversize entry was stored: %+v", st)
+	}
+	// First store wins: a second store under the same key keeps the original.
+	jm.StorePrefix([]int{1}, core.PrefixSnapshot{Pass: 1, RankIndex: 7})
+	jm.StorePrefix([]int{1}, core.PrefixSnapshot{Pass: 1, RankIndex: 9})
+	_, snap, ok := jm.LoadPrefix([]int{1})
+	if !ok || snap.RankIndex != 7 {
+		t.Fatalf("LoadPrefix = %+v, %v; want the first-stored snapshot", snap, ok)
+	}
+}

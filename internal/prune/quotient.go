@@ -1,0 +1,81 @@
+package prune
+
+import "fmt"
+
+// QuotientStats counts what a QuotientStream did: Emitted representatives
+// handed to the search, Pruned schedules dropped as orbit-mates of an
+// earlier emission.
+type QuotientStats struct {
+	Emitted int `json:"emitted"`
+	Pruned  int `json:"pruned"`
+}
+
+// QuotientStream filters a schedule stream down to one representative per
+// orbit of the group, preserving the stream's order and therefore the
+// lowest-index-winner determinism of TryScheduleStream and the distributed
+// coordinator: the representative it emits for an orbit is always the
+// orbit's *first occurrence* in the underlying stream, so the index of the
+// first successful orbit — and with it the winning protocol — is unchanged.
+//
+// For streams in lexicographic order over a group-closed set (the full k!
+// ScheduleStream, the Rotations list), the first occurrence is exactly the
+// lexicographically-least canonical member, and the filter runs in O(1)
+// memory. Other stream orders (samples, explicit lists) fall back to a
+// seen-orbit set keyed by canonical form.
+//
+// Not safe for concurrent use — neither are the streams it wraps; the
+// fan-out drivers pull from a single goroutine.
+type QuotientStream struct {
+	g     *Group
+	next  func() ([]int, bool)
+	lex   bool
+	seen  map[string]bool
+	stats QuotientStats
+}
+
+// NewQuotientStream wraps next. Set lexOrdered when the underlying stream
+// yields schedules in lexicographic order and covers whole orbits (the
+// full enumeration and the rotations list both do); leave it false for
+// samples and arbitrary lists.
+func NewQuotientStream(g *Group, next func() ([]int, bool), lexOrdered bool) *QuotientStream {
+	q := &QuotientStream{g: g, next: next, lex: lexOrdered}
+	if !lexOrdered && !g.Trivial() {
+		q.seen = make(map[string]bool)
+	}
+	return q
+}
+
+// Next returns the next orbit representative, pulling the underlying
+// stream past pruned schedules.
+func (q *QuotientStream) Next() ([]int, bool) {
+	for {
+		s, ok := q.next()
+		if !ok {
+			return nil, false
+		}
+		if q.g.Trivial() {
+			q.stats.Emitted++
+			return s, true
+		}
+		if q.lex {
+			if sameSchedule(s, q.g.Canonical(s)) {
+				q.stats.Emitted++
+				return s, true
+			}
+			q.stats.Pruned++
+			continue
+		}
+		key := fmt.Sprint(q.g.Canonical(s))
+		if !q.seen[key] {
+			q.seen[key] = true
+			q.stats.Emitted++
+			return s, true
+		}
+		q.stats.Pruned++
+	}
+}
+
+// Stats returns the counters so far. Call after the search has drained the
+// stream (the fan-out drivers pull synchronously, so by the time they
+// return the counters are final).
+func (q *QuotientStream) Stats() QuotientStats { return q.stats }

@@ -1,0 +1,97 @@
+package prune
+
+import (
+	"fmt"
+	"testing"
+
+	"stsyn/internal/core"
+)
+
+func drain(q *QuotientStream) [][]int {
+	var out [][]int
+	for s, ok := q.Next(); ok; s, ok = q.Next() {
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestQuotientStreamLexFullSpace(t *testing.T) {
+	sp := buildSpec(t, "coloring", 4, 0)
+	g := DeriveGroup(sp)
+	q := NewQuotientStream(g, core.NewScheduleStream(4).Next, true)
+	reps := drain(q)
+	if want := 24 / g.Size(); len(reps) != want {
+		t.Fatalf("emitted %d representatives, want %d", len(reps), want)
+	}
+	st := q.Stats()
+	if st.Emitted != len(reps) || st.Emitted+st.Pruned != 24 {
+		t.Fatalf("stats = %+v, want emitted %d and emitted+pruned = 24", st, len(reps))
+	}
+	// Each emission is canonical, and together they cover every orbit.
+	covered := make(map[string]bool)
+	for _, s := range reps {
+		if !sameSchedule(s, g.Canonical(s)) {
+			t.Fatalf("emitted non-canonical representative %v", s)
+		}
+		for _, m := range g.Orbit(s) {
+			covered[fmt.Sprint(m)] = true
+		}
+	}
+	if len(covered) != 24 {
+		t.Fatalf("representatives cover %d schedules, want 24", len(covered))
+	}
+}
+
+func TestQuotientStreamRotations(t *testing.T) {
+	sp := buildSpec(t, "coloring", 4, 0)
+	g := DeriveGroup(sp)
+	q := NewQuotientStream(g, core.StreamSchedules(core.Rotations(4)), true)
+	reps := drain(q)
+	// The k rotations form a single orbit: only the identity survives.
+	if len(reps) != 1 || !sameSchedule(reps[0], []int{0, 1, 2, 3}) {
+		t.Fatalf("rotations quotient = %v, want just [0 1 2 3]", reps)
+	}
+	if st := q.Stats(); st.Pruned != 3 {
+		t.Fatalf("pruned = %d, want 3", st.Pruned)
+	}
+}
+
+// TestQuotientStreamSeenSet drives the non-lex fallback with a stream whose
+// order is not lexicographic: the first occurrence of each orbit must be
+// kept even when it is not the canonical member.
+func TestQuotientStreamSeenSet(t *testing.T) {
+	sp := buildSpec(t, "coloring", 3, 0)
+	g := DeriveGroup(sp)
+	list := [][]int{
+		{1, 2, 0}, // orbit of identity, non-canonical — first occurrence wins
+		{0, 1, 2}, // same orbit: pruned even though canonical
+		{2, 1, 0}, // new orbit
+		{0, 2, 1}, // orbit-mate of {2 1 0} (rotation by 1): pruned
+	}
+	q := NewQuotientStream(g, core.StreamSchedules(list), false)
+	reps := drain(q)
+	want := [][]int{{1, 2, 0}, {2, 1, 0}}
+	if len(reps) != len(want) {
+		t.Fatalf("emitted %v, want %v", reps, want)
+	}
+	for i := range want {
+		if !sameSchedule(reps[i], want[i]) {
+			t.Fatalf("emitted %v, want %v", reps, want)
+		}
+	}
+	if st := q.Stats(); st.Emitted != 2 || st.Pruned != 2 {
+		t.Fatalf("stats = %+v, want 2 emitted / 2 pruned", st)
+	}
+}
+
+func TestQuotientStreamTrivialPassThrough(t *testing.T) {
+	sp := buildSpec(t, "tokenring", 4, 3)
+	g := DeriveGroup(sp)
+	q := NewQuotientStream(g, core.StreamSchedules(core.Rotations(4)), true)
+	if reps := drain(q); len(reps) != 4 {
+		t.Fatalf("trivial group must pass everything through, got %d of 4", len(reps))
+	}
+	if st := q.Stats(); st.Pruned != 0 {
+		t.Fatalf("trivial group pruned %d schedules", st.Pruned)
+	}
+}

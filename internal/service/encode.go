@@ -48,9 +48,18 @@ type Request struct {
 	// Fanout tries all cyclic-rotation schedules in parallel and keeps the
 	// first success; Schedule must be empty.
 	Fanout bool `json:"fanout,omitempty"`
+	// Prune enables symmetry-quotient schedule pruning and the
+	// cross-schedule fixpoint memo: with Fanout, orbit-equivalent schedules
+	// are searched once; with or without it, rank/fixpoint sub-results are
+	// shared through the server's memo. The synthesized protocol is
+	// byte-identical to the unpruned run. Requires batch resolution (the
+	// default): incremental cycle resolution is not equivariant under the
+	// symmetry group.
+	Prune bool `json:"prune,omitempty"`
 
-	// SCC selects the explicit engine's cycle-detection algorithm: tarjan
-	// (default) or fb (the trim-based parallel forward-backward search).
+	// SCC selects the explicit engine's cycle-detection algorithm: auto
+	// (default: Tarjan below the measured crossover state count, fb above
+	// it), tarjan, or fb (the trim-based parallel forward-backward search).
 	// Requires the explicit engine.
 	SCC string `json:"scc,omitempty"`
 	// Workers bounds the explicit engine's image/SCC parallelism (0 =
@@ -115,6 +124,10 @@ type Response struct {
 	// counters (nil for the symbolic engine).
 	Explicit *ExplicitStats `json:"explicit,omitempty"`
 
+	// Prune reports what symmetry pruning did for this job (nil when the
+	// request did not ask for pruning).
+	Prune *PruneStats `json:"prune,omitempty"`
+
 	// Cached reports whether the response was served from the result cache;
 	// ElapsedMS is the server-side job time (0 for CLI use).
 	Cached    bool    `json:"cached"`
@@ -149,6 +162,18 @@ type ExplicitStats struct {
 	GroupTests   uint64 `json:"group_tests"`
 }
 
+// PruneStats is the JSON rendering of one job's symmetry-pruning activity:
+// the derived automorphism group's size, the quotient's schedule counters
+// (zero for single-schedule jobs, where there is nothing to quotient), and
+// this job's hits and misses against the cross-schedule fixpoint memo.
+type PruneStats struct {
+	GroupSize        int   `json:"group_size"`
+	SchedulesEmitted int   `json:"schedules_emitted"`
+	SchedulesPruned  int   `json:"schedules_pruned"`
+	MemoHits         int64 `json:"memo_hits"`
+	MemoMisses       int64 `json:"memo_misses"`
+}
+
 // explicitStats snapshots the explicit engine's kernel counters, or returns
 // nil for other engines.
 func explicitStats(e core.Engine) *ExplicitStats {
@@ -158,7 +183,7 @@ func explicitStats(e core.Engine) *ExplicitStats {
 	}
 	ks := ee.KernelStats()
 	return &ExplicitStats{
-		SCCAlgorithm: ee.SCCAlgorithm().String(),
+		SCCAlgorithm: ee.SCCAlgorithmName(),
 		Workers:      ee.Workers(),
 		PreOps:       ks.PreCalls,
 		PostOps:      ks.PostCalls,
@@ -241,7 +266,8 @@ type Job struct {
 	Schedule    []int // always a concrete permutation
 	Resolution  core.CycleResolution
 	Fanout      bool
-	SCC         string // "tarjan" or "fb" (explicit engine)
+	Prune       bool
+	SCC         string // "auto", "tarjan" or "fb" (explicit engine)
 	Workers     int    // explicit engine parallelism (0 = GOMAXPROCS)
 	Key         string // content-addressed cache key
 }
@@ -280,18 +306,20 @@ func Normalize(req *Request, sp *protocol.Spec) (*Job, error) {
 	}
 
 	switch strings.ToLower(req.SCC) {
-	case "", "tarjan":
+	case "", "auto":
+		j.SCC = "auto"
+	case "tarjan":
 		j.SCC = "tarjan"
 	case "fb", "forward-backward":
 		j.SCC = "fb"
 	default:
-		return nil, fmt.Errorf("unknown scc algorithm %q (want tarjan or fb)", req.SCC)
+		return nil, fmt.Errorf("unknown scc algorithm %q (want auto, tarjan or fb)", req.SCC)
 	}
 	if req.Workers < 0 {
 		return nil, fmt.Errorf("workers must be non-negative, got %d", req.Workers)
 	}
 	j.Workers = req.Workers
-	if j.Engine != "explicit" && (j.SCC != "tarjan" || j.Workers != 0) {
+	if j.Engine != "explicit" && (j.SCC != "auto" || j.Workers != 0) {
 		return nil, fmt.Errorf("scc and workers are explicit-engine options (engine resolved to %s)", j.Engine)
 	}
 
@@ -302,6 +330,11 @@ func Normalize(req *Request, sp *protocol.Spec) (*Job, error) {
 		j.Resolution = core.IncrementalResolution
 	default:
 		return nil, fmt.Errorf("unknown resolution %q (want batch or incremental)", req.Resolution)
+	}
+
+	j.Prune = req.Prune
+	if j.Prune && j.Resolution != core.BatchResolution {
+		return nil, fmt.Errorf("prune requires batch resolution: incremental cycle resolution is not equivariant under the symmetry group")
 	}
 
 	k := len(sp.Procs)

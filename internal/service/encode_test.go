@@ -184,8 +184,8 @@ func TestNormalizeSCCAndWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if base.SCC != "tarjan" {
-		t.Errorf("default scc = %q, want tarjan", base.SCC)
+	if base.SCC != "auto" {
+		t.Errorf("default scc = %q, want auto", base.SCC)
 	}
 	if j.Key == base.Key {
 		t.Error("scc/workers did not change the cache key")

@@ -4,53 +4,28 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"strings"
 
 	"stsyn/internal/protocol"
 )
 
 // CanonicalKey returns the content address of a normalized job: a SHA-256
-// over a canonical rendering of the specification plus every
-// result-affecting option. Two requests that denote the same synthesis
-// problem — whether a built-in was named or the equivalent spec inlined,
-// whether defaults were spelled out or omitted — map to the same key.
+// over a canonical rendering of the specification
+// (protocol.WriteCanonicalSpec) plus every result-affecting option. Two
+// requests that denote the same synthesis problem — whether a built-in was
+// named or the equivalent spec inlined, whether defaults were spelled out
+// or omitted — map to the same key.
 //
-// The spec's Name is deliberately excluded: it labels the protocol but does
-// not affect the synthesized result.
+// Prune participates in the key even though a pruned run returns a
+// byte-identical protocol: the response's prune stats block differs, and a
+// cached unpruned response must not masquerade as a pruned one (or vice
+// versa).
 func CanonicalKey(j *Job) string {
 	h := sha256.New()
-	writeCanonicalSpec(h, j.Spec)
-	fmt.Fprintf(h, "engine=%s\nconvergence=%s\nresolution=%d\nfanout=%v\nscc=%s\nworkers=%d\n",
-		j.Engine, j.Convergence, j.Resolution, j.Fanout, j.SCC, j.Workers)
+	protocol.WriteCanonicalSpec(h, j.Spec)
+	fmt.Fprintf(h, "engine=%s\nconvergence=%s\nresolution=%d\nfanout=%v\nscc=%s\nworkers=%d\nprune=%v\n",
+		j.Engine, j.Convergence, j.Resolution, j.Fanout, j.SCC, j.Workers, j.Prune)
 	if !j.Fanout {
 		fmt.Fprintf(h, "schedule=%v\n", j.Schedule)
 	}
 	return hex.EncodeToString(h.Sum(nil))
-}
-
-// writeCanonicalSpec writes a deterministic rendering of the specification:
-// variables with domains, per-process localities, actions as rendered
-// guarded commands, and the rendered invariant. Expression rendering is
-// syntactic, so specs are equal iff they were written identically up to
-// whitespace — a sound (never merging distinct problems) and cheap notion
-// of content equality.
-func writeCanonicalSpec(w interface{ Write([]byte) (int, error) }, sp *protocol.Spec) {
-	names := sp.VarNames()
-	var b strings.Builder
-	for _, v := range sp.Vars {
-		fmt.Fprintf(&b, "var %s:%d\n", v.Name, v.Dom)
-	}
-	for pi := range sp.Procs {
-		p := &sp.Procs[pi]
-		fmt.Fprintf(&b, "proc %s r=%v w=%v\n", p.Name, p.Reads, p.Writes)
-		for _, a := range p.Actions {
-			fmt.Fprintf(&b, "  %s ->", a.Guard.Render(names))
-			for _, as := range a.Assigns {
-				fmt.Fprintf(&b, " %s:=%s;", names[as.Var], as.Expr.Render(names))
-			}
-			b.WriteString("\n")
-		}
-	}
-	fmt.Fprintf(&b, "invariant %s\n", sp.Invariant.Render(names))
-	w.Write([]byte(b.String()))
 }

@@ -40,6 +40,12 @@ type Metrics struct {
 	ExplicitPostOps    atomic.Int64 // cumulative Post image kernels
 	ExplicitGroupTests atomic.Int64 // cumulative per-group membership tests
 
+	// Search-space pruning observability, aggregated across prune-enabled
+	// jobs.
+	PruneSchedulesPruned atomic.Int64 // schedules dropped by the orbit quotient
+	PruneMemoHits        atomic.Int64 // fixpoint-memo hits
+	PruneMemoMisses      atomic.Int64 // fixpoint-memo misses
+
 	mu      sync.Mutex
 	latency map[string]*histogram // per engine
 }
@@ -73,6 +79,17 @@ func (m *Metrics) ObserveExplicit(s *ExplicitStats) {
 	m.ExplicitPreOps.Add(int64(s.PreOps))
 	m.ExplicitPostOps.Add(int64(s.PostOps))
 	m.ExplicitGroupTests.Add(int64(s.GroupTests))
+}
+
+// ObservePrune folds one finished prune-enabled job's quotient and memo
+// counters into the service-level counters.
+func (m *Metrics) ObservePrune(s *PruneStats) {
+	if s == nil {
+		return
+	}
+	m.PruneSchedulesPruned.Add(int64(s.SchedulesPruned))
+	m.PruneMemoHits.Add(s.MemoHits)
+	m.PruneMemoMisses.Add(s.MemoMisses)
 }
 
 // latencyBucketsMS are the job-duration histogram bucket upper bounds in
@@ -147,6 +164,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("stsyn_explicit_pre_ops_total", "Explicit-engine Pre image kernels across jobs.", m.ExplicitPreOps.Load())
 	counter("stsyn_explicit_post_ops_total", "Explicit-engine Post image kernels across jobs.", m.ExplicitPostOps.Load())
 	counter("stsyn_explicit_group_tests_total", "Explicit-engine per-group membership tests across jobs.", m.ExplicitGroupTests.Load())
+	counter("stsyn_prune_schedules_pruned_total", "Schedules dropped by the symmetry orbit quotient.", m.PruneSchedulesPruned.Load())
+	counter("stsyn_prune_memo_hits_total", "Fixpoint-memo hits across prune-enabled jobs.", m.PruneMemoHits.Load())
+	counter("stsyn_prune_memo_misses_total", "Fixpoint-memo misses across prune-enabled jobs.", m.PruneMemoMisses.Load())
 
 	if gauges == nil {
 		gauges = map[string]float64{}

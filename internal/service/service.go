@@ -14,6 +14,7 @@ import (
 
 	"stsyn/internal/core"
 	"stsyn/internal/explicit"
+	"stsyn/internal/prune"
 	"stsyn/internal/symbolic"
 	"stsyn/internal/verify"
 )
@@ -37,6 +38,11 @@ type Config struct {
 	// CacheBytes is the result cache budget (default 64 MiB). Negative
 	// disables caching.
 	CacheBytes int64
+	// MemoBytes is the budget of the cross-schedule fixpoint memo serving
+	// prune-enabled jobs (default prune.DefaultMemoBytes). Negative
+	// disables the memo — pruned jobs then still quotient the schedule
+	// space but share no sub-results.
+	MemoBytes int64
 	// Logf, when non-nil, receives one structured line per job and per
 	// lifecycle event.
 	Logf func(format string, args ...interface{})
@@ -76,6 +82,7 @@ type Server struct {
 	cfg     Config
 	jobs    chan *job
 	cache   *resultCache
+	memo    *prune.Memo // nil when MemoBytes < 0
 	metrics *Metrics
 	logf    func(string, ...interface{})
 
@@ -122,6 +129,9 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		logf:    cfg.Logf,
 	}
+	if cfg.MemoBytes >= 0 {
+		s.memo = prune.NewMemo(cfg.MemoBytes)
+	}
 	if s.logf == nil {
 		s.logf = func(string, ...interface{}) {}
 	}
@@ -140,6 +150,15 @@ func (s *Server) QueueDepth() int { return len(s.jobs) }
 
 // CacheStats returns the result cache's entry count and bytes in use.
 func (s *Server) CacheStats() (entries int, bytes int64) { return s.cache.stats() }
+
+// MemoStats returns the cross-schedule fixpoint memo's counters (zeros
+// when the memo is disabled).
+func (s *Server) MemoStats() prune.MemoStats {
+	if s.memo == nil {
+		return prune.MemoStats{}
+	}
+	return s.memo.Stats()
+}
 
 // asServiceError passes through an error that already carries an HTTP
 // status and wraps any other in the given fallback status and message.
@@ -310,6 +329,7 @@ func (s *Server) run(j *job) {
 	s.metrics.JobsSucceeded.Add(1)
 	s.metrics.ObserveBDD(resp.BDD)
 	s.metrics.ObserveExplicit(resp.Explicit)
+	s.metrics.ObservePrune(resp.Prune)
 	if s.cfg.CacheBytes > 0 {
 		if data, err := json.Marshal(resp); err == nil {
 			s.cache.put(j.norm.Key, resp, int64(len(data))+int64(len(j.norm.Key)))
@@ -336,9 +356,42 @@ func (s *Server) synthesize(ctx context.Context, norm *Job) (*Response, error) {
 	opts := norm.Options()
 	opts.Ctx = ctx
 
+	// Prune-enabled jobs get the spec's schedule-automorphism group and a
+	// scope into the server-wide fixpoint memo. Both legs preserve the
+	// result bit for bit: the quotient drops only orbit-mates of schedules
+	// that still run, and memo hits replay exactly what recomputation
+	// would produce.
+	var group *prune.Group
+	var jobMemo *prune.JobMemo
+	var pruneStats *PruneStats
+	if norm.Prune {
+		group = prune.DeriveGroup(norm.Spec)
+		pruneStats = &PruneStats{GroupSize: group.Size()}
+		if s.memo != nil {
+			jobMemo = s.memo.ForJob(prune.Scope(norm.Spec, norm.Engine, norm.Convergence, norm.Resolution))
+			opts.Memo = jobMemo
+		}
+	}
+
 	if norm.Fanout {
-		best, _, err := core.TryScheduleStream(factory, opts,
-			core.StreamSchedules(core.Rotations(len(norm.Spec.Procs))), runtime.GOMAXPROCS(0))
+		stream := core.StreamSchedules(core.Rotations(len(norm.Spec.Procs)))
+		if group != nil {
+			// The rotations list is in lexicographic order and closed under
+			// the (rotation-generated) group, so the O(1) canonical filter
+			// applies. The quotient is drained eagerly — it is at most k
+			// schedules — so the stats report the whole quotient even when
+			// an early success stops the search before the stream is spent.
+			q := prune.NewQuotientStream(group, stream, true)
+			var reps [][]int
+			for s, ok := q.Next(); ok; s, ok = q.Next() {
+				reps = append(reps, s)
+			}
+			qs := q.Stats()
+			pruneStats.SchedulesEmitted = qs.Emitted
+			pruneStats.SchedulesPruned = qs.Pruned
+			stream = core.StreamSchedules(reps)
+		}
+		best, _, err := core.TryScheduleStream(factory, opts, stream, runtime.GOMAXPROCS(0))
 		if err != nil {
 			return nil, err
 		}
@@ -367,7 +420,15 @@ func (s *Server) synthesize(ctx context.Context, norm *Job) (*Response, error) {
 	if !verdict.OK {
 		return nil, fmt.Errorf("internal error: synthesized protocol failed verification: %s", verdict.Reason)
 	}
-	return EncodeResult(e, res, norm, true), nil
+	resp := EncodeResult(e, res, norm, true)
+	if pruneStats != nil {
+		if jobMemo != nil {
+			pruneStats.MemoHits = jobMemo.Hits()
+			pruneStats.MemoMisses = jobMemo.Misses()
+		}
+		resp.Prune = pruneStats
+	}
+	return resp, nil
 }
 
 // newEngine builds the job's engine and applies its engine-level knobs.
@@ -377,8 +438,11 @@ func newEngine(norm *Job) (core.Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		if norm.SCC == "fb" {
+		switch norm.SCC {
+		case "fb":
 			e.SetSCCAlgorithm(explicit.ForwardBackward)
+		case "tarjan":
+			e.SetSCCAlgorithm(explicit.Tarjan)
 		}
 		e.SetParallelism(norm.Workers)
 		return e, nil

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -462,5 +463,69 @@ func TestExplicitKernelOptionsEndToEnd(t *testing.T) {
 	status, data = postSynthesize(t, ts, `{"protocol":"tokenring","engine":"symbolic","scc":"fb"}`)
 	if status != http.StatusUnprocessableEntity {
 		t.Errorf("symbolic+fb status = %d, want 422 (body %s)", status, data)
+	}
+}
+
+// Prune end-to-end: a pruned fanout job must synthesize the identical
+// protocol while reporting its quotient and memo activity, miss the
+// unpruned job's cache entry (prune is part of the key), fold its stats
+// into the service metrics, and reject incremental resolution.
+func TestPruneFanoutEndToEnd(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+
+	status, data := postSynthesize(t, ts, `{"protocol":"coloring","k":4,"fanout":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("unpruned status = %d, body %s", status, data)
+	}
+	plain := decodeResponse(t, data)
+	if plain.Prune != nil {
+		t.Error("unpruned response carries a prune block")
+	}
+
+	status, data = postSynthesize(t, ts, `{"protocol":"coloring","k":4,"fanout":true,"prune":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("pruned status = %d, body %s", status, data)
+	}
+	pruned := decodeResponse(t, data)
+	if pruned.Cached {
+		t.Fatal("pruned job hit the unpruned cache entry: prune missing from the key")
+	}
+	if pruned.Prune == nil {
+		t.Fatal("prune stats missing from the response")
+	}
+	// The 4-coloring ring is fully rotation-symmetric: the four rotation
+	// schedules collapse to one representative.
+	if p := pruned.Prune; p.GroupSize != 4 || p.SchedulesEmitted != 1 || p.SchedulesPruned != 3 {
+		t.Errorf("prune stats = %+v, want group=4 emitted=1 pruned=3", p)
+	}
+	if pruned.Prune.MemoMisses == 0 {
+		t.Error("cold memo reported no misses")
+	}
+	if !reflect.DeepEqual(plain.Actions, pruned.Actions) {
+		t.Error("pruned synthesis produced a different protocol")
+	}
+	if plain.Pass != pruned.Pass || plain.ProgramSize != pruned.ProgramSize {
+		t.Error("pruned synthesis stats diverged from the unpruned run")
+	}
+
+	m := svc.Metrics()
+	if got := m.PruneSchedulesPruned.Load(); got != 3 {
+		t.Errorf("service prune counter = %d, want 3", got)
+	}
+	if m.PruneMemoMisses.Load() == 0 {
+		t.Error("service memo-miss counter not aggregated")
+	}
+	if st := svc.MemoStats(); st.Entries == 0 {
+		t.Error("server-wide memo retained no entries after a pruned job")
+	}
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf, nil)
+	if !strings.Contains(buf.String(), "stsyn_prune_schedules_pruned_total") {
+		t.Error("prune counters missing from /metrics exposition")
+	}
+
+	status, data = postSynthesize(t, ts, `{"protocol":"coloring","k":4,"prune":true,"resolution":"incremental"}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("prune+incremental status = %d, want 422 (body %s)", status, data)
 	}
 }

@@ -1,0 +1,85 @@
+package specgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stsyn/internal/protocol"
+	"stsyn/internal/symmetry"
+)
+
+// RandomRingSpec generates a rotation-symmetric ring protocol: 3-4
+// processes in a ring, one variable per process with one uniform domain,
+// and actions plus invariant built by rotating a single process-0 template
+// around the ring — so rotation-by-1 is an automorphism of the whole
+// synthesis problem by construction. These are the inputs of the prune
+// package's quotient-coverage fuzz battery; like RandomSpec they stay tiny
+// so whole-space enumeration is cheap.
+func RandomRingSpec(rng *rand.Rand, withActions bool) *protocol.Spec {
+	k := 3 + rng.Intn(2)
+	dom := 2 + rng.Intn(2)
+	sp := &protocol.Spec{Name: "fuzzring"}
+	for i := 0; i < k; i++ {
+		sp.Vars = append(sp.Vars, protocol.Var{Name: fmt.Sprintf("x%d", i), Dom: dom})
+	}
+
+	// Templates over process 0's locality: its own variable and its right
+	// neighbour's. All domains are uniform, so modular operands stay matched
+	// under rotation.
+	tmplReads := []int{0, 1}
+	var tmplActions []protocol.Action
+	if withActions {
+		for a := 0; a < rng.Intn(3); a++ {
+			tmplActions = append(tmplActions, protocol.Action{
+				Guard:   RandomBoolExpr(rng, sp, tmplReads, 2),
+				Assigns: []protocol.Assignment{{Var: 0, Expr: protocol.C{Val: rng.Intn(dom)}}},
+			})
+		}
+	}
+	tmplInv := RandomBoolExpr(rng, sp, tmplReads, 2)
+	conj := rng.Intn(2) == 0
+
+	var invParts []protocol.BoolExpr
+	for i := 0; i < k; i++ {
+		rot := make([]int, k)
+		for v := range rot {
+			rot[v] = (v + i) % k
+		}
+		proc := protocol.Process{
+			Name:   fmt.Sprintf("P%d", i),
+			Reads:  protocol.SortedIDs(i, (i+1)%k),
+			Writes: []int{i},
+		}
+		for _, act := range tmplActions {
+			proc.Actions = append(proc.Actions, rotateAction(act, rot))
+		}
+		sp.Procs = append(sp.Procs, proc)
+		invParts = append(invParts, mustRenameBool(tmplInv, rot))
+	}
+	if conj {
+		sp.Invariant = protocol.And{Xs: invParts}
+	} else {
+		sp.Invariant = protocol.Or{Xs: invParts}
+	}
+	return sp
+}
+
+func rotateAction(act protocol.Action, perm []int) protocol.Action {
+	out := protocol.Action{Guard: mustRenameBool(act.Guard, perm)}
+	for _, as := range act.Assigns {
+		e, ok := symmetry.RenameInt(as.Expr, perm)
+		if !ok {
+			panic("specgen: generated an expression the symmetry renamer does not cover")
+		}
+		out.Assigns = append(out.Assigns, protocol.Assignment{Var: perm[as.Var], Expr: e})
+	}
+	return out
+}
+
+func mustRenameBool(e protocol.BoolExpr, perm []int) protocol.BoolExpr {
+	out, ok := symmetry.RenameBool(e, perm)
+	if !ok {
+		panic("specgen: generated an expression the symmetry renamer does not cover")
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Spec-level automorphisms: Valid checks only the topology (domains and
+// localities), which is what the symmetry *analysis* of synthesized
+// protocols needs. Schedule pruning (internal/prune) needs more: an
+// automorphism may only quotient the schedule search space when it maps the
+// whole synthesis *problem* onto itself — initial actions and invariant
+// included — because only then does the heuristic commute with the renaming.
+// ValidForSpec is that stronger check.
+
+package symmetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stsyn/internal/protocol"
+)
+
+// Identity returns the identity automorphism of the specification.
+func Identity(sp *protocol.Spec) Automorphism {
+	vp := make([]int, len(sp.Vars))
+	for i := range vp {
+		vp[i] = i
+	}
+	pp := make([]int, len(sp.Procs))
+	for i := range pp {
+		pp[i] = i
+	}
+	return Automorphism{VarPerm: vp, ProcPerm: pp}
+}
+
+// RotationBy returns the rotation-by-step automorphism for a protocol whose
+// first k variables and processes are arranged in a ring (variable i owned
+// by process i). Extra non-ring variables (beyond k) map to themselves.
+// RotationBy(sp, k, 1) is Rotation(sp, k).
+func RotationBy(sp *protocol.Spec, k, step int) Automorphism {
+	vp := make([]int, len(sp.Vars))
+	for i := range vp {
+		if i < k {
+			vp[i] = (i + step) % k
+		} else {
+			vp[i] = i
+		}
+	}
+	pp := make([]int, len(sp.Procs))
+	for i := range pp {
+		if i < k {
+			pp[i] = (i + step) % k
+		} else {
+			pp[i] = i
+		}
+	}
+	return Automorphism{VarPerm: vp, ProcPerm: pp}
+}
+
+// Compose returns the automorphism "a then b": (b∘a).VarPerm[v] =
+// b.VarPerm[a.VarPerm[v]], and likewise for processes.
+func Compose(b, a Automorphism) Automorphism {
+	vp := make([]int, len(a.VarPerm))
+	for i, w := range a.VarPerm {
+		vp[i] = b.VarPerm[w]
+	}
+	pp := make([]int, len(a.ProcPerm))
+	for i, q := range a.ProcPerm {
+		pp[i] = b.ProcPerm[q]
+	}
+	return Automorphism{VarPerm: vp, ProcPerm: pp}
+}
+
+// IsIdentity reports whether the automorphism maps everything to itself.
+func (a Automorphism) IsIdentity() bool {
+	for i, w := range a.VarPerm {
+		if i != w {
+			return false
+		}
+	}
+	for i, q := range a.ProcPerm {
+		if i != q {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplySchedule maps a recovery schedule through the automorphism: slot i
+// of the image schedules process ProcPerm[s[i]].
+func (a Automorphism) ApplySchedule(s []int) []int {
+	out := make([]int, len(s))
+	for i, p := range s {
+		out[i] = a.ProcPerm[p]
+	}
+	return out
+}
+
+// ValidForSpec reports whether a is an automorphism of the full synthesis
+// problem, not just its topology: on top of Valid (domains, localities),
+// every process's initial guarded commands must map onto its image's and
+// the invariant must be invariant under the variable renaming.
+//
+// Expression equality is decided on canonicalized ASTs (flattened and
+// sorted conjunctions/disjunctions, sorted Eq/Neq operands) — sound but
+// syntactic, so a structurally disguised symmetry may be missed. Missing a
+// symmetry only costs pruning opportunity; accepting a false one would be
+// unsound, and cannot happen here.
+func (a Automorphism) ValidForSpec(sp *protocol.Spec) error {
+	if err := a.Valid(sp); err != nil {
+		return err
+	}
+	for pi, pj := range a.ProcPerm {
+		img, ok := renamedActionSet(sp.Procs[pi].Actions, a.VarPerm)
+		if !ok {
+			return fmt.Errorf("symmetry: actions of %s contain an expression the renamer does not cover", sp.Procs[pi].Name)
+		}
+		want, ok := renamedActionSet(sp.Procs[pj].Actions, nil)
+		if !ok {
+			return fmt.Errorf("symmetry: actions of %s contain an expression the renamer does not cover", sp.Procs[pj].Name)
+		}
+		if img != want {
+			return fmt.Errorf("symmetry: actions of %s do not map onto actions of %s",
+				sp.Procs[pi].Name, sp.Procs[pj].Name)
+		}
+	}
+	img, ok1 := renameBool(sp.Invariant, a.VarPerm)
+	orig := sp.Invariant
+	if !ok1 {
+		return fmt.Errorf("symmetry: invariant contains an expression the renamer does not cover")
+	}
+	if canonBool(img) != canonBool(orig) {
+		return fmt.Errorf("symmetry: invariant is not preserved by the variable renaming")
+	}
+	return nil
+}
+
+// RenameBool and RenameInt map every variable reference of an expression
+// through perm (ok=false when the expression contains a node kind the
+// renamer does not cover). Exported for generators that build symmetric
+// specifications by rotating expression templates around a ring.
+func RenameBool(e protocol.BoolExpr, perm []int) (protocol.BoolExpr, bool) {
+	return renameBool(e, perm)
+}
+
+// RenameInt is RenameBool for integer expressions.
+func RenameInt(e protocol.IntExpr, perm []int) (protocol.IntExpr, bool) {
+	return renameInt(e, perm)
+}
+
+// renamedActionSet canonicalizes a process's actions as a sorted multiset
+// of strings, with variables renamed through perm (nil means identity).
+func renamedActionSet(actions []protocol.Action, perm []int) (string, bool) {
+	lines := make([]string, 0, len(actions))
+	for _, act := range actions {
+		g := act.Guard
+		if perm != nil {
+			var ok bool
+			if g, ok = renameBool(g, perm); !ok {
+				return "", false
+			}
+		}
+		assigns := make([]string, 0, len(act.Assigns))
+		for _, as := range act.Assigns {
+			v, e := as.Var, as.Expr
+			if perm != nil {
+				var ok bool
+				v = perm[v]
+				if e, ok = renameInt(e, perm); !ok {
+					return "", false
+				}
+			}
+			assigns = append(assigns, fmt.Sprintf("v%d:=%s", v, canonInt(e)))
+		}
+		sort.Strings(assigns)
+		lines = append(lines, canonBool(g)+" -> "+strings.Join(assigns, "; "))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n"), true
+}
+
+// renameInt maps every variable reference through perm. ok=false when the
+// expression contains a node kind the renamer does not know — callers must
+// then treat the candidate automorphism as invalid (conservative).
+func renameInt(e protocol.IntExpr, perm []int) (protocol.IntExpr, bool) {
+	switch x := e.(type) {
+	case protocol.V:
+		return protocol.V{ID: perm[x.ID]}, true
+	case protocol.C:
+		return x, true
+	case protocol.AddMod:
+		a, ok1 := renameInt(x.A, perm)
+		b, ok2 := renameInt(x.B, perm)
+		return protocol.AddMod{A: a, B: b, Mod: x.Mod}, ok1 && ok2
+	case protocol.SubMod:
+		a, ok1 := renameInt(x.A, perm)
+		b, ok2 := renameInt(x.B, perm)
+		return protocol.SubMod{A: a, B: b, Mod: x.Mod}, ok1 && ok2
+	case protocol.Cond:
+		c, ok1 := renameBool(x.If, perm)
+		t, ok2 := renameInt(x.Then, perm)
+		f, ok3 := renameInt(x.Else, perm)
+		return protocol.Cond{If: c, Then: t, Else: f}, ok1 && ok2 && ok3
+	default:
+		return e, false
+	}
+}
+
+// renameBool is renameInt for boolean expressions.
+func renameBool(e protocol.BoolExpr, perm []int) (protocol.BoolExpr, bool) {
+	switch x := e.(type) {
+	case protocol.True, protocol.False:
+		return e, true
+	case protocol.Eq:
+		a, ok1 := renameInt(x.A, perm)
+		b, ok2 := renameInt(x.B, perm)
+		return protocol.Eq{A: a, B: b}, ok1 && ok2
+	case protocol.Neq:
+		a, ok1 := renameInt(x.A, perm)
+		b, ok2 := renameInt(x.B, perm)
+		return protocol.Neq{A: a, B: b}, ok1 && ok2
+	case protocol.Lt:
+		a, ok1 := renameInt(x.A, perm)
+		b, ok2 := renameInt(x.B, perm)
+		return protocol.Lt{A: a, B: b}, ok1 && ok2
+	case protocol.Not:
+		y, ok := renameBool(x.X, perm)
+		return protocol.Not{X: y}, ok
+	case protocol.Implies:
+		a, ok1 := renameBool(x.A, perm)
+		b, ok2 := renameBool(x.B, perm)
+		return protocol.Implies{A: a, B: b}, ok1 && ok2
+	case protocol.And:
+		xs := make([]protocol.BoolExpr, len(x.Xs))
+		ok := true
+		for i, c := range x.Xs {
+			var o bool
+			xs[i], o = renameBool(c, perm)
+			ok = ok && o
+		}
+		return protocol.And{Xs: xs}, ok
+	case protocol.Or:
+		xs := make([]protocol.BoolExpr, len(x.Xs))
+		ok := true
+		for i, c := range x.Xs {
+			var o bool
+			xs[i], o = renameBool(c, perm)
+			ok = ok && o
+		}
+		return protocol.Or{Xs: xs}, ok
+	default:
+		return e, false
+	}
+}
+
+// canonInt renders an integer expression in a canonical, name-independent
+// form (variables as v<id>).
+func canonInt(e protocol.IntExpr) string {
+	switch x := e.(type) {
+	case protocol.V:
+		return fmt.Sprintf("v%d", x.ID)
+	case protocol.C:
+		return fmt.Sprintf("%d", x.Val)
+	case protocol.AddMod:
+		return fmt.Sprintf("addmod(%s,%s,%d)", canonInt(x.A), canonInt(x.B), x.Mod)
+	case protocol.SubMod:
+		return fmt.Sprintf("submod(%s,%s,%d)", canonInt(x.A), canonInt(x.B), x.Mod)
+	case protocol.Cond:
+		return fmt.Sprintf("cond(%s,%s,%s)", canonBool(x.If), canonInt(x.Then), canonInt(x.Else))
+	default:
+		// Unknown node kind: a unique, never-matching rendering keeps the
+		// equality test conservative (renameInt already rejects these).
+		return fmt.Sprintf("unknown(%#v)", e)
+	}
+}
+
+// canonBool renders a boolean expression canonically: nested And/Or are
+// flattened and their operands sorted, and the commutative comparisons
+// Eq/Neq sort their operands — so the invariants of ring protocols, whose
+// conjuncts rotate onto each other, compare equal after renaming.
+func canonBool(e protocol.BoolExpr) string {
+	switch x := e.(type) {
+	case protocol.True:
+		return "true"
+	case protocol.False:
+		return "false"
+	case protocol.Eq:
+		a, b := canonInt(x.A), canonInt(x.B)
+		if b < a {
+			a, b = b, a
+		}
+		return fmt.Sprintf("eq(%s,%s)", a, b)
+	case protocol.Neq:
+		a, b := canonInt(x.A), canonInt(x.B)
+		if b < a {
+			a, b = b, a
+		}
+		return fmt.Sprintf("neq(%s,%s)", a, b)
+	case protocol.Lt:
+		return fmt.Sprintf("lt(%s,%s)", canonInt(x.A), canonInt(x.B))
+	case protocol.Not:
+		return fmt.Sprintf("not(%s)", canonBool(x.X))
+	case protocol.Implies:
+		return fmt.Sprintf("implies(%s,%s)", canonBool(x.A), canonBool(x.B))
+	case protocol.And:
+		return "and(" + strings.Join(canonFlatten(x.Xs, true), ",") + ")"
+	case protocol.Or:
+		return "or(" + strings.Join(canonFlatten(x.Xs, false), ",") + ")"
+	default:
+		return fmt.Sprintf("unknown(%#v)", e)
+	}
+}
+
+// canonFlatten canonicalizes the operands of an n-ary connective, inlining
+// nested connectives of the same kind, and returns them sorted.
+func canonFlatten(xs []protocol.BoolExpr, conj bool) []string {
+	var parts []string
+	for _, x := range xs {
+		if a, ok := x.(protocol.And); ok && conj {
+			parts = append(parts, canonFlatten(a.Xs, conj)...)
+			continue
+		}
+		if o, ok := x.(protocol.Or); ok && !conj {
+			parts = append(parts, canonFlatten(o.Xs, conj)...)
+			continue
+		}
+		parts = append(parts, canonBool(x))
+	}
+	sort.Strings(parts)
+	return parts
+}

@@ -22,12 +22,13 @@ go run ./cmd/stsyn-vet ./...
 
 go test -race -count=1 ./...
 
-# Fuzz smokes: a few seconds of coverage-guided exploration on the two
+# Fuzz smokes: a few seconds of coverage-guided exploration on the
 # cross-checking fuzz targets, so regressions in the generators or the
 # harnesses surface here rather than only in long fuzz sessions.
 go test -run='^$' -fuzz='^FuzzCompilerVsEvaluation$' -fuzztime=5s ./internal/symbolic
 go test -run='^$' -fuzz='^FuzzDifferentialEngines$' -fuzztime=5s ./internal/core
 go test -run='^$' -fuzz='^FuzzKernelEquivalence$' -fuzztime=5s ./internal/explicit
+go test -run='^$' -fuzz='^FuzzQuotientCoverage$' -fuzztime=5s ./internal/prune
 
 # Cluster smoke: a coordinator over two in-process workers, one dead from
 # the start, with a journal that must replay idempotently. The full suite
