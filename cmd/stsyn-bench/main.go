@@ -12,11 +12,12 @@
 //	stsyn-bench -fig all -max 25  # everything, capped
 //	stsyn-bench -fig 8 -csv       # machine-readable output
 //
-// It also generates the explicit-engine kernel baseline committed as
-// BENCH_explicit.json (see scripts/bench.sh):
+// It also generates the engine perf baselines committed as
+// BENCH_explicit.json and BENCH_symbolic.json (see scripts/bench.sh):
 //
-//	stsyn-bench -json             # full before/after kernel benchmark
-//	stsyn-bench -json -quick      # shrunk instances (CI smoke)
+//	stsyn-bench -json                  # explicit before/after kernel benchmark
+//	stsyn-bench -json -engine symbolic # symbolic before/after tuning benchmark
+//	stsyn-bench -json -quick           # shrunk instances (CI smoke)
 package main
 
 import (
@@ -56,18 +57,55 @@ func main() {
 		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, table1, domain, schedule, prune, scc-crossover, all")
 		max     = flag.Int("max", 0, "largest process count (0 = the paper's full sweep)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		jsonOut = flag.Bool("json", false, "run the explicit-engine kernel benchmark and emit the BENCH_explicit.json document")
+		jsonOut = flag.Bool("json", false, "run an engine perf benchmark and emit its BENCH_*.json document")
+		engine  = flag.String("engine", "explicit", "with -json: which engine benchmark to run (explicit, symbolic)")
+		check   = flag.String("check", "", "with -json: compare the fresh run against this committed baseline and exit non-zero on regression")
+		tol     = flag.Float64("tolerance", 3, "with -check: allowed slowdown factor against the baseline")
 		quick   = flag.Bool("quick", false, "with -json or -fig scc-crossover: shrink the benchmark instances (CI smoke)")
 	)
 	flag.Parse()
 
 	if *jsonOut {
-		out, err := json.MarshalIndent(experiments.ExplicitBenchmark(*quick), "", "  ")
+		var (
+			doc any
+			bad []string
+		)
+		switch *engine {
+		case "explicit":
+			fresh := experiments.ExplicitBenchmark(*quick)
+			doc = fresh
+			if *check != "" {
+				var base experiments.ExplicitBench
+				loadBaseline(*check, &base)
+				bad = experiments.CheckExplicit(fresh, base, *tol)
+			}
+		case "symbolic":
+			fresh := experiments.SymbolicBenchmark(*quick)
+			doc = fresh
+			if *check != "" {
+				var base experiments.SymbolicBench
+				loadBaseline(*check, &base)
+				bad = experiments.CheckSymbolic(fresh, base, *tol)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "stsyn-bench: unknown engine %q\n", *engine)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stsyn-bench:", err)
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
+		if len(bad) > 0 {
+			for _, m := range bad {
+				fmt.Fprintln(os.Stderr, "stsyn-bench: regression:", m)
+			}
+			os.Exit(1)
+		}
+		if *check != "" {
+			fmt.Fprintf(os.Stderr, "stsyn-bench: no regressions against %s\n", *check)
+		}
 		return
 	}
 
@@ -108,6 +146,19 @@ func main() {
 			experiments.TokenRingSweep(upto(tokenRingKs(), *max), 4), *csv)
 	default:
 		fmt.Fprintf(os.Stderr, "stsyn-bench: unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}
+
+// loadBaseline reads a committed BENCH_*.json document into dst.
+func loadBaseline(path string, dst any) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsyn-bench:", err)
+		os.Exit(1)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		fmt.Fprintf(os.Stderr, "stsyn-bench: %s: %v\n", path, err)
 		os.Exit(1)
 	}
 }

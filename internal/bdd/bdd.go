@@ -1,8 +1,9 @@
 // Package bdd implements reduced ordered binary decision diagrams with a
-// shared, hash-consed node store and a direct-mapped operation cache. It
-// plays the role CUDD/GLU plays in the paper's STSyn implementation: the
-// symbolic engine represents state predicates and transition groups as BDDs
-// and reports space usage in BDD nodes (Figures 7, 9 and 11).
+// shared, hash-consed node store and a two-way set-associative operation
+// cache. It plays the role CUDD/GLU plays in the paper's STSyn
+// implementation: the symbolic engine represents state predicates and
+// transition groups as BDDs and reports space usage in BDD nodes
+// (Figures 7, 9 and 11).
 //
 // The variable order is fixed at construction time; there is no dynamic
 // reordering. Memory is managed with external reference handles plus
@@ -50,9 +51,16 @@ type Manager struct {
 	buckets []uint32 // unique-table heads, index by hash; 0 = empty
 	mask    uint32
 
-	cache    []cacheEntry // direct-mapped operation cache
-	cmask    uint32
-	cacheMax int // adaptive growth stops at this many entries
+	// Operation cache: two-way set-associative over pairs of adjacent
+	// entries. Set s occupies cache[2s] (the most recently used way) and
+	// cache[2s+1] (the victim way). A direct-mapped cache loses a warm
+	// result to every conflicting store; the victim way keeps it reachable
+	// for one more generation, which measures as a higher hit rate on the
+	// ping-ponging ITE/Exists mixes of image fixpoints at the cost of one
+	// extra compare per probe.
+	cache    []cacheEntry
+	cmask    uint32 // number of sets minus one
+	cacheMax int    // adaptive growth stops at this many entries
 
 	refs map[Ref]int32 // external reference counts (Keep/Release)
 
@@ -65,6 +73,11 @@ type Manager struct {
 	growEvicts  uint64 // cacheEvicts at the time of the last cache growth
 	gcRuns      int
 	gcReclaimed uint64 // nodes reclaimed across all collections
+
+	// Per-op-code counters, indexed by the op* constants.
+	opHits   [opCodes]uint64
+	opMisses [opCodes]uint64
+	opStores [opCodes]uint64
 }
 
 type cacheEntry struct {
@@ -82,13 +95,21 @@ const (
 	opSupport
 	opPermute
 	opAndExists
+
+	opCodes // number of op codes, bound for the per-op counter arrays
 )
 
-// DefaultCacheMax is the default upper bound on the operation cache size.
-// It equals the initial size, so adaptive growth is opt-in via
-// SetMaxCacheSize: a direct-mapped cache much larger than the L2 working
-// set turns every probe into a DRAM miss, which measures slower than the
-// extra conflict evictions it avoids.
+// opNames maps operation codes to their stable external names.
+var opNames = [opCodes]string{
+	opITE: "ite", opExists: "exists", opRestrict: "restrict",
+	opSupport: "support", opPermute: "permute", opAndExists: "and-exists",
+}
+
+// DefaultCacheMax is the default upper bound on the operation cache size
+// (total entries across both ways). It equals the default initial size, so
+// adaptive growth is opt-in via SetMaxCacheSize: a cache much larger than
+// the L2 working set turns every probe into a DRAM miss, which measures
+// slower than the extra conflict evictions it avoids.
 const DefaultCacheMax = 1 << 16
 
 // New creates a manager over nvars boolean variables.
@@ -103,7 +124,7 @@ func New(nvars int) *Manager {
 	m.buckets = make([]uint32, 1<<14)
 	m.mask = uint32(len(m.buckets) - 1)
 	m.cache = make([]cacheEntry, 1<<16)
-	m.cmask = uint32(len(m.cache) - 1)
+	m.cmask = uint32(len(m.cache)/2 - 1)
 	m.cacheMax = DefaultCacheMax
 	m.refs = make(map[Ref]int32)
 	return m
@@ -287,7 +308,7 @@ type Stats struct {
 	KeptRefs        int     // distinct external roots
 	UniqueTableSize int     // bucket count
 	UniqueTableLoad float64 // live nodes per bucket
-	CacheSize       int     // operation-cache entries
+	CacheSize       int     // operation-cache entries (both ways)
 	CacheHits       uint64
 	CacheMisses     uint64
 	CacheEvictions  uint64  // valid entries overwritten by a different key
@@ -295,6 +316,18 @@ type Stats struct {
 	GCRuns          int
 	GCReclaimed     uint64 // nodes reclaimed across all collections
 	Ops             uint64 // cached recursive operations performed
+
+	// PerOp breaks the cache counters down by operation code, in a fixed
+	// order (ite, exists, restrict, support, permute, and-exists).
+	PerOp []OpStats
+}
+
+// OpStats is the cache activity of one operation code.
+type OpStats struct {
+	Op     string // stable operation name
+	Hits   uint64
+	Misses uint64
+	Stores uint64 // results written to the cache (recursive steps performed)
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -319,6 +352,11 @@ func (m *Manager) Stats() Stats {
 	}
 	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)
+	}
+	for op := uint32(opITE); op < opCodes; op++ {
+		s.PerOp = append(s.PerOp, OpStats{
+			Op: opNames[op], Hits: m.opHits[op], Misses: m.opMisses[op], Stores: m.opStores[op],
+		})
 	}
 	return s
 }
@@ -381,30 +419,55 @@ func (m *Manager) rehash() {
 
 // --- operation cache ------------------------------------------------------
 
+// cacheSlot returns the index of the first (MRU) way of the entry's set.
 func (m *Manager) cacheSlot(op uint32, a, b, c Ref) uint32 {
-	return (hash3(op, uint32(a), uint32(b)) ^ uint32(c)*0x85ebca6b) & m.cmask
+	return ((hash3(op, uint32(a), uint32(b)) ^ uint32(c)*0x85ebca6b) & m.cmask) * 2
+}
+
+func (e *cacheEntry) is(op uint32, a, b, c Ref) bool {
+	return e.valid && e.op == op && e.a == a && e.b == b && e.c == c
 }
 
 func (m *Manager) cacheGet(op uint32, a, b, c Ref) (Ref, bool) {
-	e := &m.cache[m.cacheSlot(op, a, b, c)]
-	if e.valid && e.op == op && e.a == a && e.b == b && e.c == c {
+	s := m.cacheSlot(op, a, b, c)
+	e0 := &m.cache[s]
+	if e0.is(op, a, b, c) {
 		m.cacheHits++
-		return e.result, true
+		m.opHits[op]++
+		return e0.result, true
 	}
-	if e.valid {
-		// Conflict miss: the cachePut completing this operation will evict
-		// the occupant. Detected here rather than in cachePut so the store
-		// stays a branch-free blind write that the compiler can inline.
+	e1 := &m.cache[s+1]
+	if e1.is(op, a, b, c) {
+		// Hit in the victim way: promote to MRU so the set's true LRU entry
+		// is the one the next conflicting store pushes out.
+		m.cacheHits++
+		m.opHits[op]++
+		r := e1.result
+		*e0, *e1 = *e1, *e0
+		return r, true
+	}
+	if e0.valid && e1.valid {
+		// Both ways occupied by other keys: the cachePut completing this
+		// operation will evict the victim way. Detected here rather than in
+		// cachePut so the store stays a cheap unconditional shift.
 		m.cacheConflict()
 	}
 	m.cacheMisses++
+	m.opMisses[op]++
 	return 0, false
 }
 
 func (m *Manager) cachePut(op uint32, a, b, c, r Ref) {
 	m.opCount++
-	m.cache[m.cacheSlot(op, a, b, c)] =
-		cacheEntry{op: op, a: a, b: b, c: c, result: r, valid: true}
+	m.opStores[op]++
+	s := m.cacheSlot(op, a, b, c)
+	e0 := &m.cache[s]
+	if !e0.is(op, a, b, c) {
+		// Shift the old MRU into the victim way (dropping the set's LRU
+		// entry, whose eviction the probe above already counted).
+		m.cache[s+1] = *e0
+	}
+	*e0 = cacheEntry{op: op, a: a, b: b, c: c, result: r, valid: true}
 }
 
 // cacheConflict records a conflict eviction and, under heavy pressure — one
@@ -420,22 +483,34 @@ func (m *Manager) cacheConflict() {
 	}
 }
 
-// growCache resizes the cache to n entries (a power of two), re-slotting
-// every valid entry so warm results survive the resize.
+// growCache resizes the cache to n total entries (a power of two ≥ 2),
+// re-slotting every valid entry so warm results survive the resize. MRU
+// ways are re-inserted before victim ways, so when both land in the same
+// new set the recency order is preserved.
 func (m *Manager) growCache(n int) {
 	old := m.cache
 	m.cache = make([]cacheEntry, n)
-	m.cmask = uint32(n - 1)
-	for _, e := range old {
-		if e.valid {
-			m.cache[m.cacheSlot(e.op, e.a, e.b, e.c)] = e
+	m.cmask = uint32(n/2 - 1)
+	for _, way := range []int{0, 1} {
+		for i := way; i < len(old); i += 2 {
+			e := old[i]
+			if !e.valid {
+				continue
+			}
+			s := m.cacheSlot(e.op, e.a, e.b, e.c)
+			if !m.cache[s].valid {
+				m.cache[s] = e
+			} else if !m.cache[s+1].valid {
+				m.cache[s+1] = e
+			}
 		}
 	}
 	m.growEvicts = m.cacheEvicts
 }
 
 // SetCacheSize resizes the operation cache to the next power of two ≥ n
-// (min 256), preserving valid entries. Mostly useful in tests and tuning.
+// total entries (min 256), preserving valid entries. Mostly useful in tests
+// and tuning.
 func (m *Manager) SetCacheSize(n int) {
 	size := 256
 	for size < n {
@@ -553,20 +628,32 @@ func (m *Manager) AndExists(f, g, cube Ref) Ref {
 		return m.Exists(g, cube)
 	case g == True:
 		return m.Exists(f, cube)
+	case f == g:
+		return m.Exists(f, cube)
 	case cube == True:
 		return m.And(f, g)
 	}
-	if r, ok := m.cacheGet(opAndExists, f, g, cube); ok {
-		return r
+	// Conjunction is commutative: canonicalize the operand order so
+	// (f,g) and (g,f) share one cache entry.
+	if g < f {
+		f, g = g, f
 	}
 	top := m.level(f)
 	if l := m.level(g); l < top {
 		top = l
 	}
-	// Skip quantified variables above both operands.
+	// Skip quantified variables above both operands, and key the cache on
+	// the *skipped* cube: calls differing only in already-passed quantified
+	// levels compute the same function.
 	c := cube
 	for !m.IsTerminal(c) && m.level(c) < top {
 		c = m.nodes[c].hi
+	}
+	if c == True {
+		return m.And(f, g)
+	}
+	if r, ok := m.cacheGet(opAndExists, f, g, c); ok {
+		return r
 	}
 	f0, f1 := m.cofactors(f, top)
 	g0, g1 := m.cofactors(g, top)
@@ -581,7 +668,7 @@ func (m *Manager) AndExists(f, g, cube Ref) Ref {
 	} else {
 		r = m.mk(top, m.AndExists(f0, g0, c), m.AndExists(f1, g1, c))
 	}
-	m.cachePut(opAndExists, f, g, cube, r)
+	m.cachePut(opAndExists, f, g, c, r)
 	return r
 }
 

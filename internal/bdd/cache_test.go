@@ -1,0 +1,202 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// auditCacheStats checks the cross-counter invariants of the operation
+// cache that every workload must preserve:
+//
+//   - evictions happen only on misses (a hit never displaces anything);
+//   - below the growth cap, conflict pressure since the last growth never
+//     exceeds one eviction per entry (the adaptive-growth trigger);
+//   - the per-op breakdown partitions the totals exactly;
+//   - the cache size is a power of two and within [256, max].
+func auditCacheStats(t *testing.T, m *Manager) {
+	t.Helper()
+	s := m.Stats()
+	if s.CacheEvictions > s.CacheMisses {
+		t.Fatalf("evictions %d > misses %d", s.CacheEvictions, s.CacheMisses)
+	}
+	if len(m.cache) < m.cacheMax && m.cacheEvicts-m.growEvicts > uint64(len(m.cache)) {
+		t.Fatalf("growth trigger missed: %d conflict evictions since last growth on a %d-entry cache below the %d cap",
+			m.cacheEvicts-m.growEvicts, len(m.cache), m.cacheMax)
+	}
+	if m.growEvicts > m.cacheEvicts {
+		t.Fatalf("growEvicts %d > cacheEvicts %d", m.growEvicts, m.cacheEvicts)
+	}
+	var hits, misses, stores uint64
+	for _, op := range s.PerOp {
+		hits += op.Hits
+		misses += op.Misses
+		stores += op.Stores
+	}
+	if hits != s.CacheHits || misses != s.CacheMisses {
+		t.Fatalf("per-op counters (%d hits, %d misses) do not partition the totals (%d, %d)",
+			hits, misses, s.CacheHits, s.CacheMisses)
+	}
+	if stores != s.Ops {
+		t.Fatalf("per-op stores %d != total ops %d", stores, s.Ops)
+	}
+	if s.CacheSize&(s.CacheSize-1) != 0 || s.CacheSize < 256 {
+		t.Fatalf("cache size %d is not a power of two ≥ 256", s.CacheSize)
+	}
+	if s.CacheSize > m.cacheMax {
+		t.Fatalf("cache size %d exceeds the configured maximum %d", s.CacheSize, m.cacheMax)
+	}
+	if s.CacheHitRate < 0 || s.CacheHitRate > 1 {
+		t.Fatalf("hit rate %f out of range", s.CacheHitRate)
+	}
+}
+
+// TestCacheStatsCoherentAcrossGrowthAndGC drives a random workload through
+// cache growth and GC cache invalidation, auditing the counters at every
+// step: growth must carry warm entries and counters forward, and a
+// collection must drop cached results without corrupting the totals.
+func TestCacheStatsCoherentAcrossGrowthAndGC(t *testing.T) {
+	m := New(16)
+	m.SetCacheSize(256)
+	m.SetMaxCacheSize(1024)
+	m.SetGCWatermark(0)
+	rng := rand.New(rand.NewSource(42))
+
+	var roots []Ref
+	for i := 0; i < 400; i++ {
+		f := randomFunc(m, rng, 16, 4)
+		if i%10 == 0 {
+			roots = append(roots, m.Keep(f))
+		}
+		auditCacheStats(t, m)
+		if i%97 == 96 {
+			evictsBefore := m.cacheEvicts
+			m.GC()
+			if m.cacheEvicts != evictsBefore {
+				t.Fatal("GC cache invalidation must not count as conflict evictions")
+			}
+			auditCacheStats(t, m)
+		}
+	}
+	s := m.Stats()
+	if s.CacheEvictions == 0 {
+		t.Fatal("workload produced no conflict evictions; the audit exercised nothing")
+	}
+	if s.CacheSize != 1024 {
+		t.Fatalf("pressure never grew the cache: size %d, want the 1024 cap", s.CacheSize)
+	}
+	if s.GCRuns == 0 || s.GCReclaimed == 0 {
+		t.Fatal("collections never reclaimed; the invalidation path was not exercised")
+	}
+	for _, r := range roots {
+		m.Release(r)
+	}
+}
+
+// sameSetTriples returns distinct non-terminal ITE operand triples that map
+// to the same cache set, by probing cacheSlot directly.
+func sameSetTriples(m *Manager, want int) [][3]Ref {
+	bySlot := make(map[uint32][][3]Ref)
+	for i := 0; i < m.NumVars(); i++ {
+		for j := 0; j < m.NumVars(); j++ {
+			for k := 0; k < m.NumVars(); k++ {
+				if i == j || j == k || i == k {
+					continue
+				}
+				tr := [3]Ref{m.Var(i), m.Var(j), m.Var(k)}
+				s := m.cacheSlot(opITE, tr[0], tr[1], tr[2])
+				bySlot[s] = append(bySlot[s], tr)
+				if len(bySlot[s]) == want {
+					return bySlot[s]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestTwoWayAssociativity pins the probe/store protocol of the two-way
+// cache with three keys of one set: the victim way retains the previously
+// displaced entry, a victim hit promotes to MRU, and a conflicting store
+// evicts the set's least recently used key — exactly once.
+func TestTwoWayAssociativity(t *testing.T) {
+	m := New(12)
+	m.SetCacheSize(256)
+	m.SetMaxCacheSize(256)
+	triples := sameSetTriples(m, 3)
+	if triples == nil {
+		t.Skip("no three colliding ITE triples over 12 variables (hash changed?)")
+	}
+	// ITE(Var i, Var j, Var k) with distinct i,j,k performs exactly one
+	// cached operation: the cofactor recursions bottom out in terminal
+	// cases, so the counters below move only for the top-level keys.
+	ite := func(tr [3]Ref) { m.ITE(tr[0], tr[1], tr[2]) }
+	step := func(tr [3]Ref, wantHit bool) {
+		t.Helper()
+		h, ms := m.cacheHits, m.cacheMisses
+		ite(tr)
+		if gotHit := m.cacheHits > h; gotHit != wantHit {
+			t.Fatalf("hit=%v, want %v (hits %d->%d, misses %d->%d)",
+				gotHit, wantHit, h, m.cacheHits, ms, m.cacheMisses)
+		}
+	}
+
+	step(triples[0], false) // t0 -> MRU
+	step(triples[1], false) // t1 -> MRU, t0 -> victim
+	step(triples[0], true)  // victim hit: t0 promoted, t1 demoted
+	step(triples[1], true)  // victim hit: t1 promoted, t0 demoted
+	evicts := m.cacheEvicts
+	step(triples[2], false) // both ways full: evicts the LRU (t0)
+	if m.cacheEvicts != evicts+1 {
+		t.Fatalf("conflicting store counted %d evictions, want 1", m.cacheEvicts-evicts)
+	}
+	step(triples[1], true)  // survived in the victim way
+	step(triples[0], false) // the LRU was the one displaced
+}
+
+// TestCacheGrowthPreservesWarmEntries checks that an explicit resize
+// re-slots live results: an operation computed before the growth must still
+// hit afterwards.
+func TestCacheGrowthPreservesWarmEntries(t *testing.T) {
+	m := New(8)
+	m.SetCacheSize(256)
+	f, g, h := m.Var(0), m.Var(1), m.Var(2)
+	m.ITE(f, g, h)
+	m.SetCacheSize(2048)
+	if s := m.Stats(); s.CacheSize != 2048 {
+		t.Fatalf("cache size %d after SetCacheSize(2048)", s.CacheSize)
+	}
+	hits := m.cacheHits
+	m.ITE(f, g, h)
+	if m.cacheHits != hits+1 {
+		t.Fatal("warm ITE result did not survive cache growth")
+	}
+}
+
+// TestGCDropsCacheWithoutEvictions checks the GC/cache interaction: a
+// collection that reclaims nodes must invalidate the cache (its entries may
+// reference dead nodes) without disturbing the eviction counters, and the
+// recomputed result must be cached again afterwards.
+func TestGCDropsCacheWithoutEvictions(t *testing.T) {
+	m := New(8)
+	f, g, h := m.Var(0), m.Var(1), m.Var(2)
+	kept := m.Keep(m.ITE(f, g, h))
+	m.Xor(m.Var(3), m.Var(4)) // garbage, so the sweep reclaims something
+
+	evicts, misses := m.cacheEvicts, m.cacheMisses
+	if r := m.GC(); r.Reclaimed == 0 {
+		t.Fatal("setup produced no garbage")
+	}
+	if m.cacheEvicts != evicts {
+		t.Fatal("GC invalidation must not count as evictions")
+	}
+	m.ITE(f, g, h) // recompute: the cleared cache must miss...
+	if m.cacheMisses != misses+1 {
+		t.Fatalf("post-GC ITE missed %d times, want 1", m.cacheMisses-misses)
+	}
+	hits := m.cacheHits
+	m.ITE(f, g, h) // ...and the recomputed entry must hit.
+	if m.cacheHits != hits+1 {
+		t.Fatal("recomputed entry not re-cached after GC")
+	}
+	m.Release(kept)
+}

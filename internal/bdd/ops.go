@@ -170,6 +170,35 @@ func (m *Manager) CopyFrom(src *Manager, f Ref, memo map[Ref]Ref) Ref {
 	return r
 }
 
+// CopyPermutedFrom migrates a BDD rooted at f in the source manager into m
+// while renaming variables: every variable v in the support of f becomes
+// levelMap[v] in m. levelMap must be injective on the support but need not
+// preserve the level order — the translation rebuilds bottom-up with ITE,
+// so order-breaking maps are handled correctly (at ITE cost; maps that
+// preserve the relative order reduce to plain node construction). memo
+// caches translations across calls, exactly like CopyFrom's.
+//
+// Together with CopyFrom this is the engine-side reordering primitive: run
+// a computation in a scratch manager under a different variable order, then
+// translate the (small) results back with the inverse map.
+func (m *Manager) CopyPermutedFrom(src *Manager, f Ref, levelMap []int, memo map[Ref]Ref) Ref {
+	if len(levelMap) != int(src.nvars) {
+		panic("bdd: CopyPermutedFrom: level map length mismatch")
+	}
+	if f <= True {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	n := &src.nodes[f]
+	lo := m.CopyPermutedFrom(src, n.lo, levelMap, memo)
+	hi := m.CopyPermutedFrom(src, n.hi, levelMap, memo)
+	r := m.ITE(m.Var(levelMap[n.level]), hi, lo)
+	memo[f] = r
+	return r
+}
+
 // Eval evaluates f under a complete assignment indexed by variable level.
 func (m *Manager) Eval(f Ref, assignment []bool) bool {
 	for !m.IsTerminal(f) {

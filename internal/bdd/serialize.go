@@ -1,0 +1,87 @@
+package bdd
+
+// Manager-independent BDD snapshots. Serialize flattens a (reduced,
+// ordered) DAG into plain words and Deserialize rebuilds it node by node
+// in any manager with the same variable count and order — the primitive
+// behind the symbolic engine's core.SetExporter, whose snapshots outlive
+// the engine that took them.
+//
+// Format: words[0] is the interior-node count n, words[1] the root code,
+// and words[2+k] packs interior node k as level<<48 | lo<<24 | hi. Child
+// codes are 0 (False), 1 (True), or j+2 for interior node j with j < k —
+// children strictly precede parents, so decoding is a single forward pass
+// and malformed input can never form a cycle.
+
+const (
+	serLevelShift = 48
+	serLoShift    = 24
+	serFieldMask  = 1<<24 - 1
+)
+
+// Serialize encodes the DAG rooted at f. Levels must fit 16 bits and node
+// codes 24 bits — far beyond any exported synthesis set; exceeding them
+// panics rather than truncating silently.
+func (m *Manager) Serialize(f Ref) []uint64 {
+	if m.nvars > 1<<16 {
+		panic("bdd: Serialize: too many variables for the snapshot format")
+	}
+	words := []uint64{0, 0}
+	code := map[Ref]uint64{False: 0, True: 1}
+	var walk func(Ref) uint64
+	walk = func(g Ref) uint64 {
+		if c, ok := code[g]; ok {
+			return c
+		}
+		n := m.nodes[g]
+		lo := walk(n.lo)
+		hi := walk(n.hi)
+		c := uint64(len(words) - 2 + 2)
+		if c > serFieldMask {
+			panic("bdd: Serialize: set too large for the snapshot format")
+		}
+		words = append(words, uint64(n.level)<<serLevelShift|lo<<serLoShift|hi)
+		code[g] = c
+		return c
+	}
+	words[1] = walk(f)
+	words[0] = uint64(len(words) - 2)
+	return words
+}
+
+// Deserialize rebuilds a serialized DAG in this manager. ok=false on any
+// malformed input: wrong length, out-of-range levels or child codes,
+// unreduced nodes (lo == hi), or level inversions — a snapshot from a
+// manager with a different variable order fails here rather than decoding
+// into the wrong function.
+func (m *Manager) Deserialize(words []uint64) (Ref, bool) {
+	if len(words) < 2 {
+		return 0, false
+	}
+	n := words[0]
+	if uint64(len(words)) != 2+n || n > serFieldMask {
+		return 0, false
+	}
+	refs := make([]Ref, 2+n)
+	levels := make([]int32, 2+n)
+	refs[0], refs[1] = False, True
+	levels[0], levels[1] = m.nvars, m.nvars
+	for k := uint64(0); k < n; k++ {
+		w := words[2+k]
+		level := int32(w >> serLevelShift)
+		lo := w >> serLoShift & serFieldMask
+		hi := w & serFieldMask
+		if level < 0 || level >= m.nvars || lo >= 2+k || hi >= 2+k || lo == hi {
+			return 0, false
+		}
+		if levels[lo] <= level || levels[hi] <= level {
+			return 0, false
+		}
+		refs[2+k] = m.mk(level, refs[lo], refs[hi])
+		levels[2+k] = level
+	}
+	root := words[1]
+	if root >= 2+n {
+		return 0, false
+	}
+	return refs[root], true
+}

@@ -1,0 +1,106 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSerializeRoundTrip checks random functions survive a round trip into
+// the same manager and into a fresh one (hash-consing makes equality a
+// pointer check in the first case; the second compares by evaluation).
+func TestSerializeRoundTrip(t *testing.T) {
+	m := New(10)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		f := randomFunc(m, rng, 10, 4)
+		words := m.Serialize(f)
+		g, ok := m.Deserialize(words)
+		if !ok {
+			t.Fatalf("round trip rejected its own output (iteration %d)", i)
+		}
+		if g != f {
+			t.Fatalf("round trip changed the function (iteration %d)", i)
+		}
+
+		m2 := New(10)
+		g2, ok := m2.Deserialize(words)
+		if !ok {
+			t.Fatal("fresh manager rejected a valid snapshot")
+		}
+		assignment := make([]bool, 20)
+		for trial := 0; trial < 64; trial++ {
+			for b := range assignment {
+				assignment[b] = rng.Intn(2) == 1
+			}
+			if m.Eval(f, assignment) != m2.Eval(g2, assignment) {
+				t.Fatal("cross-manager round trip changed the function")
+			}
+		}
+	}
+}
+
+func TestSerializeTerminals(t *testing.T) {
+	m := New(4)
+	for _, f := range []Ref{False, True} {
+		words := m.Serialize(f)
+		if words[0] != 0 {
+			t.Fatalf("terminal snapshot has %d interior nodes", words[0])
+		}
+		g, ok := m.Deserialize(words)
+		if !ok || g != f {
+			t.Fatalf("terminal round trip: got %v ok=%v", g, ok)
+		}
+	}
+}
+
+// TestDeserializeRejectsMalformed feeds corrupted snapshots: every
+// mutation must fail closed rather than decode into a wrong function.
+func TestDeserializeRejectsMalformed(t *testing.T) {
+	m := New(6)
+	f := m.Xor(m.Var(0), m.And(m.Var(2), m.Var(4)))
+	words := m.Serialize(f)
+
+	bad := [][]uint64{
+		{},     // empty
+		{0},    // truncated header
+		{5, 0}, // count without nodes
+		append(append([]uint64(nil), words...), 0), // trailing word
+	}
+	// Root code out of range.
+	w := append([]uint64(nil), words...)
+	w[1] = w[0] + 2
+	bad = append(bad, w)
+	// Level out of range.
+	w = append([]uint64(nil), words...)
+	w[2] |= uint64(m.NumVars()) << serLevelShift
+	bad = append(bad, w)
+	// Forward (not-yet-decoded) child reference.
+	w = append([]uint64(nil), words...)
+	w[2] = w[2]&^uint64(serFieldMask) | (2 + w[0] - 1)
+	bad = append(bad, w)
+	// Unreduced node: lo == hi.
+	w = append([]uint64(nil), words...)
+	w[2] = w[2] &^ (uint64(serFieldMask) << serLoShift) // lo := hi's value? set lo=0
+	w[2] = w[2] &^ uint64(serFieldMask)                 // hi := 0 too
+	bad = append(bad, w)
+
+	for i, words := range bad {
+		if _, ok := m.Deserialize(words); ok {
+			t.Fatalf("malformed snapshot %d accepted", i)
+		}
+	}
+
+	// A level inversion: serialize in a 2-var manager, decode the parent
+	// level above its child by swapping the level fields.
+	m2 := New(2)
+	g := m2.And(m2.Var(0), m2.Var(1))
+	w = m2.Serialize(g)
+	if w[0] != 2 {
+		t.Fatalf("expected 2 interior nodes, got %d", w[0])
+	}
+	w[2] &^= uint64(1) << serLevelShift // child (decoded first) now at level 0
+	w[3] |= 1 << serLevelShift          // parent below its child
+	if _, ok := m2.Deserialize(w); ok {
+		t.Fatal("level-inverted snapshot accepted")
+	}
+}

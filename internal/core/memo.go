@@ -54,11 +54,12 @@ type PrefixSnapshot struct {
 }
 
 // SetExporter is an optional Engine capability: serialize a Set to plain
-// words and back, for engines whose Sets are materialized containers (the
-// explicit engine's bitsets). Export returns a caller-owned copy; Import
-// builds a fresh engine-owned Set from one. Engines with hash-consed
-// representations (the symbolic engine) do not implement it — their sets
-// cannot outlive their manager.
+// words and back, for storing in a cross-run memo. Export returns a
+// caller-owned copy; Import builds a fresh engine-owned Set from one (and
+// reports ok=false for snapshots it cannot honor — wrong universe size,
+// wrong variable order, malformed words — so the caller recomputes). The
+// explicit engine copies its bitset words; the symbolic engine serializes
+// the BDD node list prefixed with a variable-order fingerprint.
 type SetExporter interface {
 	ExportSet(a Set) []uint64
 	ImportSet(words []uint64) (Set, bool)

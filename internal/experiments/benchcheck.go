@@ -1,0 +1,76 @@
+package experiments
+
+import "fmt"
+
+// Bench regression guard: compare a freshly measured benchmark document
+// against the committed baseline. Wall-clock on a shared machine is noisy,
+// so the guard is deliberately coarse — it flags only order-of-magnitude
+// problems (a leg slower than tolerance × its committed time) and hard
+// correctness regressions (a leg that stopped verifying, or legs that no
+// longer synthesize the same protocol). scripts/bench.sh -check wires it
+// up; CI runs it non-gating.
+
+// CheckExplicit returns one message per regression of fresh against base.
+// tolerance is the allowed slowdown factor (e.g. 2 = half as fast).
+func CheckExplicit(fresh, base ExplicitBench, tolerance float64) []string {
+	var bad []string
+	byName := make(map[string]ExplicitBenchRow, len(base.Cases))
+	for _, c := range base.Cases {
+		byName[c.Name] = c
+	}
+	for _, c := range fresh.Cases {
+		b, ok := byName[c.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: case missing from the committed baseline", c.Name))
+			continue
+		}
+		if !c.ProtocolsMatch {
+			bad = append(bad, fmt.Sprintf("%s: legs no longer synthesize the same protocol", c.Name))
+		}
+		bad = append(bad, checkLeg(c.Name+"/kernel", c.Kernel.TotalMs, c.Kernel.Verified, c.Kernel.Err,
+			b.Kernel.TotalMs, tolerance)...)
+		bad = append(bad, checkLeg(c.Name+"/kernel_fb", c.KernelFB.TotalMs, c.KernelFB.Verified, c.KernelFB.Err,
+			b.KernelFB.TotalMs, tolerance)...)
+	}
+	return bad
+}
+
+// CheckSymbolic is CheckExplicit for the symbolic document.
+func CheckSymbolic(fresh, base SymbolicBench, tolerance float64) []string {
+	var bad []string
+	byName := make(map[string]SymbolicBenchRow, len(base.Cases))
+	for _, c := range base.Cases {
+		byName[c.Name] = c
+	}
+	for _, c := range fresh.Cases {
+		b, ok := byName[c.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: case missing from the committed baseline", c.Name))
+			continue
+		}
+		if !c.ProtocolsMatch {
+			bad = append(bad, fmt.Sprintf("%s: legs no longer synthesize the same protocol", c.Name))
+		}
+		bad = append(bad, checkLeg(c.Name+"/tuned", c.Tuned.TotalMs, c.Tuned.Verified, c.Tuned.Err,
+			b.Tuned.TotalMs, tolerance)...)
+		bad = append(bad, checkLeg(c.Name+"/tuned_workers", c.TunedWorkers.TotalMs, c.TunedWorkers.Verified,
+			c.TunedWorkers.Err, b.TunedWorkers.TotalMs, tolerance)...)
+	}
+	return bad
+}
+
+func checkLeg(name string, gotMs float64, verified bool, errMsg string, baseMs, tolerance float64) []string {
+	var bad []string
+	if errMsg != "" {
+		bad = append(bad, fmt.Sprintf("%s: failed: %s", name, errMsg))
+		return bad
+	}
+	if !verified {
+		bad = append(bad, fmt.Sprintf("%s: synthesized protocol no longer verifies", name))
+	}
+	if baseMs > 0 && gotMs > baseMs*tolerance {
+		bad = append(bad, fmt.Sprintf("%s: %.1fms vs committed %.1fms (over the %.1fx tolerance)",
+			name, gotMs, baseMs, tolerance))
+	}
+	return bad
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/symbolic"
+	"stsyn/internal/verify"
+)
+
+// The symbolic-engine perf benchmark: the same synthesis workload run
+// with the reference fixpoint scheme (full-image trim, whole-set SCC
+// grow, throwaway scratch managers — the pre-tuning engine) and with the
+// tuned default (dead-group dropping, frontier grow, retained warm
+// scratch manager with a persistent→scratch copy memo), plus a third leg
+// adding parallel SCC fixpoints to document that the worker pool changes
+// nothing but wall-clock. The committed BENCH_symbolic.json baseline is
+// generated from these rows (`stsyn-bench -json -engine symbolic` /
+// scripts/bench.sh).
+
+// SymbolicLeg is one measured synthesis run on the symbolic engine.
+type SymbolicLeg struct {
+	TotalMs      float64 `json:"total_ms"`
+	RankingMs    float64 `json:"ranking_ms"`
+	SCCMs        float64 `json:"scc_ms"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	PeakNodes    int     `json:"peak_nodes"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Verified     bool    `json:"verified"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// SymbolicBenchRow is the before/after measurement for one case study.
+type SymbolicBenchRow struct {
+	Name   string  `json:"name"`
+	States float64 `json:"states"`
+	Groups int     `json:"groups"`
+
+	Reference    SymbolicLeg `json:"reference"`     // reference fixpoints, throwaway scratch
+	Tuned        SymbolicLeg `json:"tuned"`         // frontier/dropping fixpoints + warm scratch
+	TunedWorkers SymbolicLeg `json:"tuned_workers"` // tuned + parallel SCC fixpoints
+
+	// Speedup is Reference.TotalMs / Tuned.TotalMs.
+	Speedup float64 `json:"speedup"`
+	// ProtocolsMatch reports that all legs synthesized the identical
+	// protocol (same group keys) — the knobs must not change results.
+	ProtocolsMatch bool `json:"protocols_match"`
+}
+
+// SymbolicBench is the document committed as BENCH_symbolic.json.
+type SymbolicBench struct {
+	Description string             `json:"description"`
+	Cases       []SymbolicBenchRow `json:"cases"`
+}
+
+// symbolicBenchCases are the case studies of the baseline, sized so
+// cycle detection dominates and every leg finishes in seconds. Two
+// deliberate absences, documented in EXPERIMENTS.md: the symbolic
+// two-ring run takes over a minute per leg, and coloring-11 spends more
+// than half its time in persistent-manager image work outside
+// CyclicSCCs, which this tuning does not touch (measured 1.0×).
+func symbolicBenchCases(quick bool) []struct {
+	Name string
+	Spec *protocol.Spec
+} {
+	if quick {
+		return []struct {
+			Name string
+			Spec *protocol.Spec
+		}{
+			{"token-ring-4-3", protocols.TokenRing(4, 3)},
+			{"matching-6", protocols.Matching(6)},
+			{"coloring-7", protocols.Coloring(7)},
+		}
+	}
+	return []struct {
+		Name string
+		Spec *protocol.Spec
+	}{
+		{"token-ring-4-3", protocols.TokenRing(4, 3)},
+		{"token-ring-5-4", protocols.TokenRing(5, 4)},
+		{"matching-6", protocols.Matching(6)},
+		{"matching-7", protocols.Matching(7)},
+		{"coloring-7", protocols.Coloring(7)},
+	}
+}
+
+// runSymbolicLeg builds a fresh symbolic engine, applies configure, runs
+// AddConvergence and returns the measured leg plus the synthesized
+// protocol's keys (nil on failure).
+func runSymbolicLeg(sp *protocol.Spec, configure func(*symbolic.Engine)) (SymbolicLeg, []protocol.Key) {
+	var leg SymbolicLeg
+	e, err := symbolic.New(sp)
+	if err != nil {
+		leg.Err = err.Error()
+		return leg, nil
+	}
+	if configure != nil {
+		configure(e)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res, err := core.AddConvergence(e, core.Options{})
+	leg.TotalMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	runtime.ReadMemStats(&after)
+	leg.AllocBytes = after.TotalAlloc - before.TotalAlloc
+
+	if res != nil {
+		leg.RankingMs = float64(res.RankingTime) / float64(time.Millisecond)
+		leg.SCCMs = float64(res.SCCTime) / float64(time.Millisecond)
+	}
+	sp2 := e.SpaceStats()
+	leg.PeakNodes = sp2.PeakLiveNodes
+	leg.CacheHitRate = sp2.CacheHitRate
+	if err != nil {
+		leg.Err = err.Error()
+		return leg, nil
+	}
+	leg.Verified = verify.StronglyStabilizing(e, res.Protocol).OK
+	return leg, protocolKeys(res.Protocol)
+}
+
+// SymbolicBenchmark runs the before/after tuning benchmark over the case
+// studies. quick shrinks the instances for CI smoke runs. Each leg is
+// the minimum of three reps, interleaved across the legs (ref, tuned,
+// tuned+workers, ref, ...) so load drift on a shared machine hits every
+// leg alike — the committed baseline should reflect the engine, not the
+// scheduler. The synthesized protocol is deterministic, so any rep's
+// keys serve for the cross-leg comparison.
+func SymbolicBenchmark(quick bool) SymbolicBench {
+	bench := SymbolicBench{
+		Description: "symbolic engine: reference fixpoints (full-image trim, whole-set SCC grow, throwaway scratch) vs the tuned default (dead-group dropping, frontier grow, retained warm scratch manager); tuned_workers additionally farms SCC fixpoints across 2 workers; times are min-of-3 interleaved reps",
+	}
+	cfgs := []func(*symbolic.Engine){
+		func(e *symbolic.Engine) { e.SetReferenceFixpoints(true) },
+		nil,
+		func(e *symbolic.Engine) { e.SetParallelism(2) },
+	}
+	for _, c := range symbolicBenchCases(quick) {
+		row := SymbolicBenchRow{Name: c.Name}
+		if e, err := symbolic.New(c.Spec); err == nil {
+			row.States = e.States(e.Universe())
+			row.Groups = len(e.ActionGroups()) + len(e.CandidateGroups())
+		}
+		var legs [3]SymbolicLeg
+		var keys [3][]protocol.Key
+		for r := 0; r < 3; r++ {
+			for i, cfg := range cfgs {
+				leg, k := runSymbolicLeg(c.Spec, cfg)
+				if r == 0 || (leg.Err == "" && leg.TotalMs < legs[i].TotalMs) {
+					legs[i], keys[i] = leg, k
+				}
+			}
+		}
+		row.Reference, row.Tuned, row.TunedWorkers = legs[0], legs[1], legs[2]
+		if row.Tuned.TotalMs > 0 {
+			row.Speedup = row.Reference.TotalMs / row.Tuned.TotalMs
+		}
+		row.ProtocolsMatch = keys[0] != nil &&
+			sameKeys(keys[0], keys[1]) && sameKeys(keys[0], keys[2])
+		bench.Cases = append(bench.Cases, row)
+	}
+	return bench
+}

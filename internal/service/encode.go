@@ -20,6 +20,7 @@ import (
 	"stsyn/internal/gcl"
 	"stsyn/internal/pretty"
 	"stsyn/internal/protocol"
+	"stsyn/internal/symbolic"
 )
 
 // Request is a synthesis job: either a built-in protocol by name (with its
@@ -62,8 +63,10 @@ type Request struct {
 	// it), tarjan, or fb (the trim-based parallel forward-backward search).
 	// Requires the explicit engine.
 	SCC string `json:"scc,omitempty"`
-	// Workers bounds the explicit engine's image/SCC parallelism (0 =
-	// GOMAXPROCS). Requires the explicit engine.
+	// Workers bounds the engine's parallelism: for the explicit engine the
+	// image/SCC worker pool (0 = GOMAXPROCS), for the symbolic engine the
+	// scratch-manager fan-out of the SCC decomposition (0 = sequential).
+	// Synthesized protocols are identical for every value.
 	Workers int `json:"workers,omitempty"`
 
 	// TimeoutMS bounds the job (queue wait included); 0 means the server's
@@ -138,6 +141,7 @@ type Response struct {
 // statistics (core.SpaceStats): node-store occupancy, operation-cache
 // behavior and garbage-collection work for one synthesis run.
 type BDDStats struct {
+	Workers         int     `json:"workers"`
 	LiveNodes       int     `json:"live_nodes"`
 	PeakLiveNodes   int     `json:"peak_live_nodes"`
 	AllocatedSlots  int     `json:"allocated_slots"`
@@ -199,7 +203,12 @@ func bddStats(e core.Engine) *BDDStats {
 		return nil
 	}
 	st := sr.SpaceStats()
+	workers := 0
+	if se, ok := e.(*symbolic.Engine); ok {
+		workers = se.Workers()
+	}
 	return &BDDStats{
+		Workers:         workers,
 		LiveNodes:       st.LiveNodes,
 		PeakLiveNodes:   st.PeakLiveNodes,
 		AllocatedSlots:  st.AllocatedSlots,
@@ -268,7 +277,7 @@ type Job struct {
 	Fanout      bool
 	Prune       bool
 	SCC         string // "auto", "tarjan" or "fb" (explicit engine)
-	Workers     int    // explicit engine parallelism (0 = GOMAXPROCS)
+	Workers     int    // engine parallelism (0 = engine default)
 	Key         string // content-addressed cache key
 }
 
@@ -319,8 +328,8 @@ func Normalize(req *Request, sp *protocol.Spec) (*Job, error) {
 		return nil, fmt.Errorf("workers must be non-negative, got %d", req.Workers)
 	}
 	j.Workers = req.Workers
-	if j.Engine != "explicit" && (j.SCC != "auto" || j.Workers != 0) {
-		return nil, fmt.Errorf("scc and workers are explicit-engine options (engine resolved to %s)", j.Engine)
+	if j.Engine != "explicit" && j.SCC != "auto" {
+		return nil, fmt.Errorf("scc is an explicit-engine option (engine resolved to %s)", j.Engine)
 	}
 
 	switch strings.ToLower(req.Resolution) {

@@ -195,10 +195,26 @@ func TestNormalizeSCCAndWorkers(t *testing.T) {
 		{Protocol: "tokenring", SCC: "kosaraju"},
 		{Protocol: "tokenring", Workers: -1},
 		{Protocol: "tokenring", Engine: "symbolic", SCC: "fb"},
-		{Protocol: "tokenring", Engine: "symbolic", Workers: 2},
 	} {
 		if _, err := Normalize(req, sp); err == nil {
 			t.Errorf("Normalize(%+v) succeeded, want error", req)
 		}
+	}
+
+	// Workers is engine-generic: a symbolic job accepts it, it reaches the
+	// normalized job, and it stays part of the cache key.
+	symJ, err := Normalize(&Request{Protocol: "tokenring", Engine: "symbolic", Workers: 2}, sp)
+	if err != nil {
+		t.Fatalf("symbolic workers rejected: %v", err)
+	}
+	if symJ.Workers != 2 {
+		t.Errorf("symbolic workers = %d, want 2", symJ.Workers)
+	}
+	symBase, err := Normalize(&Request{Protocol: "tokenring", Engine: "symbolic"}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if symJ.Key == symBase.Key {
+		t.Error("symbolic workers did not change the cache key")
 	}
 }

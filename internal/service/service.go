@@ -447,5 +447,10 @@ func newEngine(norm *Job) (core.Engine, error) {
 		e.SetParallelism(norm.Workers)
 		return e, nil
 	}
-	return symbolic.New(norm.Spec)
+	e, err := symbolic.New(norm.Spec)
+	if err != nil {
+		return nil, err
+	}
+	e.SetParallelism(norm.Workers)
+	return e, nil
 }

@@ -529,3 +529,76 @@ func TestPruneFanoutEndToEnd(t *testing.T) {
 		t.Errorf("prune+incremental status = %d, want 422 (body %s)", status, data)
 	}
 }
+
+// Prune + memo on the symbolic engine, end to end. The symbolic engine now
+// implements SetExporter, so a pruned symbolic fan-out exercises the full
+// cross-schedule memo path: rank snapshots are serialized BDDs, replayed
+// across the quotient stream's attempts. The synthesized protocol must be
+// identical to both the unpruned symbolic run and the pruned explicit run,
+// and the response must carry the symbolic worker count.
+func TestSymbolicPruneMemoEndToEnd(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+
+	status, data := postSynthesize(t, ts, `{"protocol":"coloring","k":4,"fanout":true,"engine":"symbolic"}`)
+	if status != http.StatusOK {
+		t.Fatalf("unpruned symbolic status = %d, body %s", status, data)
+	}
+	plain := decodeResponse(t, data)
+	if plain.Prune != nil {
+		t.Error("unpruned response carries a prune block")
+	}
+
+	status, data = postSynthesize(t, ts,
+		`{"protocol":"coloring","k":4,"fanout":true,"engine":"symbolic","prune":true,"workers":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("pruned symbolic status = %d, body %s", status, data)
+	}
+	pruned := decodeResponse(t, data)
+	if pruned.Cached {
+		t.Fatal("pruned job hit the unpruned cache entry: prune missing from the key")
+	}
+	if pruned.Prune == nil {
+		t.Fatal("prune stats missing from the symbolic response")
+	}
+	if p := pruned.Prune; p.GroupSize != 4 || p.SchedulesEmitted != 1 || p.SchedulesPruned != 3 {
+		t.Errorf("prune stats = %+v, want group=4 emitted=1 pruned=3", p)
+	}
+	if pruned.Prune.MemoMisses == 0 {
+		t.Error("cold memo reported no misses on the symbolic engine")
+	}
+	if pruned.BDD == nil {
+		t.Fatal("symbolic response has no bdd stats")
+	}
+	if pruned.BDD.Workers != 2 {
+		t.Errorf("bdd stats workers = %d, want 2", pruned.BDD.Workers)
+	}
+	if !reflect.DeepEqual(plain.Actions, pruned.Actions) {
+		t.Error("pruned symbolic synthesis produced a different protocol")
+	}
+	if plain.Pass != pruned.Pass || plain.ProgramSize != pruned.ProgramSize {
+		t.Error("pruned symbolic stats diverged from the unpruned run")
+	}
+
+	// Cross-engine: the pruned explicit run must agree action for action.
+	status, data = postSynthesize(t, ts, `{"protocol":"coloring","k":4,"fanout":true,"prune":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("pruned explicit status = %d, body %s", status, data)
+	}
+	explicitPruned := decodeResponse(t, data)
+	if !reflect.DeepEqual(explicitPruned.Actions, pruned.Actions) {
+		t.Error("symbolic and explicit pruned runs synthesized different protocols")
+	}
+
+	if svc.Metrics().PruneMemoMisses.Load() == 0 {
+		t.Error("service memo-miss counter not aggregated from the symbolic job")
+	}
+	if st := svc.MemoStats(); st.Entries == 0 {
+		t.Error("server-wide memo retained no entries after a pruned symbolic job")
+	}
+
+	status, data = postSynthesize(t, ts,
+		`{"protocol":"coloring","k":4,"engine":"symbolic","prune":true,"resolution":"incremental"}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("symbolic prune+incremental status = %d, want 422 (body %s)", status, data)
+	}
+}

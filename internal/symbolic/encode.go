@@ -8,26 +8,92 @@
 package symbolic
 
 import (
+	"fmt"
 	"math/bits"
+	"sort"
 
 	"stsyn/internal/bdd"
 	"stsyn/internal/protocol"
 )
 
 // layout maps protocol variables to BDD variable levels. Each protocol
-// variable v with domain d gets ⌈log₂ d⌉ bits, most significant first.
-// Current-state and next-state bits are interleaved (current at even
-// levels); next-state bits are used only to build faithful transition
-// relations for the BDD-node space metric.
+// variable v with domain d gets ⌈log₂ d⌉ bits, most significant first,
+// with the variables laid out in a chosen order (DefaultVarOrder unless
+// the engine was built with NewWithOrder). Current-state and next-state
+// bits are interleaved (current at even levels); next-state bits are used
+// only to build faithful transition relations for the BDD-node space
+// metric.
 type layout struct {
 	sp       *protocol.Spec
+	order    []int // protocol variable IDs in layout order
 	bitsOf   []int // bits per protocol variable
 	firstBit []int // index of the variable's first bit (bit space, not level)
 	total    int   // total current-state bits
 }
 
+// DefaultVarOrder returns the engine's static variable order: protocol
+// variables grouped by process locality — each variable is placed with the
+// lowest-numbered process that writes it (falling back to the lowest
+// reader for read-only variables), ties broken by variable ID. BDD sizes
+// of conjunctions of per-process constraints grow with the spread of each
+// process's support across the order, so clustering a process's variables
+// keeps the group cubes and fixpoint intermediates narrow. For the ring
+// topologies of the paper's case studies (one written variable per
+// process, declared in process order) this is the identity.
+func DefaultVarOrder(sp *protocol.Spec) []int {
+	owner := make([]int, len(sp.Vars))
+	for id := range owner {
+		owner[id] = len(sp.Procs) // unreferenced variables sort last
+	}
+	written := make([]bool, len(sp.Vars))
+	for pi := range sp.Procs {
+		for _, id := range sp.Procs[pi].Writes {
+			if !written[id] || pi < owner[id] {
+				owner[id] = pi
+			}
+			written[id] = true
+		}
+	}
+	for pi := range sp.Procs {
+		for _, id := range sp.Procs[pi].Reads {
+			if !written[id] && pi < owner[id] {
+				owner[id] = pi
+			}
+		}
+	}
+	order := make([]int, len(sp.Vars))
+	for id := range order {
+		order[id] = id
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return owner[order[i]] < owner[order[j]]
+	})
+	return order
+}
+
+// validOrder checks that order is a permutation of the spec's variable IDs.
+func validOrder(sp *protocol.Spec, order []int) error {
+	if len(order) != len(sp.Vars) {
+		return fmt.Errorf("symbolic: variable order has %d entries for %d variables", len(order), len(sp.Vars))
+	}
+	seen := make([]bool, len(sp.Vars))
+	for _, id := range order {
+		if id < 0 || id >= len(sp.Vars) || seen[id] {
+			return fmt.Errorf("symbolic: variable order is not a permutation: %v", order)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
 func newLayout(sp *protocol.Spec) *layout {
-	l := &layout{sp: sp}
+	return newLayoutOrdered(sp, DefaultVarOrder(sp))
+}
+
+// newLayoutOrdered lays the variables out in the given order (a permutation
+// of the variable IDs, already validated by the caller).
+func newLayoutOrdered(sp *protocol.Spec, order []int) *layout {
+	l := &layout{sp: sp, order: append([]int(nil), order...)}
 	l.bitsOf = make([]int, len(sp.Vars))
 	l.firstBit = make([]int, len(sp.Vars))
 	for i, v := range sp.Vars {
@@ -36,10 +102,30 @@ func newLayout(sp *protocol.Spec) *layout {
 			n = 1 // domain of size 1 still gets one (constant-0) bit
 		}
 		l.bitsOf[i] = n
-		l.firstBit[i] = l.total
-		l.total += n
+	}
+	for _, id := range order {
+		l.firstBit[id] = l.total
+		l.total += l.bitsOf[id]
 	}
 	return l
+}
+
+// fingerprint hashes the layout (variable order and widths) with FNV-1a.
+// Exported set snapshots carry it so a snapshot taken under one order is
+// never misread as node indices of another.
+func (l *layout) fingerprint() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v int) {
+		h ^= uint64(uint32(v))
+		h *= prime
+	}
+	mix(len(l.order))
+	for _, id := range l.order {
+		mix(id)
+		mix(l.bitsOf[id])
+	}
+	return h
 }
 
 // curLevel returns the BDD level of bit b (0 = MSB) of variable id in the

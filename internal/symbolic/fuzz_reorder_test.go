@@ -1,0 +1,107 @@
+package symbolic_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/specgen"
+	"stsyn/internal/symbolic"
+)
+
+// errClass maps a synthesis error to its sentinel, so runs under different
+// variable orders compare by failure mode rather than by witness state
+// (error messages embed an example state, and which cube PickCube reports
+// legitimately depends on the variable order).
+func errClass(err error) error {
+	for _, s := range []error{
+		core.ErrNotClosed,
+		core.ErrUnresolvableCycle,
+		core.ErrNoStabilizingVersion,
+		core.ErrDeadlocksRemain,
+	} {
+		if errors.Is(err, s) {
+			return s
+		}
+	}
+	return err
+}
+
+// FuzzReorderEquivalence is the native-fuzzing form of the PR's headline
+// contract: the static variable order, the sifted scratch order, the fused
+// image, and the worker count are pure performance knobs. For a random
+// spec and a random permutation of its variables, synthesis under every
+// knob combination must agree with the default-order sequential oracle on
+// both the protocol key set and the error class.
+func FuzzReorderEquivalence(f *testing.F) {
+	for _, seed := range []int64{3, 11, 42, 512, 4096} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		sp := specgen.RandomSpec(rng, rng.Intn(2) == 1)
+
+		run := func(order []int, cfg func(*symbolic.Engine)) (map[protocol.Key]bool, error) {
+			var (
+				e   *symbolic.Engine
+				err error
+			)
+			if order == nil {
+				e, err = symbolic.New(sp)
+			} else {
+				e, err = symbolic.NewWithOrder(sp, order)
+			}
+			if err != nil {
+				t.Fatalf("generator produced an invalid spec: %v", err)
+			}
+			if cfg != nil {
+				cfg(e)
+			}
+			res, err := core.AddConvergence(e, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return protoKeys(res.Protocol), nil
+		}
+
+		wantKeys, wantErr := run(nil, nil)
+
+		perm := rand.New(rand.NewSource(seed ^ 0x5eed)).Perm(len(sp.Vars))
+		configs := []struct {
+			name  string
+			order []int
+			cfg   func(*symbolic.Engine)
+		}{
+			{"permuted", perm, nil},
+			{"permuted-fused", perm, func(e *symbolic.Engine) { e.SetFusedImage(true) }},
+			{"permuted-reference", perm, func(e *symbolic.Engine) { e.SetReferenceFixpoints(true) }},
+			{"permuted-reorder", perm, func(e *symbolic.Engine) { e.SetDynamicReorder(true) }},
+			{"permuted-workers", perm, func(e *symbolic.Engine) {
+				e.SetParallelism(2)
+				e.SetSpawnGrain(2)
+			}},
+			{"default-reorder-workers", nil, func(e *symbolic.Engine) {
+				e.SetDynamicReorder(true)
+				e.SetParallelism(3)
+				e.SetSpawnGrain(2)
+			}},
+		}
+		for _, c := range configs {
+			keys, err := run(c.order, c.cfg)
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("%s: error mismatch: got %v, oracle %v", c.name, err, wantErr)
+			}
+			if err != nil {
+				if !errors.Is(errClass(err), errClass(wantErr)) {
+					t.Fatalf("%s: error class diverged: got %q, oracle %q", c.name, err, wantErr)
+				}
+				continue
+			}
+			if !sameKeySets(keys, wantKeys) {
+				t.Fatalf("%s: synthesized protocol diverged from the default-order oracle", c.name)
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package symbolic
+
+import (
+	"sort"
+	"sync"
+
+	"stsyn/internal/bdd"
+)
+
+// Parallel SCC enumeration. The skeleton decomposition splits the graph
+// into disjoint subproblems (inside/outside each forward set), so the two
+// descendants a step produces can run anywhere — provided each runs in a
+// manager nobody else touches. A spawned subproblem therefore gets a full
+// task-private scratch context (sccCtx.clone) built by its current owner
+// while the source manager is quiescent, and workers share nothing but
+// the queue.
+//
+// Determinism: everything a spawn decision can observe — DagSize of the
+// subproblem (structural on canonical ROBDDs), the per-task spawn counter,
+// the fixed offer order — is independent of scheduling, so the task tree
+// is identical for every worker count and interleaving. Results are keyed
+// by their spawn path and sorted before the copy-back, so CyclicSCCs
+// returns the same components in the same order whether one worker runs
+// the tree or eight do.
+const (
+	// spawnGrain is the minimum DagSize of a subproblem's state set before
+	// handing it off pays for cloning the group cubes into a new manager.
+	spawnGrain = 128
+	// spawnCap bounds how many children one task may hand off; the rest of
+	// its decomposition stays on its local stack.
+	spawnCap = 8
+)
+
+// pTask is a unit of parallel work: one skeleton subproblem together with
+// the task-private scratch context it runs in.
+type pTask struct {
+	path []int // spawn path from the root; the deterministic result key
+	ctx  *sccCtx
+	t    skelTask
+}
+
+// pResult collects the cyclic SCCs one task emitted, still living in the
+// task's scratch manager.
+type pResult struct {
+	path []int
+	ctx  *sccCtx
+	sccs []bdd.Ref
+}
+
+type sccPool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*pTask
+	inflight int // queued + running tasks; 0 means the tree is drained
+	results  []pResult
+}
+
+// parallelSkeleton runs the skeleton decomposition of v0 (in the root
+// scratch context) across e.workers goroutines and returns the cyclic
+// SCCs copied back to the persistent manager, in deterministic path
+// order. The caller folds the root context's stats; spawned contexts are
+// folded here after the workers join.
+func (e *Engine) parallelSkeleton(root *sccCtx, v0 bdd.Ref) []bdd.Ref {
+	pool := &sccPool{}
+	pool.cond = sync.NewCond(&pool.mu)
+	pool.queue = []*pTask{{ctx: root, t: skelTask{v: v0, s: bdd.False, n: bdd.False}}}
+	pool.inflight = 1
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.work(e)
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(pool.results, func(i, j int) bool {
+		return lessPath(pool.results[i].path, pool.results[j].path)
+	})
+	var out []bdd.Ref
+	for _, r := range pool.results {
+		memo := make(map[bdd.Ref]bdd.Ref)
+		for _, s := range r.sccs {
+			out = append(out, r.ctx.copyBack(s, memo))
+		}
+		if r.ctx != root {
+			e.foldScratchStats(r.ctx.m)
+		}
+	}
+	return out
+}
+
+// work pops and runs tasks until the whole task tree has drained. Waiting
+// is bounded by inflight: a worker sleeps only while another task is still
+// running (and may yet enqueue children), so the pool cannot deadlock —
+// the last finishing task broadcasts the drain.
+func (p *sccPool) work(e *Engine) {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && p.inflight > 0 {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[len(p.queue)-1]
+		p.queue = p.queue[:len(p.queue)-1]
+		p.mu.Unlock()
+
+		p.run(e, t)
+
+		p.mu.Lock()
+		p.inflight--
+		if p.inflight == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// run drains one task with the sequential skeleton loop, offering each
+// descendant subproblem to the queue when it is big enough to justify a
+// private manager.
+func (p *sccPool) run(e *Engine, t *pTask) {
+	res := pResult{path: t.path, ctx: t.ctx}
+	spawned := 0
+	trySpawn := func(st skelTask) bool {
+		if spawned >= spawnCap || st.v == bdd.False || t.ctx.m.DagSize(st.v) < e.spawnThreshold() {
+			return false
+		}
+		cc, refs := t.ctx.clone(st.v, st.s, st.n)
+		child := &pTask{
+			path: append(append([]int(nil), t.path...), spawned),
+			ctx:  cc,
+			t:    skelTask{v: refs[0], s: refs[1], n: refs[2]},
+		}
+		spawned++
+		p.mu.Lock()
+		p.queue = append(p.queue, child)
+		p.inflight++
+		p.cond.Signal()
+		p.mu.Unlock()
+		return true
+	}
+	t.ctx.skeletonRun(t.t, func(scc bdd.Ref) {
+		if t.ctx.hasInternalTransition(scc) {
+			res.sccs = append(res.sccs, scc) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		}
+	}, trySpawn)
+
+	p.mu.Lock()
+	p.results = append(p.results, res)
+	p.mu.Unlock()
+}
+
+func lessPath(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,309 @@
+package symbolic_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stsyn/internal/core"
+	"stsyn/internal/protocol"
+	"stsyn/internal/protocols"
+	"stsyn/internal/symbolic"
+	"stsyn/internal/verify"
+)
+
+// protoKeys reduces a synthesis result to the comparable protocol key set.
+func protoKeys(gs []core.Group) map[protocol.Key]bool {
+	out := make(map[protocol.Key]bool, len(gs))
+	for _, g := range gs {
+		out[g.ProtocolGroup().Key()] = true
+	}
+	return out
+}
+
+func sameKeySets(a, b map[protocol.Key]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// synthesize runs AddConvergence on a fresh engine configured by cfg and
+// returns the protocol key set (nil on error) plus the error.
+func synthesize(t *testing.T, sp *protocol.Spec, cfg func(*symbolic.Engine)) (map[protocol.Key]bool, error) {
+	t.Helper()
+	e, err := symbolic.New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != nil {
+		cfg(e)
+	}
+	res, err := core.AddConvergence(e, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+		t.Fatalf("result does not stabilize: %s", v.Reason)
+	}
+	return protoKeys(res.Protocol), nil
+}
+
+// TestKnobMatrixSynthesisIdentical is the PR's headline differential
+// contract: the fused image, the reference fixpoint scheme, the sifted
+// scratch order, and every worker count are pure performance knobs — the
+// synthesized protocol must be byte-identical to the reference sequential
+// oracle under all of them, and failures must fail with the same error
+// class.
+func TestKnobMatrixSynthesisIdentical(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  func(*symbolic.Engine)
+	}{
+		{"oracle-reference-seq", func(e *symbolic.Engine) { e.SetReferenceFixpoints(true) }},
+		{"default", nil},
+		{"fused", func(e *symbolic.Engine) { e.SetFusedImage(true) }},
+		{"reference-fused", func(e *symbolic.Engine) {
+			e.SetReferenceFixpoints(true)
+			e.SetFusedImage(true)
+		}},
+		{"reorder", func(e *symbolic.Engine) { e.SetDynamicReorder(true) }},
+		{"reference-reorder", func(e *symbolic.Engine) {
+			e.SetReferenceFixpoints(true)
+			e.SetDynamicReorder(true)
+		}},
+		{"workers3", func(e *symbolic.Engine) {
+			e.SetParallelism(3)
+			e.SetSpawnGrain(8) // force real hand-offs on unit-test instances
+		}},
+		{"fused-workers2", func(e *symbolic.Engine) {
+			e.SetFusedImage(true)
+			e.SetParallelism(2)
+			e.SetSpawnGrain(8)
+		}},
+		{"everything", func(e *symbolic.Engine) {
+			e.SetFusedImage(true)
+			e.SetDynamicReorder(true)
+			e.SetParallelism(4)
+			e.SetSpawnGrain(8)
+		}},
+	}
+	for _, sp := range []*protocol.Spec{
+		protocols.TokenRing(4, 3),
+		protocols.Matching(5),
+		protocols.Coloring(5),
+		protocols.GoudaAcharyaMatching(4),
+		protocols.DijkstraTokenRing(4, 3),
+	} {
+		want, wantErr := synthesize(t, sp, configs[0].cfg)
+		for _, c := range configs[1:] {
+			got, err := synthesize(t, sp, c.cfg)
+			if (err == nil) != (wantErr == nil) || (err != nil && err.Error() != wantErr.Error()) {
+				t.Fatalf("%s/%s: error %v, oracle %v", sp.Name, c.name, err, wantErr)
+			}
+			if err == nil && !sameKeySets(got, want) {
+				t.Fatalf("%s/%s: protocol differs from the reference sequential oracle", sp.Name, c.name)
+			}
+		}
+	}
+}
+
+// TestParallelSCCsMatchSequential compares the components themselves, not
+// just the downstream protocol: the same SCCs in the same deterministic
+// order for every worker count.
+func TestParallelSCCsMatchSequential(t *testing.T) {
+	for _, sp := range []*protocol.Spec{
+		protocols.GoudaAcharyaMatching(4),
+		protocols.GoudaAcharyaMatching(5),
+	} {
+		seq, err := symbolic.New(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := seq.CyclicSCCs(seq.ActionGroups(), seq.Not(seq.Invariant()))
+		for _, workers := range []int{2, 4} {
+			par, err := symbolic.New(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par.SetParallelism(workers)
+			par.SetSpawnGrain(4)
+			got := par.CyclicSCCs(par.ActionGroups(), par.Not(par.Invariant()))
+			if len(got) != len(ref) {
+				t.Fatalf("%s workers=%d: %d SCCs, sequential found %d", sp.Name, workers, len(got), len(ref))
+			}
+			for _, s := range got {
+				st, _ := par.PickState(s)
+				found := false
+				for _, r := range ref {
+					if seq.States(r) == par.States(s) && !seq.IsEmpty(seq.And(r, seq.Singleton(st))) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s workers=%d: parallel SCC missing from sequential enumeration", sp.Name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSynthesisStress is the -race battery for the worker pool: it
+// repeatedly synthesizes under aggressive spawning with several worker
+// counts, inside a watchdog so a stuck pool fails the test instead of
+// hanging CI.
+func TestParallelSynthesisStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping parallel stress battery in -short mode")
+	}
+	specs := []*protocol.Spec{
+		protocols.Matching(6),             // succeeds
+		protocols.DijkstraTokenRing(4, 3), // cycles inside I
+		protocols.GoudaAcharyaMatching(5), // fails deterministically
+	}
+	type oracle struct {
+		keys map[protocol.Key]bool
+		err  error
+	}
+	oracles := make([]oracle, len(specs))
+	for i, sp := range specs {
+		keys, err := synthesize(t, sp, nil)
+		oracles[i] = oracle{keys: keys, err: err}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- func() error {
+			for iter := 0; iter < 2; iter++ {
+				for _, workers := range []int{2, 4, 8} {
+					for i, sp := range specs {
+						e, err := symbolic.New(sp)
+						if err != nil {
+							return err
+						}
+						e.SetParallelism(workers)
+						e.SetSpawnGrain(2) // maximal hand-off pressure
+						res, err := core.AddConvergence(e, core.Options{})
+						want := oracles[i]
+						if (err == nil) != (want.err == nil) || (err != nil && err.Error() != want.err.Error()) {
+							return fmt.Errorf("%s workers=%d: error %v, oracle %v", sp.Name, workers, err, want.err)
+						}
+						if err != nil {
+							continue
+						}
+						if !sameKeySets(protoKeys(res.Protocol), want.keys) {
+							return fmt.Errorf("%s workers=%d: protocol differs from sequential oracle", sp.Name, workers)
+						}
+						if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+							return fmt.Errorf("%s workers=%d: not stabilizing: %s", sp.Name, workers, v.Reason)
+						}
+					}
+				}
+			}
+			return nil
+		}()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("parallel synthesis wedged: worker pool deadlock or runaway fixpoint")
+	}
+}
+
+// TestReorderEquivalenceDeterministic pins synthesis equivalence under a
+// spread of explicit variable orders (the fuzz target explores random
+// ones): reversed, rotated, and odd-even interleaved layouts all yield the
+// oracle protocol.
+func TestReorderEquivalenceDeterministic(t *testing.T) {
+	for _, sp := range []*protocol.Spec{
+		protocols.TokenRing(4, 3),
+		protocols.Matching(5),
+		protocols.GoudaAcharyaMatching(4),
+	} {
+		want, wantErr := synthesize(t, sp, nil)
+		n := len(sp.Vars)
+		orders := [][]int{make([]int, n), make([]int, n), make([]int, n)}
+		for i := 0; i < n; i++ {
+			orders[0][i] = n - 1 - i     // reversed
+			orders[1][i] = (i + n/2) % n // rotated
+			orders[2][i] = (2*i + 1) % n // odd levels first (n odd)…
+		}
+		if n%2 == 0 { // …or a strict odd-even split when n is even
+			k := 0
+			for i := 1; i < n; i += 2 {
+				orders[2][k] = i
+				k++
+			}
+			for i := 0; i < n; i += 2 {
+				orders[2][k] = i
+				k++
+			}
+		}
+		for oi, order := range orders {
+			e, err := symbolic.NewWithOrder(sp, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetDynamicReorder(true) // sift on top of the hostile base order
+			res, err := core.AddConvergence(e, core.Options{})
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("%s order %d: error %v, oracle %v", sp.Name, oi, err, wantErr)
+			}
+			if err != nil {
+				continue
+			}
+			if !sameKeySets(protoKeys(res.Protocol), want) {
+				t.Fatalf("%s order %d: protocol depends on the variable order", sp.Name, oi)
+			}
+			if v := verify.StronglyStabilizing(e, res.Protocol); !v.OK {
+				t.Fatalf("%s order %d: not stabilizing: %s", sp.Name, oi, v.Reason)
+			}
+		}
+	}
+}
+
+// TestNewWithOrderRejectsBadOrders covers the permutation validation.
+func TestNewWithOrderRejectsBadOrders(t *testing.T) {
+	sp := protocols.TokenRing(3, 3)
+	for _, order := range [][]int{
+		{0, 1},          // short
+		{0, 1, 1},       // duplicate
+		{0, 1, 3},       // out of range
+		{-1, 1, 2},      // negative
+		{0, 1, 2, 3, 4}, // long
+	} {
+		if _, err := symbolic.NewWithOrder(sp, order); err == nil {
+			t.Fatalf("order %v accepted", order)
+		}
+	}
+	if _, err := symbolic.NewWithOrder(sp, []int{2, 0, 1}); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+}
+
+// TestDefaultVarOrderRingIdentity pins that the locality order leaves the
+// paper's ring case studies untouched (vars are declared in process
+// order), so committed benchmarks measure the substrate, not a layout
+// change.
+func TestDefaultVarOrderRingIdentity(t *testing.T) {
+	for _, sp := range []*protocol.Spec{
+		protocols.TokenRing(5, 4),
+		protocols.Coloring(7),
+		protocols.Matching(6),
+	} {
+		order := symbolic.DefaultVarOrder(sp)
+		for i, id := range order {
+			if i != id {
+				t.Fatalf("%s: DefaultVarOrder = %v, want identity", sp.Name, order)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package symbolic
+
+// Dynamic variable reordering, confined to the SCC scratch managers.
+//
+// The persistent manager can never be reordered in place: Refs handed out
+// through core.Set and pinned with Retain are stable across collections by
+// contract, and a reorder rewrites the node store wholesale. The scratch
+// managers of CyclicSCCs have no such obligation — the engine owns every
+// ref in them — so they are the one safe point where a better order can be
+// applied: inputs are translated on the way in (CopyPermutedFrom), the
+// fixpoints run under the sifted order, and the small results are
+// translated back with the inverse map.
+
+// siftedVarOrder computes the scratch order with one pass of greedy
+// sifting over the protocol variables, minimizing the total bit-span of
+// the per-process read supports (weighted by each process's group count).
+// The image of a group touches exactly the levels between the first and
+// last bit of its process's reads, so narrowing the spans keeps the
+// fixpoint intermediates — and the operation-cache working set — small.
+// The result depends only on the spec, so it is deterministic and computed
+// once per engine.
+func (e *Engine) siftedVarOrder() []int {
+	type supp struct {
+		vars   []int
+		weight int
+	}
+	supps := make([]supp, 0, len(e.sp.Procs))
+	for pi := range e.sp.Procs {
+		w := len(e.sp.ActionGroups(pi)) + len(e.sp.CandidateGroups(pi))
+		if w == 0 || len(e.sp.Procs[pi].Reads) == 0 {
+			continue
+		}
+		supps = append(supps, supp{vars: e.sp.Procs[pi].Reads, weight: w})
+	}
+
+	cost := func(ord []int) int {
+		posOf := make([]int, len(e.sp.Vars))
+		total := 0
+		for _, id := range ord {
+			posOf[id] = total
+			total += e.l.bitsOf[id]
+		}
+		c := 0
+		for _, s := range supps {
+			lo, hi := int(^uint(0)>>1), -1
+			for _, id := range s.vars {
+				if posOf[id] < lo {
+					lo = posOf[id]
+				}
+				if end := posOf[id] + e.l.bitsOf[id]; end > hi {
+					hi = end
+				}
+			}
+			c += s.weight * (hi - lo)
+		}
+		return c
+	}
+
+	order := append([]int(nil), e.l.order...)
+	best := cost(order)
+	for _, v := range append([]int(nil), order...) {
+		// Remove v, then try every insertion point and keep the cheapest.
+		at := -1
+		for i, id := range order {
+			if id == v {
+				at = i
+				break
+			}
+		}
+		rest := append(append([]int(nil), order[:at]...), order[at+1:]...)
+		bestOrd := order
+		for i := 0; i <= len(rest); i++ {
+			cand := make([]int, 0, len(order))
+			cand = append(cand, rest[:i]...)
+			cand = append(cand, v)
+			cand = append(cand, rest[i:]...)
+			if c := cost(cand); c < best {
+				best, bestOrd = c, cand
+			}
+		}
+		order = bestOrd
+	}
+	return order
+}
+
+// scratchOrderMaps returns the level translation between the persistent
+// layout and the sifted scratch layout: fwd[persistent level] = scratch
+// level, and inv its inverse. Both current- and next-state levels are
+// mapped (CopyPermutedFrom needs a total injective map), computed lazily
+// and cached — the sifted order depends only on the spec.
+func (e *Engine) scratchOrderMaps() (fwd, inv []int) {
+	if e.reorderMap == nil {
+		sl := newLayoutOrdered(e.sp, e.siftedVarOrder())
+		f := make([]int, e.m.NumVars())
+		for id := range e.sp.Vars {
+			for b := 0; b < e.l.bitsOf[id]; b++ {
+				f[e.l.curLevel(id, b)] = sl.curLevel(id, b)
+				f[e.l.nextLevel(id, b)] = sl.nextLevel(id, b)
+			}
+		}
+		i := make([]int, len(f))
+		for p, s := range f {
+			i[s] = p
+		}
+		e.reorderMap, e.reorderInv = f, i
+	}
+	return e.reorderMap, e.reorderInv
+}

@@ -7,21 +7,190 @@ import (
 	"stsyn/internal/core"
 )
 
-// sccCtx runs cycle detection inside a throwaway scratch manager: the trim
-// and enumeration fixpoints generate enormous amounts of garbage, and a
-// fresh manager keeps the working node store and operation cache compact
-// and cache-resident (refs copied in are renumbered densely). Inputs are
-// migrated in, the (small) resulting SCC predicates are migrated back, and
-// the scratch manager is dropped wholesale — the coarsest possible
-// collection. The main manager's mark-and-sweep collector complements
-// this: it reclaims garbage that accumulates on the persistent store
-// across calls, and CyclicSCCs' entry is one of its safe points.
+// sccCtx runs cycle detection inside a scratch manager separate from the
+// persistent store: the trim and enumeration fixpoints generate enormous
+// amounts of garbage, and keeping it off the persistent manager makes
+// reclamation trivial — a scratch manager is dropped wholesale, the
+// coarsest possible collection. By default the engine retains one scratch
+// manager across calls (scratchMgr: warm operation cache, copy memo) and
+// drops it at a small live-node watermark; reference mode and parallel
+// clones use a private throwaway manager per call/task instead. Inputs
+// are migrated in and the (small) resulting SCC predicates are migrated
+// back. The main manager's mark-and-sweep collector complements this: it
+// reclaims garbage that accumulates on the persistent store across calls,
+// and CyclicSCCs' entry is one of its safe points.
 type sccCtx struct {
-	e     *Engine
-	m     *bdd.Manager
-	src   []bdd.Ref // per group: source states
-	wcube []bdd.Ref // per group: written-values literal cube
-	wvars []bdd.Ref // per group: positive cube of written bit levels
+	e         *Engine
+	m         *bdd.Manager
+	src       []bdd.Ref           // per group: source states
+	wcube     []bdd.Ref           // per group: written-values literal cube
+	wvars     []bdd.Ref           // per group: positive cube of written bit levels
+	lmap      []int               // persistent level → scratch level (nil = same order)
+	memo      map[bdd.Ref]bdd.Ref // persistent → scratch copy memo for this call
+	throwaway bool                // manager is private to this call (reference mode, clones)
+}
+
+// scratchMgr is the cycle-detection scratch manager an engine retains
+// across CyclicSCCs calls. Reuse keeps the operation cache warm across
+// the many short calls a synthesis run makes, and the copy memo turns the
+// per-call migration of group cubes and the recurring `within` set into
+// map lookups. Validity is epoch-style: the memo's keys are persistent
+// Refs, so any persistent-manager collection (which may reuse slots)
+// flushes the memo — the scratch nodes and warm cache survive; prev
+// snapshots the counters already folded into the engine's scratch
+// totals so reuse never double-counts.
+type scratchMgr struct {
+	m       *bdd.Manager
+	memo    map[bdd.Ref]bdd.Ref // persistent Ref → scratch Ref
+	prev    bdd.Stats           // counters folded so far
+	gcRuns  int                 // persistent GCRuns the memo is valid for
+	reorder bool                // order the memo entries were translated under
+}
+
+// scratchRebuildNodes bounds the retained scratch store: past this many
+// live nodes the manager is dropped wholesale and rebuilt fresh.
+const scratchRebuildNodes = 1 << 16
+
+// ensureScratch returns the retained scratch manager, rebuilding it when
+// the store outgrew the watermark or the reorder knob flipped. A
+// persistent-manager collection is cheaper to survive: scratch nodes are
+// unaffected — only the memo's keys (persistent refs whose slots may now
+// be reused) go stale — so the memo alone is flushed and the warm
+// operation cache lives on.
+func (e *Engine) ensureScratch() *scratchMgr {
+	gc := e.m.Stats().GCRuns
+	if s := e.sccScratch; s != nil {
+		if s.reorder != e.reorder || s.m.Stats().LiveNodes > scratchRebuildNodes {
+			e.dropScratch()
+		} else if s.gcRuns != gc {
+			s.memo = make(map[bdd.Ref]bdd.Ref)
+			s.gcRuns = gc
+		}
+	}
+	if e.sccScratch == nil {
+		e.sccScratch = &scratchMgr{
+			m:       bdd.New(e.m.NumVars()),
+			memo:    make(map[bdd.Ref]bdd.Ref),
+			gcRuns:  gc,
+			reorder: e.reorder,
+		}
+	}
+	return e.sccScratch
+}
+
+// dropScratch folds the retained scratch manager's outstanding counters
+// into the engine totals and releases it wholesale.
+func (e *Engine) dropScratch() {
+	s := e.sccScratch
+	if s == nil {
+		return
+	}
+	st := s.m.Stats()
+	e.scratch.ops += st.Ops - s.prev.Ops
+	e.scratch.hits += st.CacheHits - s.prev.CacheHits
+	e.scratch.misses += st.CacheMisses - s.prev.CacheMisses
+	e.scratch.evicts += st.CacheEvictions - s.prev.CacheEvictions
+	e.scratch.dropped += uint64(st.LiveNodes)
+	if st.PeakLiveNodes > e.scratch.peak {
+		e.scratch.peak = st.PeakLiveNodes
+	}
+	e.sccScratch = nil
+}
+
+// settleScratch folds a finished call's counters: throwaway managers are
+// folded in full (they are dropped now), the retained manager by delta
+// since the previous settle.
+func (e *Engine) settleScratch(ctx *sccCtx) {
+	if ctx.throwaway {
+		e.foldScratchStats(ctx.m)
+		return
+	}
+	s := e.sccScratch
+	if s == nil || s.m != ctx.m {
+		return
+	}
+	st := s.m.Stats()
+	e.scratch.ops += st.Ops - s.prev.Ops
+	e.scratch.hits += st.CacheHits - s.prev.CacheHits
+	e.scratch.misses += st.CacheMisses - s.prev.CacheMisses
+	e.scratch.evicts += st.CacheEvictions - s.prev.CacheEvictions
+	if st.PeakLiveNodes > e.scratch.peak {
+		e.scratch.peak = st.PeakLiveNodes
+	}
+	s.prev = st
+}
+
+// newSCCCtx builds a scratch context over the given groups. The default
+// path reuses the engine's retained scratch manager, whose memo makes
+// migrating previously seen persistent refs (the group cubes, the
+// recurring `within` set) a map lookup; SetReferenceFixpoints restores a
+// private throwaway manager per call. With dynamic reordering enabled the
+// scratch manager runs under the engine's sifted order — stable per spec,
+// so safe to retain — and all inputs are translated on the way in; lmap
+// records the translation so pickSingleton and the copy-back can follow
+// it.
+func (e *Engine) newSCCCtx(gs []core.Group) *sccCtx {
+	ctx := &sccCtx{e: e}
+	if e.refFix {
+		ctx.m = bdd.New(e.m.NumVars())
+		ctx.memo = make(map[bdd.Ref]bdd.Ref)
+		ctx.throwaway = true
+	} else {
+		s := e.ensureScratch()
+		ctx.m = s.m
+		ctx.memo = s.memo
+	}
+	if e.reorder {
+		ctx.lmap, _ = e.scratchOrderMaps()
+	}
+	for _, g := range gs {
+		gg := g.(*group)
+		ctx.src = append(ctx.src, ctx.copyIn(gg.src, ctx.memo))           //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		ctx.wcube = append(ctx.wcube, ctx.copyIn(gg.writeCube, ctx.memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		ctx.wvars = append(ctx.wvars, ctx.copyIn(gg.writeVars, ctx.memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+	}
+	return ctx
+}
+
+// copyIn migrates a persistent-manager BDD into the scratch manager,
+// translating levels when the scratch order differs.
+func (c *sccCtx) copyIn(f bdd.Ref, memo map[bdd.Ref]bdd.Ref) bdd.Ref {
+	if c.lmap == nil {
+		return c.m.CopyFrom(c.e.m, f, memo)
+	}
+	return c.m.CopyPermutedFrom(c.e.m, f, c.lmap, memo)
+}
+
+// copyBack migrates a scratch BDD to the persistent manager, undoing the
+// scratch order translation.
+func (c *sccCtx) copyBack(f bdd.Ref, memo map[bdd.Ref]bdd.Ref) bdd.Ref {
+	if c.lmap == nil {
+		return c.e.m.CopyFrom(c.m, f, memo)
+	}
+	_, inv := c.e.scratchOrderMaps()
+	return c.e.m.CopyPermutedFrom(c.m, f, inv, memo)
+}
+
+// clone builds a task-private copy of the context for a spawned SCC
+// subproblem: a fresh manager under the same (possibly sifted) order with
+// the group cubes migrated over, plus the given extra refs translated into
+// it. Spawned managers start with a small operation cache — most subtasks
+// are brief — and grow adaptively toward the default when hot.
+func (c *sccCtx) clone(extra ...bdd.Ref) (*sccCtx, []bdd.Ref) {
+	m := bdd.New(c.m.NumVars())
+	m.SetCacheSize(4096)
+	cc := &sccCtx{e: c.e, m: m, lmap: c.lmap, throwaway: true}
+	memo := make(map[bdd.Ref]bdd.Ref)
+	for i := range c.src {
+		cc.src = append(cc.src, m.CopyFrom(c.m, c.src[i], memo))       //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		cc.wcube = append(cc.wcube, m.CopyFrom(c.m, c.wcube[i], memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		cc.wvars = append(cc.wvars, m.CopyFrom(c.m, c.wvars[i], memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+	}
+	out := make([]bdd.Ref, len(extra))
+	for i, f := range extra {
+		out[i] = m.CopyFrom(c.m, f, memo)
+	}
+	return cc, out
 }
 
 // CyclicSCCs returns the non-trivial strongly connected components of the
@@ -60,55 +229,43 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 	defer e.m.Release(w)
 	e.m.MaybeGC()
 
-	ctx := &sccCtx{e: e, m: bdd.New(e.m.NumVars())}
-	defer e.foldScratchStats(ctx.m)
-	memo := make(map[bdd.Ref]bdd.Ref)
-	for _, g := range gs {
-		gg := g.(*group)
-		ctx.src = append(ctx.src, ctx.m.CopyFrom(e.m, gg.src, memo))           //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-		ctx.wcube = append(ctx.wcube, ctx.m.CopyFrom(e.m, gg.writeCube, memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-		ctx.wvars = append(ctx.wvars, ctx.m.CopyFrom(e.m, gg.writeVars, memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-	}
-	c := ctx.m.CopyFrom(e.m, w, memo)
+	ctx := e.newSCCCtx(gs)
+	defer e.settleScratch(ctx)
+	c := ctx.copyIn(w, ctx.memo)
 
-	// Forward trim with early exit: the greatest C with "every state has a
-	// successor in C". Empty ⇔ the graph restricted to within is acyclic —
-	// the common case while the heuristic is doing its job. Every fixpoint
-	// below is a cancellation point: one iteration is a full symbolic image,
-	// so checking the context per iteration is cheap, and on cancellation
-	// partial results are returned for the caller to discard.
-	for {
-		next := ctx.m.And(c, ctx.pre(c))
-		if next == c || e.canceled() {
-			break
-		}
-		c = next
-	}
+	// Trim to the cycle core. Empty ⇔ the graph restricted to within is
+	// acyclic — the common case while the heuristic is doing its job. Every
+	// fixpoint inside is a cancellation point: one iteration is a full
+	// symbolic image, so checking the context per iteration is cheap, and
+	// on cancellation partial results are returned for the caller to
+	// discard.
+	c = ctx.trim(c)
 	if c == bdd.False || e.canceled() {
 		return nil
 	}
-	// Backward trim as well (both fixpoints interleaved to convergence).
-	for {
-		next := ctx.m.And(c, ctx.m.And(ctx.pre(c), ctx.post(c)))
-		if next == c || e.canceled() {
-			break
-		}
-		c = next
-	}
 
 	backMemo := make(map[bdd.Ref]bdd.Ref)
-	emit := func(scc bdd.Ref) {
-		if !ctx.hasInternalTransition(scc) {
-			return
-		}
-		back := e.m.CopyFrom(ctx.m, scc, backMemo)
+	record := func(back bdd.Ref) {
 		e.sccs = append(e.sccs, e.m.Keep(back))
 		e.stats.SCCCount++
 		e.stats.SCCSizeTotal += e.m.DagSize(back)
 	}
-	if e.sccAlg == Lockstep {
+	emit := func(scc bdd.Ref) {
+		if !ctx.hasInternalTransition(scc) {
+			return
+		}
+		record(ctx.copyBack(scc, backMemo))
+	}
+	switch {
+	case e.sccAlg == Lockstep:
 		ctx.lockstepEnum(c, emit)
-	} else {
+	case e.workers > 1:
+		// Parallel skeleton decomposition across task-private scratch
+		// managers; results arrive in deterministic path order.
+		for _, r := range e.parallelSkeleton(ctx, c) {
+			record(r)
+		}
+	default:
 		ctx.skeletonEnum(c, emit)
 	}
 	out := make([]core.Set, len(e.sccs))
@@ -118,13 +275,31 @@ func (e *Engine) CyclicSCCs(gs []core.Group, within core.Set) []core.Set {
 	return out
 }
 
-// skeletonEnum enumerates the SCCs of the subgraph induced by c with the
+// skelTask is one subproblem of the skeleton decomposition: enumerate the
+// SCCs of the subgraph induced by v, optionally spined by (s, n).
+type skelTask struct{ v, s, n bdd.Ref }
+
+// skeletonEnum enumerates the SCCs of the subgraph induced by v0 with the
 // Gentilini-Piazza-Policriti skeleton algorithm (iterative; spine-sets
 // bound the number of symbolic steps, correctness needs only single-state
 // seeds).
 func (c *sccCtx) skeletonEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
-	type task struct{ v, s, n bdd.Ref }
-	stack := []task{{v: v0, s: bdd.False, n: bdd.False}}
+	c.skeletonRun(skelTask{v: v0, s: bdd.False, n: bdd.False}, emit, nil)
+}
+
+// skeletonRun drains one skeleton task and its descendants. Before a
+// descendant subproblem is pushed on the local stack it is offered to
+// trySpawn (when non-nil); a true return means another worker owns it now.
+// The offer order and everything the decision can observe are structural,
+// so the decomposition is identical for every worker count.
+func (c *sccCtx) skeletonRun(t0 skelTask, emit func(bdd.Ref), trySpawn func(skelTask) bool) {
+	stack := []skelTask{t0}
+	push := func(t skelTask) {
+		if trySpawn != nil && trySpawn(t) {
+			return
+		}
+		stack = append(stack, t)
+	}
 	for len(stack) > 0 {
 		if c.e.canceled() {
 			return
@@ -141,13 +316,27 @@ func (c *sccCtx) skeletonEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
 		}
 		fw, s2, n2 := c.skelForward(t.v, n)
 		// SCC(n) = states of FW that reach n: grow backwards inside FW.
+		// The preimage distributes over union, so the default path feeds
+		// only the newly added frontier back in; the reference oracle
+		// recomputes the preimage of the whole partial SCC every round.
 		scc := n
-		for {
-			grow := c.m.Diff(c.m.And(c.pre(scc), fw), scc)
-			if grow == bdd.False {
-				break
+		if c.e.refFix {
+			for {
+				grow := c.m.Diff(c.m.And(c.pre(scc), fw), scc)
+				if grow == bdd.False {
+					break
+				}
+				scc = c.m.Or(scc, grow)
 			}
-			scc = c.m.Or(scc, grow)
+		} else {
+			for front := n; ; {
+				grow := c.m.Diff(c.m.And(c.pre(front), fw), scc)
+				if grow == bdd.False {
+					break
+				}
+				scc = c.m.Or(scc, grow)
+				front = grow
+			}
 		}
 		emit(scc)
 		// Remainder outside the forward set, spined by the predecessor of
@@ -159,14 +348,14 @@ func (c *sccCtx) skeletonEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
 		} else {
 			s1 = bdd.False
 		}
-		stack = append(stack, task{v: c.m.Diff(t.v, fw), s: s1, n: n1})
+		push(skelTask{v: c.m.Diff(t.v, fw), s: s1, n: n1})
 		// Remainder inside the forward set, spined by the skeleton suffix.
 		s2 = c.m.Diff(s2, scc)
 		n2 = c.m.Diff(n2, scc)
 		if n2 == bdd.False {
 			s2 = bdd.False
 		}
-		stack = append(stack, task{v: c.m.Diff(fw, scc), s: s2, n: n2})
+		push(skelTask{v: c.m.Diff(fw, scc), s: s2, n: n2})
 	}
 }
 
@@ -232,14 +421,122 @@ func (c *sccCtx) pre(x bdd.Ref) bdd.Ref {
 	return out
 }
 
+// image is post restricted to one group: the successors of x under group i.
+func (c *sccCtx) image(i int, x bdd.Ref) bdd.Ref {
+	if c.e.fused {
+		up := c.m.AndExists(x, c.src[i], c.wvars[i])
+		if up == bdd.False {
+			return bdd.False
+		}
+		return c.m.And(up, c.wcube[i])
+	}
+	srcs := c.m.And(x, c.src[i])
+	if srcs == bdd.False {
+		return bdd.False
+	}
+	return c.m.And(c.m.Exists(srcs, c.wvars[i]), c.wcube[i])
+}
+
+// trim shrinks v to its cycle core: the greatest subset in which every
+// state has both a successor and a predecessor inside the subset (states
+// outside the core cannot lie on any cycle). The forward-only pass runs
+// first — it is cheaper per iteration and empties the common acyclic case
+// — then both directions interleave to convergence.
+//
+// The default path exploits monotonicity twice. The core only shrinks, so
+// a group with no internal transition in the current core — no source
+// state in it whose successor is also in it — can never regain one and is
+// dropped from every later iteration; that one liveness condition covers
+// both image directions. SetReferenceFixpoints(true) restores the oracle
+// that recomputes full images over all groups every iteration.
+func (c *sccCtx) trim(v bdd.Ref) bdd.Ref {
+	if c.e.refFix {
+		for {
+			next := c.m.And(v, c.pre(v))
+			if next == v || c.e.canceled() {
+				break
+			}
+			v = next
+		}
+		if v == bdd.False || c.e.canceled() {
+			return v
+		}
+		for {
+			next := c.m.And(v, c.m.And(c.pre(v), c.post(v)))
+			if next == v || c.e.canceled() {
+				break
+			}
+			v = next
+		}
+		return v
+	}
+
+	act := make([]int, len(c.src))
+	for i := range act {
+		act[i] = i
+	}
+	// Forward pass: keep states with a successor inside v. The per-group
+	// preimage term q_i = src_i ∧ Restrict(v, wcube_i) is already what the
+	// reference pre(v) computes; empty q_i means no transition of group i
+	// lands in v at all, and since v only shrinks, never will again — the
+	// group is retired for free, with no extra operations when live.
+	for {
+		out := bdd.False
+		na := act[:0]
+		for _, i := range act {
+			q := c.m.And(c.src[i], c.m.Restrict(v, c.wcube[i]))
+			if q == bdd.False {
+				continue
+			}
+			na = append(na, i)
+			out = c.m.Or(out, q)
+		}
+		act = na
+		next := c.m.And(v, out)
+		if next == v || c.e.canceled() {
+			break
+		}
+		v = next
+		if v == bdd.False {
+			return v
+		}
+	}
+	if c.e.canceled() {
+		return v
+	}
+	// Both directions to convergence. Retiring on empty q_i is sound for
+	// the image union too: no transition of group i lands in v, so its
+	// image contributes nothing inside v, and the result is intersected
+	// with v before use.
+	for {
+		pr, po := bdd.False, bdd.False
+		na := act[:0]
+		for _, i := range act {
+			q := c.m.And(c.src[i], c.m.Restrict(v, c.wcube[i]))
+			if q == bdd.False {
+				continue
+			}
+			na = append(na, i)
+			pr = c.m.Or(pr, q)
+			po = c.m.Or(po, c.image(i, v))
+		}
+		act = na
+		next := c.m.And(v, c.m.And(pr, po))
+		if next == v || c.e.canceled() {
+			break
+		}
+		v = next
+		if v == bdd.False {
+			return v
+		}
+	}
+	return v
+}
+
 func (c *sccCtx) post(x bdd.Ref) bdd.Ref {
 	out := bdd.False
 	for i := range c.src {
-		srcs := c.m.And(x, c.src[i])
-		if srcs == bdd.False {
-			continue
-		}
-		out = c.m.Or(out, c.m.And(c.m.Exists(srcs, c.wvars[i]), c.wcube[i]))
+		out = c.m.Or(out, c.image(i, x))
 	}
 	return out
 }
@@ -281,7 +578,10 @@ func (c *sccCtx) hasInternalTransition(scc bdd.Ref) bool {
 	return false
 }
 
-// pickSingleton extracts one state of f as a full literal cube.
+// pickSingleton extracts one state of f as a full literal cube. PickCube
+// on a canonical ROBDD is structure-determined, so the chosen state — and
+// with it the whole skeleton decomposition — is identical in every scratch
+// manager holding the same function.
 func (c *sccCtx) pickSingleton(f bdd.Ref) bdd.Ref {
 	cube := c.m.PickCube(f)
 	if cube == nil {
@@ -292,6 +592,9 @@ func (c *sccCtx) pickSingleton(f bdd.Ref) bdd.Ref {
 	for id := range c.e.sp.Vars {
 		for b := 0; b < l.bitsOf[id]; b++ {
 			lvl := l.curLevel(id, b)
+			if c.lmap != nil {
+				lvl = c.lmap[lvl]
+			}
 			lits = append(lits, bdd.Literal{Var: lvl, Val: cube[lvl] == 1})
 		}
 	}

@@ -1,30 +1,47 @@
 #!/usr/bin/env sh
-# Regenerates the committed explicit-engine kernel baseline
-# (BENCH_explicit.json) and runs the Go micro-benchmarks for the
+# Regenerates the committed engine perf baselines (BENCH_explicit.json,
+# BENCH_symbolic.json) and runs the Go micro-benchmarks for the explicit
 # delta-shift kernels and both SCC searches. Run from the repository
-# root; pass -quick to shrink the synthesis instances (CI smoke).
+# root.
 #
-#   scripts/bench.sh            # full baseline + micro-benchmarks
-#   scripts/bench.sh -quick     # CI smoke, prints JSON to stdout only
+#   scripts/bench.sh            # full baselines + micro-benchmarks
+#   scripts/bench.sh -quick     # CI smoke, prints both JSON docs to stdout
+#   scripts/bench.sh -check     # full fresh run compared against the
+#                               # committed baselines; non-zero exit on
+#                               # regression (slowdown beyond tolerance,
+#                               # verification failure, protocol drift)
 set -eu
 cd "$(dirname "$0")/.."
 
-quick=""
-if [ "${1:-}" = "-quick" ]; then
-    quick="-quick"
-fi
+mode="${1:-}"
 
 go build ./...
 
-if [ -n "$quick" ]; then
-    # Quick mode prints only the JSON document (CI captures stdout).
+if [ "$mode" = "-quick" ]; then
+    # Quick mode prints only the JSON documents (CI captures stdout).
     go run ./cmd/stsyn-bench -json -quick
+    go run ./cmd/stsyn-bench -json -engine symbolic -quick
+    exit 0
+fi
+
+if [ "$mode" = "-check" ]; then
+    # Regression guard: fresh full runs vs the committed baselines. The
+    # tolerance is deliberately loose (3x) — wall-clock on shared runners
+    # is noisy; this catches order-of-magnitude regressions and any
+    # correctness drift (unverified or mismatched protocols), not jitter.
+    go run ./cmd/stsyn-bench -json -check BENCH_explicit.json > /dev/null
+    go run ./cmd/stsyn-bench -json -engine symbolic -check BENCH_symbolic.json > /dev/null
+    echo "bench.sh: no regressions against the committed baselines" >&2
     exit 0
 fi
 
 go run ./cmd/stsyn-bench -json | tee BENCH_explicit.json.tmp
 mv BENCH_explicit.json.tmp BENCH_explicit.json
 echo "wrote BENCH_explicit.json" >&2
+
+go run ./cmd/stsyn-bench -json -engine symbolic | tee BENCH_symbolic.json.tmp
+mv BENCH_symbolic.json.tmp BENCH_symbolic.json
+echo "wrote BENCH_symbolic.json" >&2
 
 # Micro-benchmarks: kernel vs reference image ops, Tarjan vs FB SCC.
 go test -run='^$' -bench='BenchmarkP(ost|re)|BenchmarkGroupDstInto|BenchmarkCyclicSCCs' \
