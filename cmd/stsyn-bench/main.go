@@ -18,6 +18,12 @@
 //	stsyn-bench -json                  # explicit before/after kernel benchmark
 //	stsyn-bench -json -engine symbolic # symbolic before/after tuning benchmark
 //	stsyn-bench -json -quick           # shrunk instances (CI smoke)
+//
+// The benchmark legs double as profiling targets (see scripts/profile.sh):
+// -case selects one case study by substring, and -cpuprofile/-memprofile
+// capture per-leg pprof files into a directory:
+//
+//	stsyn-bench -json -engine symbolic -case two-ring -cpuprofile /tmp/prof
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"stsyn/internal/core"
@@ -61,31 +69,37 @@ func main() {
 		engine  = flag.String("engine", "explicit", "with -json: which engine benchmark to run (explicit, symbolic)")
 		check   = flag.String("check", "", "with -json: compare the fresh run against this committed baseline and exit non-zero on regression")
 		tol     = flag.Float64("tolerance", 3, "with -check: allowed slowdown factor against the baseline")
+		caseTol = flag.String("case-tolerance", "", "with -check: per-case slowdown overrides, name=factor pairs separated by commas")
+		bcase   = flag.String("case", "", "with -json: keep only benchmark cases whose name contains this substring")
+		cpuDir  = flag.String("cpuprofile", "", "with -json: directory for per-leg CPU profiles (<case>.<leg>.cpu.pprof)")
+		memDir  = flag.String("memprofile", "", "with -json: directory for per-leg allocation profiles (<case>.<leg>.mem.pprof)")
 		quick   = flag.Bool("quick", false, "with -json or -fig scc-crossover: shrink the benchmark instances (CI smoke)")
 	)
 	flag.Parse()
 
 	if *jsonOut {
+		opts := experiments.BenchOpts{Quick: *quick, Case: *bcase, CPUDir: *cpuDir, MemDir: *memDir}
+		tols := experiments.Tolerances{Default: *tol, PerCase: parseCaseTolerances(*caseTol)}
 		var (
-			doc any
-			bad []string
+			doc       any
+			bad, warn []string
 		)
 		switch *engine {
 		case "explicit":
-			fresh := experiments.ExplicitBenchmark(*quick)
+			fresh := experiments.ExplicitBenchmark(opts)
 			doc = fresh
 			if *check != "" {
 				var base experiments.ExplicitBench
 				loadBaseline(*check, &base)
-				bad = experiments.CheckExplicit(fresh, base, *tol)
+				bad, warn = experiments.CheckExplicit(fresh, base, tols)
 			}
 		case "symbolic":
-			fresh := experiments.SymbolicBenchmark(*quick)
+			fresh := experiments.SymbolicBenchmark(opts)
 			doc = fresh
 			if *check != "" {
 				var base experiments.SymbolicBench
 				loadBaseline(*check, &base)
-				bad = experiments.CheckSymbolic(fresh, base, *tol)
+				bad, warn = experiments.CheckSymbolic(fresh, base, tols)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "stsyn-bench: unknown engine %q\n", *engine)
@@ -97,6 +111,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
+		for _, m := range warn {
+			fmt.Fprintln(os.Stderr, "stsyn-bench: warning:", m)
+		}
 		if len(bad) > 0 {
 			for _, m := range bad {
 				fmt.Fprintln(os.Stderr, "stsyn-bench: regression:", m)
@@ -148,6 +165,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stsyn-bench: unknown figure %q\n", *fig)
 		os.Exit(1)
 	}
+}
+
+// parseCaseTolerances parses the -case-tolerance value: comma-separated
+// name=factor pairs (e.g. "two-ring=4,coloring-11=2.5").
+func parseCaseTolerances(s string) map[string]float64 {
+	if s == "" {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "stsyn-bench: -case-tolerance entry %q is not name=factor\n", pair)
+			os.Exit(1)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			fmt.Fprintf(os.Stderr, "stsyn-bench: -case-tolerance factor %q is not a positive number\n", val)
+			os.Exit(1)
+		}
+		out[name] = f
+	}
+	return out
 }
 
 // loadBaseline reads a committed BENCH_*.json document into dst.

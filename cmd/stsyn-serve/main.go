@@ -9,6 +9,12 @@
 //	curl -s localhost:8080/v1/synthesize -d '{"protocol":"tokenring","k":4,"dom":3}'
 //	curl -s localhost:8080/metrics
 //
+// -debug-addr starts an opt-in net/http/pprof listener on a second,
+// separate mux (never the serving one); bind it to localhost:
+//
+//	stsyn-serve -addr :8080 -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//
 // Shutdown is graceful: on SIGINT/SIGTERM the listener stops, in-flight
 // jobs drain, then the process exits.
 package main
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +45,7 @@ func main() {
 		maxTO   = flag.Duration("max-timeout", 5*time.Minute, "maximum per-job timeout")
 		drainTO = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown drain budget")
 		verbose = flag.Bool("v", true, "log one line per job")
+		debug   = flag.String("debug-addr", "", "net/http/pprof listener address (e.g. localhost:6060); empty (the default) disables it")
 	)
 	flag.Parse()
 
@@ -67,6 +75,32 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The optional pprof listener gets its own mux on its own address —
+	// the profiling handlers are never mounted on the serving mux, so an
+	// internet-facing -addr cannot expose them. Bind it to localhost (or a
+	// private interface) and point `go tool pprof` at
+	// http://<debug-addr>/debug/pprof/profile.
+	var debugSrv *http.Server
+	if *debug != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{
+			Addr:              *debug,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("debug listener failed: %v", err)
+			}
+		}()
+		logger.Printf("pprof debug listener on %s", *debug)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Printf("listening on %s (workers=%d queue=%d cache=%dMiB)",
@@ -84,6 +118,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Close() // diagnostics only: no draining owed
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Printf("http shutdown: %v", err)
 	}

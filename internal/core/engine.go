@@ -126,6 +126,26 @@ type MutableSets interface {
 	OrSrcInto(dst Set, g Group)
 }
 
+// RankScheme is an optional Engine capability: report whether the engine's
+// SetReferenceRanks knob requests the reference rank scheme. In reference
+// mode ComputeRanks pre-images the whole accumulated explored set each
+// BFS level (the pre-tuning fixpoint) and AddConvergence disables the
+// rank-∞ fast-fail, so the scheme doubles as the differential oracle and
+// the benchmark baseline — exactly like the explicit engine's
+// SetReferenceKernels and the symbolic engine's SetReferenceFixpoints.
+// Both schemes produce identical ranks (the frontier BFS discovers every
+// state at the same level as the whole-set BFS) and byte-identical
+// protocols; the knob-matrix differential tests pin that.
+type RankScheme interface {
+	ReferenceRanks() bool
+}
+
+// referenceRanks reports whether e requests the reference rank scheme.
+func referenceRanks(e Engine) bool {
+	rs, ok := e.(RankScheme)
+	return ok && rs.ReferenceRanks()
+}
+
 // SrcIntersecter is an optional Engine capability: report whether g's
 // source set intersects X without materializing a copy of the source set.
 // Equivalent to !IsEmpty(And(GroupSrc(g), X)) but allocation-free; the
@@ -201,6 +221,14 @@ type Stats struct {
 	SCCCalls     int           // number of CyclicSCCs invocations
 	SCCCount     int           // number of non-trivial SCCs found
 	SCCSizeTotal int           // Σ SetSize over all SCCs found
+
+	// RankInfinityFastFail counts the times AddConvergence's rank-∞
+	// fast-fail short-circuited provably futile work: recovery batches
+	// whose groups were all already known doomed (skipped without a cycle
+	// check), doomed groups excluded from incremental retry, and terminal
+	// aborts once every candidate reaching a remaining deadlock was
+	// doomed. Always 0 under SetReferenceRanks.
+	RankInfinityFastFail int
 }
 
 // AvgSCCSize returns the average representation size of the SCCs found so

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"stsyn/internal/protocol"
@@ -115,6 +116,9 @@ type Result struct {
 	ProgramSize int     // representation size of δpss
 	AvgSCCSize  float64 // average representation size of detected SCCs
 	SCCCount    int
+	// RankInfinityFastFail counts the rank-∞ fast-fail short-circuits the
+	// run took (see Stats.RankInfinityFastFail); 0 under SetReferenceRanks.
+	RankInfinityFastFail int
 }
 
 // MaxRank returns M, the highest finite rank.
@@ -140,6 +144,27 @@ type synthesizer struct {
 	candByKey map[protocol.Key]Group
 
 	deadlocks Set
+
+	// doomed marks candidate groups proven unacceptable for the rest of
+	// the run: g is doomed when some SCC of pss ∪ added contained g as its
+	// only added group, so pss ∪ {g} already has a cycle in ¬I. pss only
+	// grows, so the cycle persists and every future Identify_Resolve_Cycles
+	// batch flags g again (and every incremental retry of g alone fails).
+	// The rank-∞ fast-fail spends this knowledge three ways — skipping
+	// all-doomed batches, skipping doomed incremental retries, and
+	// aborting outright once every candidate reaching a remaining deadlock
+	// is doomed — each of which provably leaves the synthesized protocol
+	// and the final deadlock set byte-identical (see DESIGN.md). nil under
+	// SetReferenceRanks: the oracle grinds through the futile work.
+	doomed   map[protocol.Key]bool
+	doomGrew bool // a doom was learned since the last hopelessness check
+	hopeless bool // terminal fast-fail: no remaining deadlock can ever be resolved
+
+	// futile remembers candidate batches (by fingerprint) whose cycle check
+	// flagged every group and whose retries recovered nothing, so the batch
+	// left pss untouched. Valid while pss is unchanged — accept() clears it
+	// — and replayed as "skip the whole batch". nil under SetReferenceRanks.
+	futile map[string]struct{}
 
 	held []Set // retained roots released when synthesis ends
 }
@@ -200,6 +225,7 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 		res.SCCTime = st.SCCTime
 		res.AvgSCCSize = st.AvgSCCSize()
 		res.SCCCount = st.SCCCount
+		res.RankInfinityFastFail = st.RankInfinityFastFail
 	}()
 
 	ctx := opts.Ctx
@@ -225,6 +251,10 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 		logf:     opts.Log,
 	}
 	s.reg, _ = e.(RefRegistry)
+	if !referenceRanks(e) {
+		s.doomed = make(map[protocol.Key]bool)
+		s.futile = make(map[string]struct{})
+	}
 	defer s.releaseAll()
 	s.I = s.retain(e.Invariant())
 	s.notI = s.retain(e.Not(e.Invariant()))
@@ -345,6 +375,7 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 	}
 
 	firstCell := true
+passes:
 	for pass := 1; pass <= 2; pass++ {
 		for i := 1; i < len(ranks); i++ {
 			if err := ctx.Err(); err != nil {
@@ -376,19 +407,24 @@ func AddConvergence(e Engine, opts Options) (*Result, error) {
 			if err := ctx.Err(); err != nil {
 				return res, err
 			}
+			if s.hopeless {
+				break passes
+			}
 		}
 	}
-	// Pass 3: from any remaining deadlock to anywhere (constraint C2
-	// relaxed). The from set is retained separately: s.deadlocks is rebound
-	// (and its old value released) after every process inside.
-	s.maybeCompact(ranks)
-	if s.addConvergence(s.retain(s.deadlocks), e.Universe(), 3) {
-		res.PassCompleted = 3
-		s.finish(res, s.pss)
-		return res, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return res, err
+	if !s.hopeless {
+		// Pass 3: from any remaining deadlock to anywhere (constraint C2
+		// relaxed). The from set is retained separately: s.deadlocks is
+		// rebound (and its old value released) after every process inside.
+		s.maybeCompact(ranks)
+		if s.addConvergence(s.retain(s.deadlocks), e.Universe(), 3) {
+			res.PassCompleted = 3
+			s.finish(res, s.pss)
+			return res, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 	}
 
 	st, _ := e.PickState(s.deadlocks)
@@ -495,6 +531,11 @@ func (s *synthesizer) addConvergenceMemo(memo SynthMemo, from, to Set, rankIdx i
 		if done {
 			return true
 		}
+		// The snapshot above records the accepts that actually happened, so
+		// aborting after the store leaves it valid for other schedules.
+		if s.checkHopeless() {
+			return false
+		}
 	}
 	return false
 }
@@ -540,6 +581,9 @@ func (s *synthesizer) addConvergence(from, to Set, pass int) bool {
 		if s.e.IsEmpty(s.deadlocks) {
 			return true
 		}
+		if s.checkHopeless() {
+			return false
+		}
 		// In pass 1 the ruled-out set is refreshed with the new deadlock
 		// states after each process (Figure 3, line 4); addRecovery reads
 		// s.deadlocks directly, so this happens automatically.
@@ -553,8 +597,10 @@ func (s *synthesizer) addConvergence(from, to Set, pass int) bool {
 // (Identify_Resolve_Cycles) and add the rest to pss.
 func (s *synthesizer) addRecovery(proc int, from, to Set, pass int) {
 	var added []Group
+	allDoomed := true
 	for _, g := range s.candsByProc[proc] {
-		if s.inPss[g.ProtocolGroup().Key()] {
+		k := g.ProtocolGroup().Key()
+		if s.inPss[k] {
 			continue
 		}
 		if !s.e.GroupFromTo(g, from, to) {
@@ -566,9 +612,35 @@ func (s *synthesizer) addRecovery(proc int, from, to Set, pass int) {
 			continue
 		}
 		added = append(added, g)
+		if !s.doomed[k] {
+			allDoomed = false
+		}
 	}
 	if len(added) == 0 {
 		return
+	}
+	if s.doomed != nil && allDoomed {
+		// Rank-∞ fast-fail: every group of the batch is already known
+		// doomed, so the cycle check would flag them all and (under
+		// IncrementalResolution) every retry would fail — the batch cannot
+		// change pss. Skip the SCC work outright.
+		s.e.Stats().RankInfinityFastFail++
+		s.logf("pass %d proc %d: candidate batch %d skipped, all groups known doomed", pass, proc, len(added))
+		return
+	}
+	var fp string
+	if s.futile != nil {
+		// Futile-batch memo: Identify_Resolve_Cycles is a deterministic
+		// function of (pss, added, ¬I), and pss is unchanged since a batch
+		// remembered here ran (the memo is cleared on every accept). The
+		// same futile batch recurs across rank cells and passes — the cycle
+		// check flagged every group then, so it would flag every group now.
+		fp = s.batchFingerprint(added)
+		if _, ok := s.futile[fp]; ok {
+			s.e.Stats().RankInfinityFastFail++
+			s.logf("pass %d proc %d: candidate batch %d skipped, known futile against current pss", pass, proc, len(added))
+			return
+		}
 	}
 	union := append(append([]Group(nil), s.pss...), added...)
 	bad := s.identifyResolveCycles(union, added)
@@ -592,13 +664,22 @@ func (s *synthesizer) addRecovery(proc int, from, to Set, pass int) {
 	recovered := 0
 	if s.cycleRes == IncrementalResolution {
 		// Retry the flagged groups one at a time against the grown pss.
+		// Doomed groups are skipped: pss ∪ {g} is known cyclic, so the
+		// trial check would reject g anyway.
 		for _, g := range retry {
+			if s.doomed[g.ProtocolGroup().Key()] {
+				s.e.Stats().RankInfinityFastFail++
+				continue
+			}
 			trial := append(append([]Group(nil), s.pss...), g)
 			if len(s.e.CyclicSCCs(trial, s.notI)) == 0 && s.ctx.Err() == nil {
 				s.accept(g)
 				recovered++
 			}
 		}
+	}
+	if s.futile != nil && kept == 0 && recovered == 0 && s.ctx.Err() == nil {
+		s.futile[fp] = struct{}{}
 	}
 	s.logf("pass %d proc %d: candidate batch %d, cycle-resolved away %d, kept %d (incremental retry recovered %d)",
 		pass, proc, len(added), len(added)-kept-recovered, kept+recovered, recovered)
@@ -622,6 +703,10 @@ func (s *synthesizer) maybeCompact(ranks []Set) {
 // set (a private copy built by EnabledSources) grows in place, instead of
 // cloning the group's source set and the union per accepted group.
 func (s *synthesizer) accept(g Group) {
+	if len(s.futile) > 0 {
+		// pss changes: remembered batch outcomes no longer replay.
+		s.futile = make(map[string]struct{})
+	}
 	s.pss = append(s.pss, g)
 	s.inPss[g.ProtocolGroup().Key()] = true
 	if ms, ok := s.e.(MutableSets); ok && s.reg == nil {
@@ -638,13 +723,66 @@ func (s *synthesizer) accept(g Group) {
 func (s *synthesizer) identifyResolveCycles(union, added []Group) map[protocol.Key]bool {
 	bad := make(map[protocol.Key]bool)
 	for _, scc := range s.e.CyclicSCCs(union, s.notI) {
+		within := 0
+		var last Group
 		for _, g := range added {
 			if s.e.GroupWithin(g, scc) {
 				bad[g.ProtocolGroup().Key()] = true
+				within++
+				last = g
+			}
+		}
+		// Doom learning: an SCC whose internal edges involve exactly one
+		// added group proves pss ∪ {that group} cyclic in ¬I. pss only
+		// grows, so the cycle persists: the group is flagged by every
+		// future batch check and rejected by every incremental retry —
+		// permanently unacceptable.
+		if s.doomed != nil && within == 1 {
+			if k := last.ProtocolGroup().Key(); !s.doomed[k] {
+				s.doomed[k] = true
+				s.doomGrew = true
 			}
 		}
 	}
 	return bad
+}
+
+// checkHopeless flips the terminal rank-∞ fast-fail once the run is
+// provably going to end in ErrDeadlocksRemain: deadlocks remain, and every
+// candidate group outside pss whose source set meets them is doomed. Any
+// group a future batch could accept must contain a transition from a then-
+// current deadlock state (From ⊆ deadlocks in every pass, and deadlocks
+// only shrink), so its source set meets the current deadlocks — but all
+// such groups are doomed, hence flagged and dropped by every future batch.
+// No accept can ever happen again: the deadlock set is final, and skipping
+// the remaining cells and passes leaves the failure — including the
+// reported deadlock set and example state — byte-identical.
+func (s *synthesizer) checkHopeless() bool {
+	if s.hopeless {
+		return true
+	}
+	if s.doomed == nil || !s.doomGrew {
+		return false
+	}
+	s.doomGrew = false
+	if s.e.IsEmpty(s.deadlocks) {
+		return false
+	}
+	for _, gs := range s.candsByProc {
+		for _, g := range gs {
+			k := g.ProtocolGroup().Key()
+			if s.inPss[k] || s.doomed[k] {
+				continue
+			}
+			if srcIntersects(s.e, g, s.deadlocks) {
+				return false
+			}
+		}
+	}
+	s.hopeless = true
+	s.e.Stats().RankInfinityFastFail++
+	s.logf("fast-fail: every candidate reaching the remaining deadlocks is doomed; aborting remaining passes")
+	return true
 }
 
 // finish records the synthesized protocol and its measurements.
@@ -689,4 +827,15 @@ func dedupeGroups(gs []Group) []Group {
 		}
 	}
 	return out
+}
+
+// batchFingerprint identifies a candidate batch by its group keys in batch
+// order (the order is itself deterministic: candsByProc order, filtered).
+func (s *synthesizer) batchFingerprint(added []Group) string {
+	var b strings.Builder
+	for _, g := range added {
+		b.WriteString(string(g.ProtocolGroup().Key()))
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

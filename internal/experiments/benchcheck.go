@@ -7,13 +7,38 @@ import "fmt"
 // so the guard is deliberately coarse — it flags only order-of-magnitude
 // problems (a leg slower than tolerance × its committed time) and hard
 // correctness regressions (a leg that stopped verifying, or legs that no
-// longer synthesize the same protocol). scripts/bench.sh -check wires it
-// up; CI runs it non-gating.
+// longer synthesize the same protocol). Allocation totals are steadier
+// than wall-clock but still jitter with GC timing, so allocation growth
+// comes back as non-gating warnings rather than failures.
+// scripts/bench.sh -check wires it up; CI runs it non-gating.
 
-// CheckExplicit returns one message per regression of fresh against base.
-// tolerance is the allowed slowdown factor (e.g. 2 = half as fast).
-func CheckExplicit(fresh, base ExplicitBench, tolerance float64) []string {
-	var bad []string
+// Tolerances is the slowdown guard configuration: the default allowed
+// slowdown factor, with per-case overrides for legs whose noise profile
+// differs from the small instances (keyed by case name).
+type Tolerances struct {
+	Default float64
+	PerCase map[string]float64
+}
+
+// forCase returns the tolerance for the named case.
+func (t Tolerances) forCase(name string) float64 {
+	if f, ok := t.PerCase[name]; ok && f > 0 {
+		return f
+	}
+	if t.Default > 0 {
+		return t.Default
+	}
+	return 3
+}
+
+// allocWarnFactor is the non-gating allocation-growth threshold: a leg
+// allocating more than this factor of its committed bytes or objects
+// earns a warning. Baselines without allocation data (zero) are skipped.
+const allocWarnFactor = 2
+
+// CheckExplicit returns one message per regression of fresh against base,
+// plus non-gating warnings (allocation growth beyond allocWarnFactor).
+func CheckExplicit(fresh, base ExplicitBench, tol Tolerances) (bad, warn []string) {
 	byName := make(map[string]ExplicitBenchRow, len(base.Cases))
 	for _, c := range base.Cases {
 		byName[c.Name] = c
@@ -27,17 +52,21 @@ func CheckExplicit(fresh, base ExplicitBench, tolerance float64) []string {
 		if !c.ProtocolsMatch {
 			bad = append(bad, fmt.Sprintf("%s: legs no longer synthesize the same protocol", c.Name))
 		}
+		factor := tol.forCase(c.Name)
 		bad = append(bad, checkLeg(c.Name+"/kernel", c.Kernel.TotalMs, c.Kernel.Verified, c.Kernel.Err,
-			b.Kernel.TotalMs, tolerance)...)
+			b.Kernel.TotalMs, factor)...)
 		bad = append(bad, checkLeg(c.Name+"/kernel_fb", c.KernelFB.TotalMs, c.KernelFB.Verified, c.KernelFB.Err,
-			b.KernelFB.TotalMs, tolerance)...)
+			b.KernelFB.TotalMs, factor)...)
+		warn = append(warn, warnAllocs(c.Name+"/kernel",
+			c.Kernel.AllocBytes, c.Kernel.AllocObjects, b.Kernel.AllocBytes, b.Kernel.AllocObjects)...)
+		warn = append(warn, warnAllocs(c.Name+"/kernel_fb",
+			c.KernelFB.AllocBytes, c.KernelFB.AllocObjects, b.KernelFB.AllocBytes, b.KernelFB.AllocObjects)...)
 	}
-	return bad
+	return bad, warn
 }
 
 // CheckSymbolic is CheckExplicit for the symbolic document.
-func CheckSymbolic(fresh, base SymbolicBench, tolerance float64) []string {
-	var bad []string
+func CheckSymbolic(fresh, base SymbolicBench, tol Tolerances) (bad, warn []string) {
 	byName := make(map[string]SymbolicBenchRow, len(base.Cases))
 	for _, c := range base.Cases {
 		byName[c.Name] = c
@@ -51,12 +80,17 @@ func CheckSymbolic(fresh, base SymbolicBench, tolerance float64) []string {
 		if !c.ProtocolsMatch {
 			bad = append(bad, fmt.Sprintf("%s: legs no longer synthesize the same protocol", c.Name))
 		}
+		factor := tol.forCase(c.Name)
 		bad = append(bad, checkLeg(c.Name+"/tuned", c.Tuned.TotalMs, c.Tuned.Verified, c.Tuned.Err,
-			b.Tuned.TotalMs, tolerance)...)
+			b.Tuned.TotalMs, factor)...)
 		bad = append(bad, checkLeg(c.Name+"/tuned_workers", c.TunedWorkers.TotalMs, c.TunedWorkers.Verified,
-			c.TunedWorkers.Err, b.TunedWorkers.TotalMs, tolerance)...)
+			c.TunedWorkers.Err, b.TunedWorkers.TotalMs, factor)...)
+		warn = append(warn, warnAllocs(c.Name+"/tuned",
+			c.Tuned.AllocBytes, c.Tuned.AllocObjects, b.Tuned.AllocBytes, b.Tuned.AllocObjects)...)
+		warn = append(warn, warnAllocs(c.Name+"/tuned_workers",
+			c.TunedWorkers.AllocBytes, c.TunedWorkers.AllocObjects, b.TunedWorkers.AllocBytes, b.TunedWorkers.AllocObjects)...)
 	}
-	return bad
+	return bad, warn
 }
 
 func checkLeg(name string, gotMs float64, verified bool, errMsg string, baseMs, tolerance float64) []string {
@@ -73,4 +107,17 @@ func checkLeg(name string, gotMs float64, verified bool, errMsg string, baseMs, 
 			name, gotMs, baseMs, tolerance))
 	}
 	return bad
+}
+
+func warnAllocs(name string, gotBytes, gotObjs, baseBytes, baseObjs uint64) []string {
+	var warn []string
+	if baseBytes > 0 && gotBytes > baseBytes*allocWarnFactor {
+		warn = append(warn, fmt.Sprintf("%s: %d alloc bytes vs committed %d (over the %dx allocation watermark)",
+			name, gotBytes, baseBytes, allocWarnFactor))
+	}
+	if baseObjs > 0 && gotObjs > baseObjs*allocWarnFactor {
+		warn = append(warn, fmt.Sprintf("%s: %d alloc objects vs committed %d (over the %dx allocation watermark)",
+			name, gotObjs, baseObjs, allocWarnFactor))
+	}
+	return warn
 }

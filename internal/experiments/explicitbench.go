@@ -21,12 +21,14 @@ import (
 
 // ExplicitLeg is one measured synthesis run.
 type ExplicitLeg struct {
-	TotalMs    float64 `json:"total_ms"`
-	RankingMs  float64 `json:"ranking_ms"`
-	SCCMs      float64 `json:"scc_ms"`
-	AllocBytes uint64  `json:"alloc_bytes"`
-	Verified   bool    `json:"verified"`
-	Err        string  `json:"err,omitempty"`
+	TotalMs         float64 `json:"total_ms"`
+	RankingMs       float64 `json:"ranking_ms"`
+	SCCMs           float64 `json:"scc_ms"`
+	AllocBytes      uint64  `json:"alloc_bytes"`
+	AllocObjects    uint64  `json:"alloc_objects"`
+	RankInfFastFail int     `json:"rank_infinity_fastfail"`
+	Verified        bool    `json:"verified"`
+	Err             string  `json:"err,omitempty"`
 }
 
 // ExplicitBenchRow is the before/after measurement for one case study.
@@ -123,9 +125,12 @@ func runExplicitLeg(sp *protocol.Spec, configure func(*explicit.Engine)) (Explic
 	runtime.ReadMemStats(&after)
 	leg.AllocBytes = after.TotalAlloc - before.TotalAlloc
 
+	leg.AllocObjects = after.Mallocs - before.Mallocs
+
 	if res != nil {
 		leg.RankingMs = float64(res.RankingTime) / float64(time.Millisecond)
 		leg.SCCMs = float64(res.SCCTime) / float64(time.Millisecond)
+		leg.RankInfFastFail = res.RankInfinityFastFail
 	}
 	if err != nil {
 		leg.Err = err.Error()
@@ -136,12 +141,16 @@ func runExplicitLeg(sp *protocol.Spec, configure func(*explicit.Engine)) (Explic
 }
 
 // ExplicitBenchmark runs the before/after kernel benchmark over the case
-// studies. quick shrinks the instances for CI smoke runs.
-func ExplicitBenchmark(quick bool) ExplicitBench {
+// studies. All three legs share the default rank scheme (frontier BFS,
+// fast-fail), so the rows keep isolating the kernel speedup.
+func ExplicitBenchmark(opts BenchOpts) ExplicitBench {
 	bench := ExplicitBench{
 		Description: "explicit engine: per-state reference scans vs word-level delta-shift kernels (same synthesis workload; kernel_fb additionally selects the forward-backward SCC search)",
 	}
-	for _, c := range explicitBenchCases(quick) {
+	for _, c := range explicitBenchCases(opts.Quick) {
+		if !opts.keep(c.Name) {
+			continue
+		}
 		row := ExplicitBenchRow{Name: c.Name}
 		if e, err := explicit.New(c.Spec, 0); err == nil {
 			row.States = e.States(e.Universe())
@@ -151,14 +160,21 @@ func ExplicitBenchmark(quick bool) ExplicitBench {
 		// Both baseline legs pin Tarjan: the row isolates the kernel
 		// speedup, and the Auto default would otherwise fold the SCC
 		// choice into the comparison.
-		row.Reference, refKeys = runExplicitLeg(c.Spec, func(e *explicit.Engine) {
+		profiled := func(leg string, cfg func(*explicit.Engine)) (ExplicitLeg, []protocol.Key) {
+			stop := opts.startCPU(c.Name+"."+leg, true)
+			l, k := runExplicitLeg(c.Spec, cfg)
+			stop()
+			opts.writeMem(c.Name+"."+leg, true)
+			return l, k
+		}
+		row.Reference, refKeys = profiled("reference", func(e *explicit.Engine) {
 			e.SetReferenceKernels(true)
 			e.SetSCCAlgorithm(explicit.Tarjan)
 		})
-		row.Kernel, kernKeys = runExplicitLeg(c.Spec, func(e *explicit.Engine) {
+		row.Kernel, kernKeys = profiled("kernel", func(e *explicit.Engine) {
 			e.SetSCCAlgorithm(explicit.Tarjan)
 		})
-		row.KernelFB, fbKeys = runExplicitLeg(c.Spec, func(e *explicit.Engine) {
+		row.KernelFB, fbKeys = profiled("kernel_fb", func(e *explicit.Engine) {
 			e.SetSCCAlgorithm(explicit.ForwardBackward)
 		})
 		if row.Kernel.TotalMs > 0 {

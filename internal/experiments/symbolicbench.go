@@ -23,14 +23,16 @@ import (
 
 // SymbolicLeg is one measured synthesis run on the symbolic engine.
 type SymbolicLeg struct {
-	TotalMs      float64 `json:"total_ms"`
-	RankingMs    float64 `json:"ranking_ms"`
-	SCCMs        float64 `json:"scc_ms"`
-	AllocBytes   uint64  `json:"alloc_bytes"`
-	PeakNodes    int     `json:"peak_nodes"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	Verified     bool    `json:"verified"`
-	Err          string  `json:"err,omitempty"`
+	TotalMs         float64 `json:"total_ms"`
+	RankingMs       float64 `json:"ranking_ms"`
+	SCCMs           float64 `json:"scc_ms"`
+	AllocBytes      uint64  `json:"alloc_bytes"`
+	AllocObjects    uint64  `json:"alloc_objects"`
+	RankInfFastFail int     `json:"rank_infinity_fastfail"`
+	PeakNodes       int     `json:"peak_nodes"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Verified        bool    `json:"verified"`
+	Err             string  `json:"err,omitempty"`
 }
 
 // SymbolicBenchRow is the before/after measurement for one case study.
@@ -56,12 +58,14 @@ type SymbolicBench struct {
 	Cases       []SymbolicBenchRow `json:"cases"`
 }
 
-// symbolicBenchCases are the case studies of the baseline, sized so
-// cycle detection dominates and every leg finishes in seconds. Two
-// deliberate absences, documented in EXPERIMENTS.md: the symbolic
-// two-ring run takes over a minute per leg, and coloring-11 spends more
-// than half its time in persistent-manager image work outside
-// CyclicSCCs, which this tuning does not touch (measured 1.0×).
+// symbolicBenchCases are the case studies of the baseline. The small
+// instances size so cycle detection dominates and every leg finishes in
+// seconds; coloring-11 and two-ring — absent before the profile-guided
+// rank/recovery pass because the tuning left them at 1.0× (coloring-11)
+// or over a minute per leg (two-ring) — exercise the warm-scratch
+// ranking/recovery images and the balanced union trees that pass added.
+// Quick mode keeps only the small instances: two-ring alone costs
+// minutes across nine legs, far past a CI smoke budget.
 func symbolicBenchCases(quick bool) []struct {
 	Name string
 	Spec *protocol.Spec
@@ -85,6 +89,8 @@ func symbolicBenchCases(quick bool) []struct {
 		{"matching-6", protocols.Matching(6)},
 		{"matching-7", protocols.Matching(7)},
 		{"coloring-7", protocols.Coloring(7)},
+		{"coloring-11", protocols.Coloring(11)},
+		{"two-ring", protocols.TwoRingTokenRing()},
 	}
 }
 
@@ -111,9 +117,12 @@ func runSymbolicLeg(sp *protocol.Spec, configure func(*symbolic.Engine)) (Symbol
 	runtime.ReadMemStats(&after)
 	leg.AllocBytes = after.TotalAlloc - before.TotalAlloc
 
+	leg.AllocObjects = after.Mallocs - before.Mallocs
+
 	if res != nil {
 		leg.RankingMs = float64(res.RankingTime) / float64(time.Millisecond)
 		leg.SCCMs = float64(res.SCCTime) / float64(time.Millisecond)
+		leg.RankInfFastFail = res.RankInfinityFastFail
 	}
 	sp2 := e.SpaceStats()
 	leg.PeakNodes = sp2.PeakLiveNodes
@@ -133,16 +142,20 @@ func runSymbolicLeg(sp *protocol.Spec, configure func(*symbolic.Engine)) (Symbol
 // leg alike — the committed baseline should reflect the engine, not the
 // scheduler. The synthesized protocol is deterministic, so any rep's
 // keys serve for the cross-leg comparison.
-func SymbolicBenchmark(quick bool) SymbolicBench {
+func SymbolicBenchmark(opts BenchOpts) SymbolicBench {
 	bench := SymbolicBench{
-		Description: "symbolic engine: reference fixpoints (full-image trim, whole-set SCC grow, throwaway scratch) vs the tuned default (dead-group dropping, frontier grow, retained warm scratch manager); tuned_workers additionally farms SCC fixpoints across 2 workers; times are min-of-3 interleaved reps",
+		Description: "symbolic engine: reference fixpoints and ranks (full-image trim, whole-set SCC grow and rank BFS, throwaway scratch, persistent-manager images) vs the tuned default (dead-group dropping, frontier grow and rank BFS, retained warm scratch manager for SCC and ranking/recovery images, balanced union trees, rank-infinity fast-fail); tuned_workers additionally farms SCC fixpoints across 2 workers; times are min-of-3 interleaved reps",
 	}
 	cfgs := []func(*symbolic.Engine){
-		func(e *symbolic.Engine) { e.SetReferenceFixpoints(true) },
+		func(e *symbolic.Engine) { e.SetReferenceFixpoints(true); e.SetReferenceRanks(true) },
 		nil,
 		func(e *symbolic.Engine) { e.SetParallelism(2) },
 	}
-	for _, c := range symbolicBenchCases(quick) {
+	legNames := [3]string{"reference", "tuned", "tuned_workers"}
+	for _, c := range symbolicBenchCases(opts.Quick) {
+		if !opts.keep(c.Name) {
+			continue
+		}
 		row := SymbolicBenchRow{Name: c.Name}
 		if e, err := symbolic.New(c.Spec); err == nil {
 			row.States = e.States(e.Universe())
@@ -152,7 +165,10 @@ func SymbolicBenchmark(quick bool) SymbolicBench {
 		var keys [3][]protocol.Key
 		for r := 0; r < 3; r++ {
 			for i, cfg := range cfgs {
+				stop := opts.startCPU(c.Name+"."+legNames[i], r == 0)
 				leg, k := runSymbolicLeg(c.Spec, cfg)
+				stop()
+				opts.writeMem(c.Name+"."+legNames[i], r == 0)
 				if r == 0 || (leg.Err == "" && leg.TotalMs < legs[i].TotalMs) {
 					legs[i], keys[i] = leg, k
 				}

@@ -62,6 +62,13 @@ type Engine struct {
 	// leg of the benchmark baseline.
 	refKernels bool
 
+	// refRanks requests the reference rank scheme from core: whole-set
+	// pre-images in ComputeRanks and no rank-∞ fast-fail in
+	// AddConvergence (see core.RankScheme). The engine's own kernels are
+	// unaffected — the knob exists so differential tests can pin the
+	// frontier BFS and fast-fail against the oracle on this engine too.
+	refRanks bool
+
 	ctx context.Context // current synthesis context (nil = no cancellation)
 
 	stats  core.Stats
@@ -90,6 +97,14 @@ func (e *Engine) KernelStats() KernelStats { return e.kstats }
 // at a time; tests use them as the oracle and the benchmark baseline uses
 // them as the "before" measurement.
 func (e *Engine) SetReferenceKernels(on bool) { e.refKernels = on }
+
+// SetReferenceRanks selects the reference rank scheme (whole-set BFS, no
+// fast-fail) in the core algorithms; the default frontier scheme produces
+// byte-identical protocols. See core.RankScheme.
+func (e *Engine) SetReferenceRanks(on bool) { e.refRanks = on }
+
+// ReferenceRanks implements core.RankScheme.
+func (e *Engine) ReferenceRanks() bool { return e.refRanks }
 
 // SetContext makes long-running operations (SCC enumeration) observe ctx:
 // once it is cancelled they stop early and return partial results. The

@@ -110,6 +110,10 @@ type Response struct {
 	MaxRank       int `json:"max_rank"`
 	AddedGroups   int `json:"added_groups"`
 	RemovedGroups int `json:"removed_groups"`
+	// RankInfinityFastFail counts the synthesizer's rank-∞ fast-fail
+	// short-circuits (doomed-batch skips, futile-batch replays, terminal
+	// aborts) during this job; 0 when the engine ran the reference scheme.
+	RankInfinityFastFail int `json:"rank_infinity_fastfail"`
 
 	ProgramSize int     `json:"program_size"`
 	SCCCount    int     `json:"scc_count"`
@@ -384,20 +388,21 @@ func (j *Job) Options() core.Options {
 func EncodeResult(e core.Engine, res *core.Result, j *Job, verified bool) *Response {
 	sp := e.Spec()
 	out := &Response{
-		Protocol:      sp.Name,
-		Engine:        j.Engine,
-		Convergence:   j.Convergence.String(),
-		Schedule:      j.Schedule,
-		Processes:     len(sp.Procs),
-		Variables:     len(sp.Vars),
-		States:        e.States(e.Universe()),
-		Pass:          res.PassCompleted,
-		MaxRank:       res.MaxRank(),
-		AddedGroups:   len(res.Added),
-		RemovedGroups: len(res.Removed),
-		ProgramSize:   res.ProgramSize,
-		SCCCount:      res.SCCCount,
-		AvgSCCSize:    res.AvgSCCSize,
+		Protocol:             sp.Name,
+		Engine:               j.Engine,
+		Convergence:          j.Convergence.String(),
+		Schedule:             j.Schedule,
+		Processes:            len(sp.Procs),
+		Variables:            len(sp.Vars),
+		States:               e.States(e.Universe()),
+		Pass:                 res.PassCompleted,
+		MaxRank:              res.MaxRank(),
+		AddedGroups:          len(res.Added),
+		RemovedGroups:        len(res.Removed),
+		RankInfinityFastFail: res.RankInfinityFastFail,
+		ProgramSize:          res.ProgramSize,
+		SCCCount:             res.SCCCount,
+		AvgSCCSize:           res.AvgSCCSize,
 		Timings: Timings{
 			TotalMS:   float64(res.TotalTime.Microseconds()) / 1e3,
 			RankingMS: float64(res.RankingTime.Microseconds()) / 1e3,

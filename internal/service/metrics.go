@@ -40,6 +40,10 @@ type Metrics struct {
 	ExplicitPostOps    atomic.Int64 // cumulative Post image kernels
 	ExplicitGroupTests atomic.Int64 // cumulative per-group membership tests
 
+	// Synthesizer fast-fail observability: cumulative rank-∞ fast-fail
+	// short-circuits across jobs (see core.Stats.RankInfinityFastFail).
+	RankInfinityFastFail atomic.Int64
+
 	// Search-space pruning observability, aggregated across prune-enabled
 	// jobs.
 	PruneSchedulesPruned atomic.Int64 // schedules dropped by the orbit quotient
@@ -164,6 +168,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("stsyn_explicit_pre_ops_total", "Explicit-engine Pre image kernels across jobs.", m.ExplicitPreOps.Load())
 	counter("stsyn_explicit_post_ops_total", "Explicit-engine Post image kernels across jobs.", m.ExplicitPostOps.Load())
 	counter("stsyn_explicit_group_tests_total", "Explicit-engine per-group membership tests across jobs.", m.ExplicitGroupTests.Load())
+	counter("stsyn_rank_infinity_fastfail_total", "Rank-infinity fast-fail short-circuits across synthesis jobs.", m.RankInfinityFastFail.Load())
 	counter("stsyn_prune_schedules_pruned_total", "Schedules dropped by the symmetry orbit quotient.", m.PruneSchedulesPruned.Load())
 	counter("stsyn_prune_memo_hits_total", "Fixpoint-memo hits across prune-enabled jobs.", m.PruneMemoHits.Load())
 	counter("stsyn_prune_memo_misses_total", "Fixpoint-memo misses across prune-enabled jobs.", m.PruneMemoMisses.Load())

@@ -330,6 +330,7 @@ func (s *Server) run(j *job) {
 	s.metrics.ObserveBDD(resp.BDD)
 	s.metrics.ObserveExplicit(resp.Explicit)
 	s.metrics.ObservePrune(resp.Prune)
+	s.metrics.RankInfinityFastFail.Add(int64(resp.RankInfinityFastFail))
 	if s.cfg.CacheBytes > 0 {
 		if data, err := json.Marshal(resp); err == nil {
 			s.cache.put(j.norm.Key, resp, int64(len(data))+int64(len(j.norm.Key)))

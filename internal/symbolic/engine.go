@@ -67,6 +67,7 @@ type Engine struct {
 	compactAt int  // node threshold for Compact (0 = default)
 	fused     bool // use the fused AndExists image instead of the two-step default
 	refFix    bool // use the full-recompute fixpoint oracle (no dropping/frontier)
+	refRanks  bool // persistent-manager ranking/recovery images + whole-set rank BFS (oracle)
 	workers   int  // scratch-manager fan-out for SCC enumeration (0/1 = sequential)
 	reorder   bool // sift the scratch-manager variable order at SCC safe points
 	grain     int  // spawn threshold override (0 = spawnGrain default)
@@ -293,12 +294,24 @@ func (e *Engine) GroupSrcIntersects(g core.Group, X core.Set) bool {
 }
 
 func (e *Engine) GroupDstInto(g core.Group, X core.Set) bool {
-	return e.preGroup(g.(*group), X.(bdd.Ref)) != bdd.False
+	if e.refRanks {
+		return e.preGroup(g.(*group), X.(bdd.Ref)) != bdd.False
+	}
+	c := e.imgCtx()
+	return c.groupPreScratch(g.(*group), c.copyIn(X.(bdd.Ref), c.memo)) != bdd.False
 }
 
 func (e *Engine) GroupFromTo(g core.Group, from, to core.Set) bool {
 	gg := g.(*group)
-	return e.m.And(from.(bdd.Ref), e.preGroup(gg, to.(bdd.Ref))) != bdd.False
+	if e.refRanks {
+		return e.m.And(from.(bdd.Ref), e.preGroup(gg, to.(bdd.Ref))) != bdd.False
+	}
+	c := e.imgCtx()
+	pre := c.groupPreScratch(gg, c.copyIn(to.(bdd.Ref), c.memo))
+	if pre == bdd.False {
+		return false
+	}
+	return c.m.And(c.copyIn(from.(bdd.Ref), c.memo), pre) != bdd.False
 }
 
 func (e *Engine) GroupWithin(g core.Group, X core.Set) bool {
@@ -307,11 +320,16 @@ func (e *Engine) GroupWithin(g core.Group, X core.Set) bool {
 
 func (e *Engine) Pre(gs []core.Group, X core.Set) core.Set {
 	x := X.(bdd.Ref)
-	out := bdd.False
-	for _, g := range gs {
-		out = e.m.Or(out, e.preGroup(g.(*group), x))
+	if e.refRanks {
+		// Reference scheme: the linear persistent-manager fold, kept
+		// byte-for-byte as the PR-6 baseline the bench compares against.
+		out := bdd.False
+		for _, g := range gs {
+			out = e.m.Or(out, e.preGroup(g.(*group), x))
+		}
+		return out
 	}
-	return out
+	return e.preScratch(gs, x)
 }
 
 func (e *Engine) Post(gs []core.Group, X core.Set) core.Set {

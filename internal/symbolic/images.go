@@ -1,0 +1,97 @@
+package symbolic
+
+import (
+	"stsyn/internal/bdd"
+	"stsyn/internal/core"
+)
+
+// This file holds the tuned ranking/recovery image path: the engine-level
+// Pre and the per-group probe operations run on the retained cycle-
+// detection scratch manager (warm operation cache, persistent→scratch copy
+// memo) instead of the persistent store, and per-group pre-image terms are
+// combined through a balanced union tree. SetReferenceRanks restores the
+// persistent-manager linear folds as the differential oracle. Results are
+// identical either way: the probes return booleans, and Pre's result is a
+// canonical BDD of the same function regardless of where — and in which
+// association order — it was computed.
+
+// SetReferenceRanks restores the pre-tuning ranking/recovery scheme: the
+// whole-set rank BFS in core.ComputeRanks (via the core.RankScheme
+// capability), persistent-manager image computation with linear Or folds
+// here, and no rank-∞ fast-fail in core.AddConvergence. The default path
+// is observationally identical — the knob-matrix differential tests pin
+// byte-identical protocols — and exists as the benchmark baseline and
+// oracle, exactly like SetReferenceKernels and SetReferenceFixpoints.
+func (e *Engine) SetReferenceRanks(on bool) { e.refRanks = on }
+
+// ReferenceRanks implements core.RankScheme.
+func (e *Engine) ReferenceRanks() bool { return e.refRanks }
+
+// orTree unions terms through a balanced pairwise reduction. The linear
+// fold conjures one ever-growing accumulator that every next Or must
+// re-walk; the tree keeps operand sizes comparable and its intermediates
+// cache-friendly. BDD canonicity makes the result independent of the
+// association order, so callers may switch freely. terms is clobbered.
+func orTree(m *bdd.Manager, terms []bdd.Ref) bdd.Ref {
+	if len(terms) == 0 {
+		return bdd.False
+	}
+	for len(terms) > 1 {
+		n := 0
+		for i := 0; i+1 < len(terms); i += 2 {
+			terms[n] = m.Or(terms[i], terms[i+1])
+			n++
+		}
+		if len(terms)%2 == 1 {
+			terms[n] = terms[len(terms)-1]
+			n++
+		}
+		terms = terms[:n]
+	}
+	return terms[0]
+}
+
+// imgCtx returns a context over the retained scratch manager for engine-
+// level image work outside CyclicSCCs (ranking pre-images, recovery
+// probes). It shares the scratch copy memo, so the recurring inputs — the
+// group cubes, and the from/to/deadlock sets a candidate filter probes
+// against for every group of a process — migrate once per epoch instead
+// of once per operation.
+func (e *Engine) imgCtx() *sccCtx {
+	s := e.ensureScratch()
+	c := &sccCtx{e: e, m: s.m, memo: s.memo}
+	if e.reorder {
+		c.lmap, _ = e.scratchOrderMaps()
+	}
+	return c
+}
+
+// scratchPre is Pre on the scratch manager: per-group terms q_i = src_i ∧
+// Restrict(x, wcube_i), combined with a balanced union tree.
+func (c *sccCtx) scratchPre(gs []core.Group, x bdd.Ref) bdd.Ref {
+	terms := make([]bdd.Ref, 0, len(gs))
+	for _, g := range gs {
+		gg := g.(*group)
+		src := c.copyIn(gg.src, c.memo)      //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		wc := c.copyIn(gg.writeCube, c.memo) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		if q := c.m.And(src, c.m.Restrict(x, wc)); q != bdd.False {
+			terms = append(terms, q)
+		}
+	}
+	return orTree(c.m, terms)
+}
+
+// preScratch computes Pre(gs, X) on the retained scratch manager and
+// migrates the result back to the persistent store.
+func (e *Engine) preScratch(gs []core.Group, x bdd.Ref) bdd.Ref {
+	c := e.imgCtx()
+	out := c.scratchPre(gs, c.copyIn(x, c.memo))
+	return c.copyBack(out, make(map[bdd.Ref]bdd.Ref))
+}
+
+// groupPreScratch is the scratch-manager preGroup: src ∧ x[written:=vals].
+func (c *sccCtx) groupPreScratch(g *group, x bdd.Ref) bdd.Ref {
+	src := c.copyIn(g.src, c.memo)      //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+	wc := c.copyIn(g.writeCube, c.memo) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+	return c.m.And(src, c.m.Restrict(x, wc))
+}

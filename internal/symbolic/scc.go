@@ -28,6 +28,8 @@ type sccCtx struct {
 	lmap      []int               // persistent level → scratch level (nil = same order)
 	memo      map[bdd.Ref]bdd.Ref // persistent → scratch copy memo for this call
 	throwaway bool                // manager is private to this call (reference mode, clones)
+	qbuf      []bdd.Ref           // reused term buffer for balanced union trees
+	pbuf      []bdd.Ref           // second term buffer (trim's image direction)
 }
 
 // scratchMgr is the cycle-detection scratch manager an engine retains
@@ -412,13 +414,27 @@ func (c *sccCtx) lockstepEnum(v0 bdd.Ref, emit func(bdd.Ref)) {
 }
 
 // pre returns the states with a transition into x; post the states
-// reachable from x in one step.
+// reachable from x in one step. The tuned path batches the per-group
+// terms through a balanced union tree (orTree) — canonicity makes the
+// result identical to the linear fold the reference oracle keeps, but the
+// operands stay comparably sized instead of one accumulator growing with
+// every Or.
 func (c *sccCtx) pre(x bdd.Ref) bdd.Ref {
-	out := bdd.False
-	for i := range c.src {
-		out = c.m.Or(out, c.m.And(c.src[i], c.m.Restrict(x, c.wcube[i])))
+	if c.e.refFix {
+		out := bdd.False
+		for i := range c.src {
+			out = c.m.Or(out, c.m.And(c.src[i], c.m.Restrict(x, c.wcube[i])))
+		}
+		return out
 	}
-	return out
+	terms := c.qbuf[:0]
+	for i := range c.src {
+		if q := c.m.And(c.src[i], c.m.Restrict(x, c.wcube[i])); q != bdd.False {
+			terms = append(terms, q)
+		}
+	}
+	c.qbuf = terms[:0]
+	return orTree(c.m, terms)
 }
 
 // image is post restricted to one group: the successors of x under group i.
@@ -481,7 +497,7 @@ func (c *sccCtx) trim(v bdd.Ref) bdd.Ref {
 	// lands in v at all, and since v only shrinks, never will again — the
 	// group is retired for free, with no extra operations when live.
 	for {
-		out := bdd.False
+		terms := c.qbuf[:0]
 		na := act[:0]
 		for _, i := range act {
 			q := c.m.And(c.src[i], c.m.Restrict(v, c.wcube[i]))
@@ -489,10 +505,11 @@ func (c *sccCtx) trim(v bdd.Ref) bdd.Ref {
 				continue
 			}
 			na = append(na, i)
-			out = c.m.Or(out, q)
+			terms = append(terms, q)
 		}
 		act = na
-		next := c.m.And(v, out)
+		c.qbuf = terms[:0]
+		next := c.m.And(v, orTree(c.m, terms))
 		if next == v || c.e.canceled() {
 			break
 		}
@@ -509,7 +526,7 @@ func (c *sccCtx) trim(v bdd.Ref) bdd.Ref {
 	// image contributes nothing inside v, and the result is intersected
 	// with v before use.
 	for {
-		pr, po := bdd.False, bdd.False
+		pres, posts := c.qbuf[:0], c.pbuf[:0]
 		na := act[:0]
 		for _, i := range act {
 			q := c.m.And(c.src[i], c.m.Restrict(v, c.wcube[i]))
@@ -517,11 +534,14 @@ func (c *sccCtx) trim(v bdd.Ref) bdd.Ref {
 				continue
 			}
 			na = append(na, i)
-			pr = c.m.Or(pr, q)
-			po = c.m.Or(po, c.image(i, v))
+			pres = append(pres, q)
+			if p := c.image(i, v); p != bdd.False {
+				posts = append(posts, p)
+			}
 		}
 		act = na
-		next := c.m.And(v, c.m.And(pr, po))
+		c.qbuf, c.pbuf = pres[:0], posts[:0]
+		next := c.m.And(v, c.m.And(orTree(c.m, pres), orTree(c.m, posts)))
 		if next == v || c.e.canceled() {
 			break
 		}
@@ -534,11 +554,21 @@ func (c *sccCtx) trim(v bdd.Ref) bdd.Ref {
 }
 
 func (c *sccCtx) post(x bdd.Ref) bdd.Ref {
-	out := bdd.False
-	for i := range c.src {
-		out = c.m.Or(out, c.image(i, x))
+	if c.e.refFix {
+		out := bdd.False
+		for i := range c.src {
+			out = c.m.Or(out, c.image(i, x))
+		}
+		return out
 	}
-	return out
+	terms := c.qbuf[:0]
+	for i := range c.src {
+		if q := c.image(i, x); q != bdd.False {
+			terms = append(terms, q)
+		}
+	}
+	c.qbuf = terms[:0]
+	return orTree(c.m, terms)
 }
 
 // skelForward computes the forward set of n within v, together with a

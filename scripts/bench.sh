@@ -18,9 +18,19 @@ mode="${1:-}"
 go build ./...
 
 if [ "$mode" = "-quick" ]; then
-    # Quick mode prints only the JSON documents (CI captures stdout).
-    go run ./cmd/stsyn-bench -json -quick
-    go run ./cmd/stsyn-bench -json -engine symbolic -quick
+    # Quick mode prints only the JSON documents (CI captures stdout). When
+    # BENCH_PROFILE_DIR is set, per-leg pprof files land there too — CI
+    # uploads them so a slow-looking smoke run arrives with its own
+    # profiles attached.
+    profflags=""
+    if [ -n "${BENCH_PROFILE_DIR:-}" ]; then
+        mkdir -p "$BENCH_PROFILE_DIR"
+        profflags="-cpuprofile $BENCH_PROFILE_DIR -memprofile $BENCH_PROFILE_DIR"
+    fi
+    # shellcheck disable=SC2086
+    go run ./cmd/stsyn-bench -json -quick $profflags
+    # shellcheck disable=SC2086
+    go run ./cmd/stsyn-bench -json -engine symbolic -quick $profflags
     exit 0
 fi
 
@@ -29,8 +39,13 @@ if [ "$mode" = "-check" ]; then
     # tolerance is deliberately loose (3x) — wall-clock on shared runners
     # is noisy; this catches order-of-magnitude regressions and any
     # correctness drift (unverified or mismatched protocols), not jitter.
+    # The symbolic two-ring legs run close to a minute each, where
+    # scheduler drift compounds in absolute terms, so that one case gets a
+    # looser per-case override. Allocation growth past 2x the committed
+    # totals is reported as non-gating warnings on stderr.
     go run ./cmd/stsyn-bench -json -check BENCH_explicit.json > /dev/null
-    go run ./cmd/stsyn-bench -json -engine symbolic -check BENCH_symbolic.json > /dev/null
+    go run ./cmd/stsyn-bench -json -engine symbolic -check BENCH_symbolic.json \
+        -case-tolerance 'two-ring=4' > /dev/null
     echo "bench.sh: no regressions against the committed baselines" >&2
     exit 0
 fi

@@ -28,6 +28,7 @@ go test -race -count=1 ./...
 go test -run='^$' -fuzz='^FuzzCompilerVsEvaluation$' -fuzztime=5s ./internal/symbolic
 go test -run='^$' -fuzz='^FuzzReorderEquivalence$' -fuzztime=5s ./internal/symbolic
 go test -run='^$' -fuzz='^FuzzDifferentialEngines$' -fuzztime=5s ./internal/core
+go test -run='^$' -fuzz='^FuzzRankSchemeEquivalence$' -fuzztime=5s ./internal/core
 go test -run='^$' -fuzz='^FuzzKernelEquivalence$' -fuzztime=5s ./internal/explicit
 go test -run='^$' -fuzz='^FuzzQuotientCoverage$' -fuzztime=5s ./internal/prune
 
