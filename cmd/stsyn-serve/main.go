@@ -9,6 +9,11 @@
 //	curl -s localhost:8080/v1/synthesize -d '{"protocol":"tokenring","k":4,"dom":3}'
 //	curl -s localhost:8080/metrics
 //
+// Long-running jobs can go through the async API instead: POST /v1/jobs
+// answers 202 with a job ID, GET /v1/jobs/{id} polls it, DELETE cancels
+// it, and POST /v1/batch answers many requests in one round trip. Async
+// and sync answers are byte-identical — they share the result cache.
+//
 // -debug-addr starts an opt-in net/http/pprof listener on a second,
 // separate mux (never the serving one); bind it to localhost:
 //
@@ -46,6 +51,11 @@ func main() {
 		drainTO = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown drain budget")
 		verbose = flag.Bool("v", true, "log one line per job")
 		debug   = flag.String("debug-addr", "", "net/http/pprof listener address (e.g. localhost:6060); empty (the default) disables it")
+
+		jobsMax     = flag.Int("jobs-max", 1024, "live async jobs before 503 backpressure")
+		jobTTL      = flag.Duration("job-ttl", 10*time.Minute, "how long finished async jobs stay pollable")
+		tenantRate  = flag.Float64("tenant-rate", 50, "per-tenant admission rate in requests/s (0 = default, negative disables)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = 2x rate)")
 	)
 	flag.Parse()
 
@@ -57,6 +67,10 @@ func main() {
 		MaxTimeout:     *maxTO,
 		CacheBytes:     *cacheMB << 20,
 		MemoBytes:      *memoMB << 20,
+		JobsMax:        *jobsMax,
+		JobTTL:         *jobTTL,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
 	}
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = -1 // 0 MiB means "disable", not "default"

@@ -1,23 +1,21 @@
 package dist
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"math/rand"
 	"net/http"
-	"strconv"
-	"sync"
 	"time"
 
 	"stsyn/internal/service"
+	"stsyn/pkg/client"
+	"stsyn/pkg/stsynerr"
 )
 
 // ClientConfig configures the resilient worker client. Zero values select
-// the documented defaults.
+// the documented defaults. The retry/backoff/rotation machinery itself
+// lives in the published pkg/client; this type keeps the coordinator's
+// configuration surface and its metrics/log plumbing.
 type ClientConfig struct {
 	// Workers are the base URLs of the stsyn-serve workers (e.g.
 	// "http://10.0.0.5:8080"). At least one is required.
@@ -49,6 +47,9 @@ type ClientConfig struct {
 	// worker if the first has not answered within this duration, keeping
 	// whichever finishes first (straggler hedging). Zero disables hedging.
 	HedgeAfter time.Duration
+	// Tenant, when set, names the tenant bucket the workers account these
+	// requests to (the X-Stsyn-Tenant header of per-tenant admission).
+	Tenant string
 	// Metrics, when non-nil, receives the client's counters.
 	Metrics *Metrics
 	// Logf, when non-nil, receives one line per retry/hedge/cooldown event.
@@ -89,24 +90,17 @@ func IsSynthesisFailure(err error) bool {
 	return errors.As(err, &we) && we.Status == http.StatusUnprocessableEntity
 }
 
-type workerState struct {
-	fails     int // consecutive failures
-	coolUntil time.Time
-}
-
 // Client fans synthesis requests out to a fleet of stsyn-serve workers
 // with per-attempt timeouts, capped exponential backoff with jitter,
 // Retry-After honoring, failure-aware worker rotation, and optional
-// straggler hedging. Safe for concurrent use.
+// straggler hedging. The resilience core is pkg/client's middleware
+// stack; hedging and the coordinator's error vocabulary stay here. Safe
+// for concurrent use.
 type Client struct {
 	cfg     ClientConfig
+	inner   *client.Client
 	metrics *Metrics
 	logf    func(string, ...interface{})
-
-	mu    sync.Mutex
-	rr    int // round-robin cursor
-	state []workerState
-	rand  *rand.Rand
 }
 
 // NewClient validates cfg and builds a Client.
@@ -114,23 +108,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, errors.New("dist: no workers configured")
 	}
-	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = http.DefaultClient
-	}
-	if cfg.RequestTimeout <= 0 {
-		cfg.RequestTimeout = 2 * time.Minute
-	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 2 * len(cfg.Workers)
-	}
-	if cfg.BackoffBase <= 0 {
-		cfg.BackoffBase = 50 * time.Millisecond
-	}
-	if cfg.BackoffMax <= 0 {
-		cfg.BackoffMax = 2 * time.Second
-	}
-	if cfg.RetryAfterMax <= 0 {
-		cfg.RetryAfterMax = 5 * time.Second
 	}
 	if cfg.FailureThreshold <= 0 {
 		cfg.FailureThreshold = 3
@@ -138,19 +117,40 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 5 * time.Second
 	}
-	c := &Client{
-		cfg:     cfg,
-		metrics: cfg.Metrics,
-		logf:    cfg.Logf,
-		state:   make([]workerState, len(cfg.Workers)),
-		rand:    rand.New(rand.NewSource(time.Now().UnixNano())),
-	}
+	c := &Client{cfg: cfg, metrics: cfg.Metrics, logf: cfg.Logf}
 	if c.metrics == nil {
 		c.metrics = &Metrics{}
 	}
 	if c.logf == nil {
 		c.logf = func(string, ...interface{}) {}
 	}
+	inner, err := client.New(client.Config{
+		Endpoints:        cfg.Workers,
+		HTTPClient:       cfg.HTTPClient,
+		AttemptTimeout:   cfg.RequestTimeout,
+		MaxAttempts:      cfg.MaxAttempts,
+		BackoffBase:      cfg.BackoffBase,
+		BackoffMax:       cfg.BackoffMax,
+		RetryAfterMax:    cfg.RetryAfterMax,
+		FailureThreshold: cfg.FailureThreshold,
+		Cooldown:         cfg.Cooldown,
+		Tenant:           cfg.Tenant,
+		Observer: &client.Observer{
+			OnAttempt: func(string) { c.metrics.RequestsTotal.Add(1) },
+			OnRetry: func(attempt int, wait time.Duration, last error) {
+				c.metrics.RequestRetries.Add(1)
+				c.logf("dist: retrying (attempt %d/%d) in %s after: %v", attempt, cfg.MaxAttempts, wait, last)
+			},
+			OnCooldown: func(worker string, fails int, d time.Duration) {
+				c.metrics.WorkerCooldowns.Add(1)
+				c.logf("dist: worker %s cooling down for %s after %d consecutive failures", worker, d, fails)
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.inner = inner
 	return c, nil
 }
 
@@ -166,80 +166,12 @@ type WorkerStatus struct {
 
 // Workers snapshots each worker's health.
 func (c *Client) Workers() []WorkerStatus {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := time.Now()
-	out := make([]WorkerStatus, len(c.cfg.Workers))
-	for i, u := range c.cfg.Workers {
-		out[i] = WorkerStatus{URL: u, Fails: c.state[i].fails}
-		if d := c.state[i].coolUntil.Sub(now); d > 0 {
-			out[i].CoolingFor = d
-		}
+	eps := c.inner.Endpoints()
+	out := make([]WorkerStatus, len(eps))
+	for i, ep := range eps {
+		out[i] = WorkerStatus{URL: ep.URL, Fails: ep.Fails, CoolingFor: ep.CoolingFor}
 	}
 	return out
-}
-
-// pick returns the next worker in rotation, skipping ones in failure
-// cooldown; when every worker is cooling it falls back to plain rotation.
-func (c *Client) pick(exclude int) (int, string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := time.Now()
-	n := len(c.cfg.Workers)
-	for scan := 0; scan < n; scan++ {
-		i := c.rr % n
-		c.rr++
-		if i == exclude && n > 1 {
-			continue
-		}
-		if now.Before(c.state[i].coolUntil) {
-			continue
-		}
-		return i, c.cfg.Workers[i]
-	}
-	i := c.rr % n
-	c.rr++
-	return i, c.cfg.Workers[i]
-}
-
-func (c *Client) markSuccess(i int) {
-	c.mu.Lock()
-	c.state[i].fails = 0
-	c.state[i].coolUntil = time.Time{}
-	c.mu.Unlock()
-}
-
-func (c *Client) markFailure(i int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.state[i].fails++
-	if c.state[i].fails >= c.cfg.FailureThreshold && time.Now().After(c.state[i].coolUntil) {
-		c.state[i].coolUntil = time.Now().Add(c.cfg.Cooldown)
-		c.metrics.WorkerCooldowns.Add(1)
-		c.logf("dist: worker %s cooling down for %s after %d consecutive failures",
-			c.cfg.Workers[i], c.cfg.Cooldown, c.state[i].fails)
-	}
-}
-
-// backoff computes the wait before retry number attempt (1-based), honoring
-// the failed worker's Retry-After advice when it is larger.
-func (c *Client) backoff(attempt int, last error) time.Duration {
-	d := c.cfg.BackoffBase << uint(attempt-1)
-	if d > c.cfg.BackoffMax || d <= 0 {
-		d = c.cfg.BackoffMax
-	}
-	c.mu.Lock()
-	jitter := 0.5 + c.rand.Float64() // ±50%
-	c.mu.Unlock()
-	d = time.Duration(float64(d) * jitter)
-	var we *WorkerError
-	if errors.As(last, &we) && we.RetryAfter > d {
-		d = we.RetryAfter
-		if d > c.cfg.RetryAfterMax {
-			d = c.cfg.RetryAfterMax
-		}
-	}
-	return d
 }
 
 // Synthesize runs one synthesis request against the fleet, retrying and —
@@ -310,92 +242,41 @@ func isTemporary(err error) bool {
 	return false
 }
 
-// do is the retry loop: rotate workers, back off between attempts, stop on
-// success, permanent errors, context cancellation, or attempt exhaustion.
+// do runs one logical request through the published client and translates
+// its typed errors into the coordinator's worker-error vocabulary.
 func (c *Client) do(ctx context.Context, req *service.Request, reqID string) (*service.Response, []byte, error) {
-	body, err := json.Marshal(req)
+	resp, raw, err := c.inner.SynthesizeRaw(ctx, req, reqID)
 	if err != nil {
-		return nil, nil, fmt.Errorf("dist: marshal request: %w", err)
+		return nil, nil, c.workerError(err, reqID)
 	}
-	var last error
-	lastWorker := -1
-	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			c.metrics.RequestRetries.Add(1)
-			wait := c.backoff(attempt-1, last)
-			c.logf("dist: request %s retrying (attempt %d/%d) in %s after: %v",
-				reqID, attempt, c.cfg.MaxAttempts, wait, last)
-			select {
-			case <-time.After(wait):
-			case <-ctx.Done():
-				return nil, nil, ctx.Err()
-			}
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		i, worker := c.pick(lastWorker)
-		lastWorker = i
-		resp, raw, err := c.once(ctx, worker, body, reqID)
-		if err == nil {
-			c.markSuccess(i)
-			return resp, raw, nil
-		}
-		if !isTemporary(err) || ctx.Err() != nil {
-			// The request itself is bad (or a 422 synthesis verdict), or the
-			// caller is gone: no point rotating.
-			return nil, nil, err
-		}
-		c.markFailure(i)
-		last = err
-	}
-	return nil, nil, fmt.Errorf("dist: request %s failed after %d attempts: %w", reqID, c.cfg.MaxAttempts, last)
+	return resp, raw, nil
 }
 
-// once sends one HTTP attempt to one worker.
-func (c *Client) once(ctx context.Context, worker string, body []byte, reqID string) (*service.Response, []byte, error) {
-	c.metrics.RequestsTotal.Add(1)
-	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
-	defer cancel()
-	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, worker+"/v1/synthesize", bytes.NewReader(body))
-	if err != nil {
-		return nil, nil, &WorkerError{Worker: worker, Err: err}
+// workerError maps a pkg/client failure onto *WorkerError: a permanent
+// error response converts directly; retry exhaustion keeps the attempt
+// count in the message with the last worker's error as the cause.
+func (c *Client) workerError(err error, reqID string) error {
+	var ce *client.Error
+	if !errors.As(err, &ce) {
+		// Context cancellation or a malformed-response failure from the
+		// typed layer: pass through untouched.
+		return err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set(service.RequestIDHeader, reqID)
-	hresp, err := c.cfg.HTTPClient.Do(hreq)
-	if err != nil {
-		return nil, nil, &WorkerError{Worker: worker, Err: err}
+	we := &WorkerError{
+		Worker:     ce.Endpoint,
+		Status:     ce.Status,
+		RetryAfter: ce.RetryAfter,
+		Err:        ce.Err,
 	}
-	defer hresp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
-	if err != nil {
-		return nil, nil, &WorkerError{Worker: worker, Err: fmt.Errorf("reading response: %w", err)}
-	}
-	// The worker pretty-prints its body; the journal stores the response as
-	// a json.RawMessage, which Marshal compacts. Compact here so a live
-	// response and its journal replay are byte-identical.
-	if compacted := new(bytes.Buffer); json.Compact(compacted, raw) == nil {
-		raw = compacted.Bytes()
-	}
-	if hresp.StatusCode != http.StatusOK {
-		we := &WorkerError{Worker: worker, Status: hresp.StatusCode}
-		var envelope struct {
-			Error string `json:"error"`
+	if ce.Status != 0 {
+		var se *stsynerr.Error
+		if errors.As(ce.Err, &se) {
+			we.Message = se.Error()
 		}
-		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
-			we.Message = envelope.Error
-		} else {
-			we.Message = fmt.Sprintf("%.200s", raw)
-		}
-		if secs, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			we.RetryAfter = time.Duration(secs) * time.Second
-		}
-		return nil, nil, we
 	}
-	var out service.Response
-	if err := json.Unmarshal(raw, &out); err != nil {
-		return nil, nil, &WorkerError{Worker: worker, Err: fmt.Errorf("bad response body: %w", err)}
+	if errors.Is(err, ce) && err != error(ce) {
+		// The client exhausted its attempts; keep that context.
+		return fmt.Errorf("dist: request %s failed after %d attempts: %w", reqID, c.cfg.MaxAttempts, we)
 	}
-	return &out, raw, nil
+	return we
 }

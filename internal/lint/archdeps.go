@@ -9,9 +9,15 @@ import (
 // hand-rolled tests in arch_test.go, which now wrap this analyzer so the
 // rule set lives in exactly one place):
 //
-//   - internal/bdd and internal/protocol are leaf packages: stdlib imports
-//     only. Everything else may build on them, they build on nothing.
+//   - internal/bdd, internal/protocol and pkg/stsynerr are leaf packages:
+//     stdlib imports only. Everything else may build on them, they build
+//     on nothing.
 //   - no internal package may import a cmd/ package; binaries sit on top.
+//   - pkg/ is the published surface: it must never import internal/ or
+//     cmd/ — anything a pkg/ package needs is part of the contract and
+//     belongs in pkg/ itself. This rule covers _test.go files too; the
+//     differential tests that pit pkg/client against a live server live in
+//     internal/service, where the arrow points the right way.
 //   - packages in RestrictedImports may import only their allow-listed
 //     module-internal packages (non-test files; tests may reach wider for
 //     differential oracles).
@@ -20,20 +26,24 @@ import (
 // import inverts the dependency arrow just as effectively.
 var ArchDeps = &Analyzer{
 	Name: "archdeps",
-	Doc:  "leaf packages depend on the stdlib only; internal packages never import binaries",
+	Doc:  "leaf packages depend on the stdlib only; pkg/ never imports internal/; internal packages never import binaries",
 	Run:  runArchDeps,
 }
 
 // LeafPackages are the module-relative packages that must import nothing
 // beyond the standard library.
-var LeafPackages = []string{"internal/bdd", "internal/protocol"}
+var LeafPackages = []string{"internal/bdd", "internal/protocol", "pkg/stsynerr"}
 
 // RestrictedImports pins a package's module-internal imports to an explicit
 // allow-list. internal/prune sits beside the search drivers, not above
 // them: it may know the synthesis core, the symmetry layer and the protocol
-// model, never the service or distributed tiers that consume it.
+// model, never the service or distributed tiers that consume it. The
+// published packages form their own strict tower: errors < wire types <
+// client.
 var RestrictedImports = map[string][]string{
 	"internal/prune": {"internal/core", "internal/symmetry", "internal/protocol"},
+	"pkg/stsynapi":   {"pkg/stsynerr"},
+	"pkg/client":     {"pkg/stsynapi", "pkg/stsynerr"},
 }
 
 func runArchDeps(p *Pass) {
@@ -45,8 +55,9 @@ func runArchDeps(p *Pass) {
 		}
 	}
 	internal := strings.HasPrefix(rel, "internal/")
+	published := strings.HasPrefix(rel, "pkg/")
 	restricted, isRestricted := RestrictedImports[rel]
-	if !leaf && !internal {
+	if !leaf && !internal && !published {
 		return
 	}
 	for _, f := range append(append([]*ast.File(nil), p.Files...), p.TestFiles...) {
@@ -55,8 +66,11 @@ func runArchDeps(p *Pass) {
 			if leaf && !stdlibImportPath(p.ModPath, path) {
 				p.Reportf(imp.Pos(), "leaf rule: %s must depend on the stdlib only, not %q", rel, path)
 			}
-			if internal && strings.HasPrefix(path, p.ModPath+"/cmd") {
-				p.Reportf(imp.Pos(), "binary rule: internal packages must not import %q; binaries sit on top", path)
+			if (internal || published) && strings.HasPrefix(path, p.ModPath+"/cmd") {
+				p.Reportf(imp.Pos(), "binary rule: packages must not import %q; binaries sit on top", path)
+			}
+			if published && !leaf && strings.HasPrefix(path, p.ModPath+"/internal") {
+				p.Reportf(imp.Pos(), "published rule: %s must not import %q; pkg/ stands alone so consumers can vendor it", rel, path)
 			}
 		}
 	}

@@ -46,7 +46,11 @@ func TestFixtures(t *testing.T) {
 		{"archdeps_ok", "stsyn/internal/protocol", ArchDeps, false},
 		{"prunedeps_bad", "stsyn/internal/prune", ArchDeps, false},
 		{"prunedeps_ok", "stsyn/internal/prune", ArchDeps, false},
+		{"pkgdeps_bad", "stsyn/pkg/client", ArchDeps, false},
+		{"pkgdeps_ok", "stsyn/pkg/client", ArchDeps, false},
+		{"pkgleaf_bad", "stsyn/pkg/stsynerr", ArchDeps, false},
 		{"panicsafe_bad", "stsyn/internal/service", PanicSafe, false},
+		{"panicsafe_bad", "stsyn/pkg/client", PanicSafe, false},
 		{"panicsafe_ok", "stsyn/internal/service", PanicSafe, false},
 		{"ignore", "stsyn/internal/service/fixture", PanicSafe, false},
 	}

@@ -8,18 +8,19 @@ import (
 // PanicSafe bans naked panics from the request-handling tiers. A panic in
 // internal/service or internal/dist is a remote crash or a blanket 500 for
 // every in-flight job — exactly the class of bug the builtin-constructor
-// panic→422 fix patched by hand. Handlers and the coordinator/client
-// return errors; invariant violations worth dying for belong in the
-// engine packages, not on the serving path.
+// panic→422 fix patched by hand. The published pkg/ tree is held to the
+// same bar: a library that panics crashes its embedder. Handlers, the
+// coordinator and the client return errors; invariant violations worth
+// dying for belong in the engine packages, not on the serving path.
 var PanicSafe = &Analyzer{
 	Name: "panicsafe",
-	Doc:  "no naked panic in request-handling packages (internal/service, internal/dist)",
+	Doc:  "no naked panic in request-handling packages (internal/service, internal/dist, pkg)",
 	Run:  runPanicSafe,
 }
 
 // panicSafePackages are the module-relative package prefixes on the
 // serving path.
-var panicSafePackages = []string{"internal/service", "internal/dist"}
+var panicSafePackages = []string{"internal/service", "internal/dist", "pkg"}
 
 func runPanicSafe(p *Pass) {
 	rel := p.RelPath()

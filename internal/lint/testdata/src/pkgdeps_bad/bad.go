@@ -1,0 +1,15 @@
+// Package fixture is checked under the pkg/client import path; imports of
+// internal/ or cmd/ packages — and anything outside the published
+// allow-list — must be reported by the archdeps analyzer.
+package fixture
+
+import (
+	"fmt"
+
+	serve "stsyn/cmd/stsyn-serve" // want archdeps archdeps
+	"stsyn/internal/service"      // want archdeps archdeps
+	"stsyn/pkg/stsynapi"
+	"stsyn/pkg/stsynerr"
+)
+
+var _ = fmt.Sprint(serve.Version, service.StatusClientClosed, stsynapi.RequestIDHeader, stsynerr.Internal)

@@ -1,0 +1,12 @@
+// A test import of internal/ inverts the published arrow just as
+// effectively as a source import: consumers cannot `go test` a vendored
+// pkg/ tree that reaches back into this module's internal/.
+package fixture
+
+import (
+	"testing"
+
+	"stsyn/internal/core" // want archdeps
+)
+
+func TestFixture(t *testing.T) { _ = core.Strong }

@@ -1,0 +1,12 @@
+// Package fixture only uses the published allow-list (plus the stdlib);
+// the archdeps analyzer must stay silent.
+package fixture
+
+import (
+	"fmt"
+
+	"stsyn/pkg/stsynapi"
+	"stsyn/pkg/stsynerr"
+)
+
+var _ = fmt.Sprint(stsynapi.RequestIDHeader, stsynerr.Internal)

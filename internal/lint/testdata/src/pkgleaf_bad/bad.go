@@ -1,0 +1,11 @@
+// Package fixture is checked under the pkg/stsynerr import path, which is
+// a leaf: any non-stdlib import must be reported.
+package fixture
+
+import (
+	"fmt"
+
+	"stsyn/pkg/stsynapi" // want archdeps
+)
+
+var _ = fmt.Sprint(stsynapi.RequestIDHeader)

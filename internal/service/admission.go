@@ -1,0 +1,93 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// admission is the per-tenant token-bucket gate ahead of the worker pool:
+// each tenant sustains rate requests per second with bursts up to burst.
+// It protects the queue from a single hot client — queue-full 503s say
+// "the server is busy", admission 429s say "you are" — and keeps the
+// default (anonymous) bucket shared so unidentified traffic competes with
+// itself, not with named tenants.
+type admission struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	buckets map[string]*bucket
+	now     func() time.Time // test hook
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admissionSweepLen is the bucket count above which idle buckets are
+// swept, bounding memory against tenant-header churn.
+const admissionSweepLen = 1024
+
+// admissionIdle is how long a full, untouched bucket may sit before a
+// sweep may drop it (a fresh bucket is indistinguishable from a dropped
+// one, so eviction is invisible to tenants).
+const admissionIdle = 10 * time.Minute
+
+func newAdmission(rate float64, burst int) *admission {
+	if burst < 1 {
+		burst = 1
+	}
+	return &admission{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow charges n tokens against the tenant's bucket. When the bucket
+// cannot cover the charge it reports false plus the whole-second wait
+// after which the same charge would succeed.
+func (a *admission) allow(tenant string, n int) (ok bool, retryAfter int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b := a.buckets[tenant]
+	if b == nil {
+		if len(a.buckets) >= admissionSweepLen {
+			a.sweepLocked(now)
+		}
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	} else {
+		b.tokens = math.Min(a.burst, b.tokens+a.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	need := float64(n)
+	if need > a.burst {
+		// A charge that can never fit (a batch larger than the burst) is
+		// capped at the burst: the tenant pays the whole bucket and waits
+		// for it to refill, instead of being unconditionally locked out.
+		need = a.burst
+	}
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	secs := int(math.Ceil((need - b.tokens) / a.rate))
+	if secs < 1 {
+		secs = 1
+	}
+	return false, secs
+}
+
+// sweepLocked drops buckets idle long enough to have refilled completely;
+// a.mu must be held.
+func (a *admission) sweepLocked(now time.Time) {
+	for tenant, b := range a.buckets {
+		if now.Sub(b.last) > admissionIdle {
+			delete(a.buckets, tenant)
+		}
+	}
+}

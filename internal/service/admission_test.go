@@ -1,0 +1,86 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionBucketRefillsAtRate(t *testing.T) {
+	a := newAdmission(2, 4) // 2 tokens/s, burst 4
+	clock := time.Unix(0, 0)
+	a.now = func() time.Time { return clock }
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := a.allow("t", 1); !ok {
+			t.Fatalf("charge %d within burst rejected", i)
+		}
+	}
+	ok, retry := a.allow("t", 1)
+	if ok {
+		t.Fatal("empty bucket admitted a charge")
+	}
+	if retry != 1 {
+		t.Errorf("retry advice = %ds, want 1 (1 token at 2/s)", retry)
+	}
+	clock = clock.Add(time.Second) // refills 2 tokens
+	if ok, _ := a.allow("t", 2); !ok {
+		t.Error("refilled bucket rejected an affordable charge")
+	}
+	if ok, _ := a.allow("t", 1); ok {
+		t.Error("bucket admitted beyond its refill")
+	}
+}
+
+func TestAdmissionChargeCappedAtBurst(t *testing.T) {
+	a := newAdmission(1, 3)
+	clock := time.Unix(0, 0)
+	a.now = func() time.Time { return clock }
+
+	// A charge larger than the burst costs the whole bucket rather than
+	// being unconditionally refused forever.
+	if ok, _ := a.allow("t", 100); !ok {
+		t.Fatal("over-burst charge on a full bucket refused")
+	}
+	ok, retry := a.allow("t", 100)
+	if ok {
+		t.Fatal("second over-burst charge admitted on an empty bucket")
+	}
+	if retry != 3 {
+		t.Errorf("retry advice = %ds, want 3 (burst 3 at 1/s)", retry)
+	}
+	clock = clock.Add(3 * time.Second)
+	if ok, _ := a.allow("t", 100); !ok {
+		t.Error("refilled bucket refused the capped charge")
+	}
+}
+
+func TestAdmissionBucketsAreIndependentAndSwept(t *testing.T) {
+	a := newAdmission(1, 1)
+	clock := time.Unix(0, 0)
+	a.now = func() time.Time { return clock }
+
+	if ok, _ := a.allow("a", 1); !ok {
+		t.Fatal("tenant a refused")
+	}
+	if ok, _ := a.allow("a", 1); ok {
+		t.Fatal("tenant a admitted past its burst")
+	}
+	if ok, _ := a.allow("b", 1); !ok {
+		t.Error("tenant b starved by tenant a")
+	}
+
+	// Pressure the map past the sweep threshold with idle tenants; the
+	// sweep on the next insert drops them.
+	clock = clock.Add(time.Hour)
+	for i := 0; i < admissionSweepLen; i++ {
+		a.allow(string(rune('a'+i%26))+"-tenant-"+time.Unix(int64(i), 0).String(), 1)
+	}
+	clock = clock.Add(admissionIdle + time.Second)
+	a.allow("fresh", 1)
+	a.mu.Lock()
+	n := len(a.buckets)
+	a.mu.Unlock()
+	if n > 2 {
+		t.Errorf("idle buckets survived the sweep: %d left", n)
+	}
+}

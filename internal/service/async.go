@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+
+	"stsyn/internal/service/jobs"
+	"stsyn/pkg/stsynapi"
+	"stsyn/pkg/stsynerr"
+)
+
+// The async and batch wire types, re-exported from pkg/stsynapi like the
+// rest of the contract.
+type (
+	// JobStatus is the envelope of the async job API.
+	JobStatus = stsynapi.JobStatus
+	// BatchRequest is the body of POST /v1/batch.
+	BatchRequest = stsynapi.BatchRequest
+	// BatchResult is one request's outcome within a batch.
+	BatchResult = stsynapi.BatchResult
+	// BatchResponse is the body answering POST /v1/batch.
+	BatchResponse = stsynapi.BatchResponse
+)
+
+// TenantHeader names the tenant a request is accounted to by per-tenant
+// admission control.
+const TenantHeader = stsynapi.TenantHeader
+
+// maxBatchRequests bounds one batch call; oversized batches get a typed
+// InvalidRequest so callers split them, keeping the server's per-call
+// memory bound explicit.
+const maxBatchRequests = 256
+
+// Submit admits one synthesis request asynchronously: the job is
+// validated, keyed and enqueued exactly like the synchronous path — the
+// two share the result cache entry — but runs detached from the caller's
+// request context (only its values, the request ID included, are kept) and
+// parks its outcome in the job store for polling. Returns the job's ID.
+func (s *Server) Submit(ctx context.Context, req *Request) (string, *Error) {
+	norm, serr := s.prepare(req)
+	if serr != nil {
+		return "", serr
+	}
+
+	// The job must outlive the submitting HTTP request: detach from its
+	// cancellation while keeping its values, and bound the run by the job
+	// timeout alone.
+	jctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.timeoutFor(req))
+
+	id, serr := s.store.Create(cancel)
+	if serr != nil {
+		cancel()
+		serr.RetryAfter = s.retryAfterHint()
+		return "", serr
+	}
+
+	if resp, ok := s.cached(norm); ok {
+		// Served entirely from the cache: the job is born terminal.
+		s.store.Start(id)
+		s.store.Finish(id, resp, nil)
+		cancel()
+		s.metrics.AsyncSubmitted.Add(1)
+		return id, nil
+	}
+
+	// The worker flips the store to running as it picks the job up, and
+	// skips the engine when a DELETE already canceled it; the hook is
+	// installed at enqueue time, before any worker can see the job.
+	j, serr := s.enqueue(jctx, cancel, norm, func() bool { return s.store.Start(id) })
+	if serr != nil {
+		s.store.Drop(id)
+		return "", serr
+	}
+
+	s.metrics.AsyncSubmitted.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-j.done
+		s.store.Finish(id, j.resp, j.err)
+	}()
+	return id, nil
+}
+
+// JobStatus reports one job's current state (with its result or typed
+// error once terminal), or JobNotFound for unknown and expired IDs.
+func (s *Server) JobStatus(id string) (*JobStatus, *Error) {
+	snap, serr := s.store.Get(id)
+	if serr != nil {
+		return nil, serr
+	}
+	return jobStatusOf(snap), nil
+}
+
+// CancelJob cancels a live job — its engine stops at the next cancellation
+// point — and reports the resulting state. Canceling a terminal job is a
+// no-op answering its (unchanged) status.
+func (s *Server) CancelJob(id string) (*JobStatus, *Error) {
+	snap, serr := s.store.Cancel(id)
+	if serr != nil {
+		return nil, serr
+	}
+	if snap.State == jobs.Canceled {
+		s.metrics.AsyncCanceled.Add(1)
+	}
+	return jobStatusOf(snap), nil
+}
+
+// JobCounts exposes the job store's population by state (metrics).
+func (s *Server) JobCounts() jobs.Counts { return s.store.Counts() }
+
+// jobStatusOf renders a store snapshot as the wire envelope.
+func jobStatusOf(snap jobs.Snapshot) *JobStatus {
+	js := &JobStatus{
+		ID:        snap.ID,
+		State:     string(snap.State),
+		ElapsedMS: float64(snap.Elapsed().Microseconds()) / 1e3,
+		Response:  snap.Response,
+	}
+	if snap.Err != nil {
+		js.Error = snap.Err.Envelope()
+	}
+	return js
+}
+
+// Batch answers many synthesis requests in one call, amortizing what the
+// per-request path repeats: requests are validated and normalized once,
+// duplicates (by canonical cache key) collapse onto a single run, cache
+// hits are answered without touching the queue, and only the distinct
+// misses occupy workers — concurrently, each bounded by its own timeout.
+// Per-item failures (bad request, queue full) land in that item's slot;
+// the batch itself only fails when its shape is unusable.
+func (s *Server) Batch(ctx context.Context, breq *BatchRequest) (*BatchResponse, *Error) {
+	if len(breq.Requests) == 0 {
+		return nil, stsynerr.New(stsynerr.InvalidRequest, "batch has no requests")
+	}
+	if len(breq.Requests) > maxBatchRequests {
+		return nil, stsynerr.Newf(stsynerr.InvalidRequest, "batch has %d requests, limit %d", len(breq.Requests), maxBatchRequests)
+	}
+	s.metrics.BatchRequests.Add(1)
+	s.metrics.BatchItems.Add(int64(len(breq.Requests)))
+
+	out := &BatchResponse{Results: make([]BatchResult, len(breq.Requests))}
+
+	// Normalize every request and collapse duplicates by canonical key, so
+	// a batch of a thousand copies of one spec parses once and runs once.
+	type unique struct {
+		norm    *Job
+		indices []int
+		job     *job
+	}
+	byKey := make(map[string]*unique)
+	order := make([]string, 0, len(breq.Requests))
+	for i := range breq.Requests {
+		norm, serr := s.prepare(&breq.Requests[i])
+		if serr != nil {
+			out.Results[i] = BatchResult{Error: serr.Envelope()}
+			continue
+		}
+		u := byKey[norm.Key]
+		if u == nil {
+			u = &unique{norm: norm}
+			byKey[norm.Key] = u
+			order = append(order, norm.Key)
+		} else {
+			out.Deduped++
+		}
+		u.indices = append(u.indices, i)
+	}
+	s.metrics.BatchDeduped.Add(int64(out.Deduped))
+
+	// Answer cache hits immediately; enqueue the misses back to back so
+	// they run concurrently on the worker pool.
+	for _, key := range order {
+		u := byKey[key]
+		if resp, ok := s.cached(u.norm); ok {
+			out.CacheHits++
+			s.metrics.BatchCacheHits.Add(1)
+			for _, i := range u.indices {
+				out.Results[i] = BatchResult{Response: resp}
+			}
+			continue
+		}
+		jctx, cancel := context.WithTimeout(ctx, s.timeoutFor(&breq.Requests[u.indices[0]]))
+		j, serr := s.enqueue(jctx, cancel, u.norm, nil)
+		if serr != nil {
+			for _, i := range u.indices {
+				out.Results[i] = BatchResult{Error: serr.Envelope()}
+			}
+			continue
+		}
+		u.job = j
+	}
+
+	// Collect outcomes. Enqueued jobs always close done (worker drain
+	// included), so waiting on each in turn loses no concurrency.
+	for _, key := range order {
+		u := byKey[key]
+		if u.job == nil {
+			continue
+		}
+		select {
+		case <-u.job.done:
+		case <-ctx.Done():
+			// Caller gone: the per-job contexts descend from ctx, so the
+			// workers stop at their next cancellation point.
+			return nil, stsynerr.Wrap(stsynerr.Canceled, "batch cancelled", ctx.Err())
+		}
+		for _, i := range u.indices {
+			if u.job.err != nil {
+				out.Results[i] = BatchResult{Error: u.job.err.Envelope()}
+			} else {
+				out.Results[i] = BatchResult{Response: u.job.resp}
+			}
+		}
+	}
+	s.logf("batch items=%d unique=%d deduped=%d cache_hits=%d", len(breq.Requests), len(order), out.Deduped, out.CacheHits)
+	return out, nil
+}

@@ -1,0 +1,435 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stsyn/pkg/stsynerr"
+)
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path, body string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+func decodeJobStatus(t *testing.T, data []byte) *JobStatus {
+	t.Helper()
+	var js JobStatus
+	if err := json.Unmarshal(data, &js); err != nil {
+		t.Fatalf("bad job status %s: %v", data, err)
+	}
+	return &js
+}
+
+// waitJobState polls a job until pred holds or the deadline passes.
+func waitJobState(t *testing.T, ts *httptest.Server, id string, pred func(*JobStatus) bool) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, _, data := doJSON(t, ts, http.MethodGet, "/v1/jobs/"+id, "")
+		if status != http.StatusOK {
+			t.Fatalf("poll status = %d (body %s)", status, data)
+		}
+		js := decodeJobStatus(t, data)
+		if pred(js) {
+			return js
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, js.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The differential gate: the same request through the synchronous path,
+// the async job path and the batch path must produce byte-identical
+// responses, with all three sharing one cache entry.
+func TestSyncAsyncBatchAnswerByteIdentical(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"protocol":"tokenring","k":4,"dom":3}`
+
+	status, syncRaw := postSynthesize(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("sync status = %d (body %s)", status, syncRaw)
+	}
+	syncResp := decodeResponse(t, syncRaw)
+	if !syncResp.Verified {
+		t.Fatal("sync response not verified")
+	}
+	misses := svc.Metrics().CacheMisses.Load()
+	hits0 := svc.Metrics().CacheHits.Load()
+
+	// Async: the submit must be served from the shared cache (born
+	// terminal), answering the identical response.
+	status, _, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d (body %s)", status, data)
+	}
+	js := waitJobState(t, ts, decodeJobStatus(t, data).ID, func(js *JobStatus) bool { return js.State == "done" })
+	if js.Response == nil {
+		t.Fatal("done job carries no response")
+	}
+
+	// Batch: two copies of the same request dedupe to one cache hit.
+	status, _, bdata := doJSON(t, ts, http.MethodPost, "/v1/batch",
+		fmt.Sprintf(`{"requests":[%s,%s]}`, body, body))
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d (body %s)", status, bdata)
+	}
+	var bresp BatchResponse
+	if err := json.Unmarshal(bdata, &bresp); err != nil {
+		t.Fatal(err)
+	}
+	if bresp.Deduped != 1 || bresp.CacheHits != 1 || len(bresp.Results) != 2 {
+		t.Errorf("batch dedup/cache = %+v, want 1 deduped, 1 cache hit, 2 results", bresp)
+	}
+
+	// The sync answer is marked Cached:false on first compute; every
+	// cache-served copy is Cached:true. Compare everything else byte for
+	// byte via canonical re-marshaling.
+	canon := func(r *Response) []byte {
+		cp := *r
+		cp.Cached = false
+		out, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := canon(syncResp)
+	for what, got := range map[string]*Response{
+		"async":   js.Response,
+		"batch 0": bresp.Results[0].Response,
+		"batch 1": bresp.Results[1].Response,
+	} {
+		if got == nil {
+			t.Fatalf("%s result has no response", what)
+		}
+		if !got.Cached {
+			t.Errorf("%s response not served from the shared cache", what)
+		}
+		if !bytes.Equal(canon(got), want) {
+			t.Errorf("%s response differs from sync:\n got %s\nwant %s", what, canon(got), want)
+		}
+	}
+	if svc.Metrics().CacheMisses.Load() != misses {
+		t.Errorf("async/batch re-computed a cached request (misses %d → %d)", misses, svc.Metrics().CacheMisses.Load())
+	}
+	if svc.Metrics().CacheHits.Load() <= hits0 {
+		t.Errorf("cache hits did not grow (%d → %d)", hits0, svc.Metrics().CacheHits.Load())
+	}
+}
+
+// A cold async job must run to done and answer exactly what a later sync
+// call answers (the job populated the shared cache).
+func TestAsyncColdJobPopulatesSharedCache(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"protocol":"coloring","k":5}`
+
+	status, _, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d (body %s)", status, data)
+	}
+	id := decodeJobStatus(t, data).ID
+	if id == "" {
+		t.Fatal("submit returned no job ID")
+	}
+	js := waitJobState(t, ts, id, func(js *JobStatus) bool { return js.State == "done" })
+	if js.Response == nil || !js.Response.Verified {
+		t.Fatalf("job response = %+v", js.Response)
+	}
+	if js.Error != nil {
+		t.Errorf("done job carries an error envelope: %+v", js.Error)
+	}
+
+	status, syncRaw := postSynthesize(t, ts, body)
+	if status != http.StatusOK {
+		t.Fatalf("sync status = %d", status)
+	}
+	if sr := decodeResponse(t, syncRaw); !sr.Cached {
+		t.Errorf("sync call after async job was not a cache hit")
+	}
+	if got := svc.Metrics().AsyncSubmitted.Load(); got != 1 {
+		t.Errorf("async submitted = %d, want 1", got)
+	}
+}
+
+func TestCancelWhileRunningYieldsTypedCanceled(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	// Symbolic matching with 9 processes runs for many seconds — plenty of
+	// time to observe "running" and cancel it.
+	body := `{"protocol":"matching","k":9,"engine":"symbolic","timeout_ms":120000}`
+
+	status, _, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d (body %s)", status, data)
+	}
+	id := decodeJobStatus(t, data).ID
+	waitJobState(t, ts, id, func(js *JobStatus) bool { return js.State == "running" })
+
+	status, _, data = doJSON(t, ts, http.MethodDelete, "/v1/jobs/"+id, "")
+	if status != http.StatusOK {
+		t.Fatalf("cancel status = %d (body %s)", status, data)
+	}
+	if js := decodeJobStatus(t, data); js.State != "canceled" {
+		t.Fatalf("state after cancel = %q, want canceled", js.State)
+	}
+
+	// The engine must actually stop: the worker frees up and the job stays
+	// canceled with a typed error envelope.
+	js := waitJobState(t, ts, id, func(js *JobStatus) bool { return js.State == "canceled" && js.Error != nil })
+	if js.Error.Name != stsynerr.Canceled {
+		t.Errorf("error name = %q, want %s", js.Error.Name, stsynerr.Canceled)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Metrics().JobsCancelled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("engine never registered the cancellation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := svc.Metrics().AsyncCanceled.Load(); got != 1 {
+		t.Errorf("async canceled = %d, want 1", got)
+	}
+
+	// A fresh job proves the worker survived the cancellation.
+	status, _, data = doJSON(t, ts, http.MethodPost, "/v1/jobs", `{"protocol":"tokenring"}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("post-cancel submit = %d (body %s)", status, data)
+	}
+	waitJobState(t, ts, decodeJobStatus(t, data).ID, func(js *JobStatus) bool { return js.State == "done" })
+}
+
+func TestJobTTLExpiryAnswersJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobTTL: 50 * time.Millisecond})
+
+	status, _, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", `{"protocol":"tokenring"}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d (body %s)", status, data)
+	}
+	id := decodeJobStatus(t, data).ID
+	waitJobState(t, ts, id, func(js *JobStatus) bool { return js.State == "done" })
+
+	time.Sleep(120 * time.Millisecond)
+	status, _, data = doJSON(t, ts, http.MethodGet, "/v1/jobs/"+id, "")
+	if status != http.StatusNotFound {
+		t.Fatalf("expired poll status = %d (body %s), want 404", status, data)
+	}
+	var env stsynerr.Envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Name != stsynerr.JobNotFound {
+		t.Errorf("expired poll body = %s, want %s envelope", data, stsynerr.JobNotFound)
+	}
+}
+
+func TestJobStoreFullAnswersTypedQueueFull(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobsMax: 1})
+	slow := `{"protocol":"matching","k":9,"engine":"symbolic","timeout_ms":120000}`
+
+	status, _, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", slow)
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit = %d (body %s)", status, data)
+	}
+	id := decodeJobStatus(t, data).ID
+
+	status, hdr, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", `{"protocol":"tokenring"}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit = %d (body %s), want 503", status, data)
+	}
+	var env stsynerr.Envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Name != stsynerr.QueueFull {
+		t.Errorf("overflow body = %s, want %s envelope", data, stsynerr.QueueFull)
+	}
+	if env.RetryAfterSeconds <= 0 || hdr.Get("Retry-After") == "" {
+		t.Errorf("overflow lacks retry advice: envelope %+v, header %q", env, hdr.Get("Retry-After"))
+	}
+
+	// Free the slot again so shutdown drains quickly.
+	doJSON(t, ts, http.MethodDelete, "/v1/jobs/"+id, "")
+}
+
+func TestTenantAdmissionControl(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, TenantRate: 0.001, TenantBurst: 2})
+	send := func(tenant string) (int, http.Header, []byte) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/synthesize", strings.NewReader(`{"protocol":"tokenring"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, data
+	}
+
+	for i := 0; i < 2; i++ {
+		if status, _, data := send("acme"); status != http.StatusOK {
+			t.Fatalf("request %d status = %d (body %s)", i, status, data)
+		}
+	}
+	status, hdr, data := send("acme")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("burst-exhausted status = %d (body %s), want 429", status, data)
+	}
+	var env stsynerr.Envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Name != stsynerr.RateLimited {
+		t.Errorf("rate-limit body = %s, want %s envelope", data, stsynerr.RateLimited)
+	}
+	if env.Params["tenant"] != "acme" {
+		t.Errorf("rate-limit params = %v, want tenant=acme", env.Params)
+	}
+	if env.RetryAfterSeconds <= 0 || hdr.Get("Retry-After") == "" {
+		t.Errorf("rate limit lacks retry advice: %+v / %q", env, hdr.Get("Retry-After"))
+	}
+
+	// Buckets are per tenant: another tenant (and the anonymous default)
+	// still gets in.
+	if status, _, data := send("globex"); status != http.StatusOK {
+		t.Errorf("other tenant status = %d (body %s)", status, data)
+	}
+	if status, _, data := send(""); status != http.StatusOK {
+		t.Errorf("anonymous status = %d (body %s)", status, data)
+	}
+}
+
+// Every handler-level error path must answer a registered, decodable
+// envelope: name, status and envelope shape are one contract.
+func TestHandlerErrorNamesAreRegistered(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, tc := range []struct {
+		label        string
+		method, path string
+		body         string
+		status       int
+		name         stsynerr.Name
+	}{
+		{"sync wrong method", http.MethodGet, "/v1/synthesize", "", http.StatusMethodNotAllowed, stsynerr.MethodNotAllowed},
+		{"jobs wrong method", http.MethodGet, "/v1/jobs", "", http.StatusMethodNotAllowed, stsynerr.MethodNotAllowed},
+		{"job wrong method", http.MethodPut, "/v1/jobs/abc", "", http.StatusMethodNotAllowed, stsynerr.MethodNotAllowed},
+		{"bad json", http.MethodPost, "/v1/synthesize", `{"protocol"`, http.StatusBadRequest, stsynerr.InvalidRequest},
+		{"unknown field", http.MethodPost, "/v1/jobs", `{"protocl":"tokenring"}`, http.StatusBadRequest, stsynerr.InvalidRequest},
+		{"oversized body", http.MethodPost, "/v1/synthesize", `{"spec":"` + strings.Repeat("x", 2<<20) + `"}`, http.StatusRequestEntityTooLarge, stsynerr.RequestTooLarge},
+		{"unknown job", http.MethodGet, "/v1/jobs/nope", "", http.StatusNotFound, stsynerr.JobNotFound},
+		{"cancel unknown job", http.MethodDelete, "/v1/jobs/nope", "", http.StatusNotFound, stsynerr.JobNotFound},
+		{"nested job path", http.MethodGet, "/v1/jobs/a/b", "", http.StatusNotFound, stsynerr.JobNotFound},
+		{"empty batch", http.MethodPost, "/v1/batch", `{"requests":[]}`, http.StatusBadRequest, stsynerr.InvalidRequest},
+		{"async invalid spec", http.MethodPost, "/v1/jobs", `{"spec":"protocol X\n"}`, http.StatusUnprocessableEntity, stsynerr.InvalidSpec},
+	} {
+		t.Run(tc.label, func(t *testing.T) {
+			status, _, data := doJSON(t, ts, tc.method, tc.path, tc.body)
+			if status != tc.status {
+				t.Fatalf("status = %d (body %s), want %d", status, data, tc.status)
+			}
+			var env stsynerr.Envelope
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatalf("body %s is not an envelope: %v", data, err)
+			}
+			if env.Name != tc.name {
+				t.Errorf("error name = %q, want %q", env.Name, tc.name)
+			}
+			if env.Error == "" || env.RequestID == "" {
+				t.Errorf("envelope incomplete: %s", data)
+			}
+			// The registered status and the wire status must agree, and the
+			// envelope must reconstruct the typed error client-side.
+			serr := env.AsError(status)
+			if serr.Name != tc.name || serr.HTTPStatus() != tc.status {
+				t.Errorf("decoded error = %+v, want %s/%d", serr, tc.name, tc.status)
+			}
+			if !errors.Is(serr, &stsynerr.Error{Name: tc.name}) {
+				t.Errorf("errors.Is lost the name through the wire")
+			}
+		})
+	}
+}
+
+// One job store under concurrent submit/poll/cancel from many goroutines;
+// run with -race this is the async API's data-race gate.
+func TestAsyncConcurrentLifecycleStress(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 4, JobsMax: 64})
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				body := fmt.Sprintf(`{"protocol":"tokenring","k":%d}`, 3+(c+i)%3)
+				status, _, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", body)
+				if status == http.StatusServiceUnavailable {
+					continue // store briefly full under stress: fine
+				}
+				if status != http.StatusAccepted {
+					t.Errorf("submit = %d (body %s)", status, data)
+					return
+				}
+				id := decodeJobStatus(t, data).ID
+				if c%2 == 0 {
+					doJSON(t, ts, http.MethodDelete, "/v1/jobs/"+id, "")
+				}
+				waitJobState(t, ts, id, func(js *JobStatus) bool {
+					return js.State == "done" || js.State == "canceled" || js.State == "failed"
+				})
+			}
+		}(c)
+	}
+	wg.Wait()
+	counts := svc.JobCounts()
+	if counts.Queued != 0 || counts.Running != 0 {
+		t.Errorf("jobs left live after stress: %+v", counts)
+	}
+}
+
+// Shutdown must still drain cleanly with detached async jobs in flight.
+func TestShutdownDrainsAsyncJobs(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"protocol":"coloring","k":%d}`, 4+i)
+		status, _, data := doJSON(t, ts, http.MethodPost, "/v1/jobs", body)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit = %d (body %s)", status, data)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with async jobs in flight: %v", err)
+	}
+}

@@ -6,12 +6,14 @@
 // while fresh ones run on a worker pool with per-job deadlines.
 //
 // The package also owns the one JSON encoding of a synthesis result shared
-// by the server and the stsyn CLI's -json flag, so the two never drift.
+// by the server and the stsyn CLI's -json flag, so the two never drift. The
+// wire types themselves live in pkg/stsynapi — the published contract the
+// client package builds on — and are aliased here so server-side code (and
+// existing callers) keep their service.Request / service.Response spelling.
 package service
 
 import (
 	"fmt"
-	"net/http"
 	"strings"
 
 	"stsyn/internal/cli"
@@ -21,166 +23,32 @@ import (
 	"stsyn/internal/pretty"
 	"stsyn/internal/protocol"
 	"stsyn/internal/symbolic"
+	"stsyn/pkg/stsynapi"
+	"stsyn/pkg/stsynerr"
 )
 
-// Request is a synthesis job: either a built-in protocol by name (with its
-// parameters) or an inline .stsyn guarded-command specification.
-type Request struct {
-	// Protocol names a built-in (see /v1/protocols); K and Dom are its
-	// parameters (defaults 4 and 3, matching the stsyn CLI).
-	Protocol string `json:"protocol,omitempty"`
-	K        int    `json:"k,omitempty"`
-	Dom      int    `json:"dom,omitempty"`
-	// Spec is an inline .stsyn specification, mutually exclusive with
-	// Protocol.
-	Spec string `json:"spec,omitempty"`
-
-	// Engine selects the state-space engine: auto (default), explicit or
-	// symbolic.
-	Engine string `json:"engine,omitempty"`
-	// Convergence is strong (default) or weak.
-	Convergence string `json:"convergence,omitempty"`
-	// Schedule is the recovery schedule; empty means the paper's default
-	// (P1, …, Pk-1, P0).
-	Schedule []int `json:"schedule,omitempty"`
-	// Resolution is the cycle-resolution strategy: batch (default) or
-	// incremental.
-	Resolution string `json:"resolution,omitempty"`
-	// Fanout tries all cyclic-rotation schedules in parallel and keeps the
-	// first success; Schedule must be empty.
-	Fanout bool `json:"fanout,omitempty"`
-	// Prune enables symmetry-quotient schedule pruning and the
-	// cross-schedule fixpoint memo: with Fanout, orbit-equivalent schedules
-	// are searched once; with or without it, rank/fixpoint sub-results are
-	// shared through the server's memo. The synthesized protocol is
-	// byte-identical to the unpruned run. Requires batch resolution (the
-	// default): incremental cycle resolution is not equivariant under the
-	// symmetry group.
-	Prune bool `json:"prune,omitempty"`
-
-	// SCC selects the explicit engine's cycle-detection algorithm: auto
-	// (default: Tarjan below the measured crossover state count, fb above
-	// it), tarjan, or fb (the trim-based parallel forward-backward search).
-	// Requires the explicit engine.
-	SCC string `json:"scc,omitempty"`
-	// Workers bounds the engine's parallelism: for the explicit engine the
-	// image/SCC worker pool (0 = GOMAXPROCS), for the symbolic engine the
-	// scratch-manager fan-out of the SCC decomposition (0 = sequential).
-	// Synthesized protocols are identical for every value.
-	Workers int `json:"workers,omitempty"`
-
-	// TimeoutMS bounds the job (queue wait included); 0 means the server's
-	// default, and values above the server's maximum are clamped.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-}
-
-// Command is one rendered guarded command of the synthesized protocol.
-type Command struct {
-	Guard  string `json:"guard"`
-	Effect string `json:"effect"`
-	Groups int    `json:"groups"`
-}
-
-// ProcessResult is the synthesized actions of one process.
-type ProcessResult struct {
-	Name     string    `json:"name"`
-	Commands []Command `json:"commands"`
-}
-
-// Timings are the synthesis time measurements in milliseconds.
-type Timings struct {
-	TotalMS   float64 `json:"total_ms"`
-	RankingMS float64 `json:"ranking_ms"`
-	SCCMS     float64 `json:"scc_ms"`
-}
-
-// Response is the result of a synthesis job — the encoding shared by the
-// service and the stsyn CLI's -json flag.
-type Response struct {
-	Protocol    string `json:"protocol"`
-	Engine      string `json:"engine"`
-	Convergence string `json:"convergence"`
-	Schedule    []int  `json:"schedule"`
-
-	Processes int     `json:"processes"`
-	Variables int     `json:"variables"`
-	States    float64 `json:"states"`
-
-	Pass          int `json:"pass"`
-	MaxRank       int `json:"max_rank"`
-	AddedGroups   int `json:"added_groups"`
-	RemovedGroups int `json:"removed_groups"`
-	// RankInfinityFastFail counts the synthesizer's rank-∞ fast-fail
-	// short-circuits (doomed-batch skips, futile-batch replays, terminal
-	// aborts) during this job; 0 when the engine ran the reference scheme.
-	RankInfinityFastFail int `json:"rank_infinity_fastfail"`
-
-	ProgramSize int     `json:"program_size"`
-	SCCCount    int     `json:"scc_count"`
-	AvgSCCSize  float64 `json:"avg_scc_size"`
-	Timings     Timings `json:"timings"`
-
-	Actions  []ProcessResult `json:"actions"`
-	Verified bool            `json:"verified"`
-
-	// BDD is the symbolic engine's substrate statistics (nil for the
-	// explicit engine, which has no shared node store).
-	BDD *BDDStats `json:"bdd,omitempty"`
-
-	// Explicit is the explicit engine's kernel configuration and activity
-	// counters (nil for the symbolic engine).
-	Explicit *ExplicitStats `json:"explicit,omitempty"`
-
-	// Prune reports what symmetry pruning did for this job (nil when the
-	// request did not ask for pruning).
-	Prune *PruneStats `json:"prune,omitempty"`
-
-	// Cached reports whether the response was served from the result cache;
-	// ElapsedMS is the server-side job time (0 for CLI use).
-	Cached    bool    `json:"cached"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-}
-
-// BDDStats is the JSON rendering of the symbolic engine's substrate
-// statistics (core.SpaceStats): node-store occupancy, operation-cache
-// behavior and garbage-collection work for one synthesis run.
-type BDDStats struct {
-	Workers         int     `json:"workers"`
-	LiveNodes       int     `json:"live_nodes"`
-	PeakLiveNodes   int     `json:"peak_live_nodes"`
-	AllocatedSlots  int     `json:"allocated_slots"`
-	UniqueTableLoad float64 `json:"unique_table_load"`
-	CacheSize       int     `json:"cache_size"`
-	CacheHits       uint64  `json:"cache_hits"`
-	CacheMisses     uint64  `json:"cache_misses"`
-	CacheEvictions  uint64  `json:"cache_evictions"`
-	CacheHitRate    float64 `json:"cache_hit_rate"`
-	GCRuns          int     `json:"gc_runs"`
-	GCReclaimed     uint64  `json:"gc_reclaimed"`
-}
-
-// ExplicitStats is the JSON rendering of the explicit engine's kernel
-// configuration (SCC algorithm, worker bound) and image-kernel activity
-// counters (explicit.KernelStats) for one synthesis run.
-type ExplicitStats struct {
-	SCCAlgorithm string `json:"scc_algorithm"`
-	Workers      int    `json:"workers"`
-	PreOps       uint64 `json:"pre_ops"`
-	PostOps      uint64 `json:"post_ops"`
-	GroupTests   uint64 `json:"group_tests"`
-}
-
-// PruneStats is the JSON rendering of one job's symmetry-pruning activity:
-// the derived automorphism group's size, the quotient's schedule counters
-// (zero for single-schedule jobs, where there is nothing to quotient), and
-// this job's hits and misses against the cross-schedule fixpoint memo.
-type PruneStats struct {
-	GroupSize        int   `json:"group_size"`
-	SchedulesEmitted int   `json:"schedules_emitted"`
-	SchedulesPruned  int   `json:"schedules_pruned"`
-	MemoHits         int64 `json:"memo_hits"`
-	MemoMisses       int64 `json:"memo_misses"`
-}
+// The wire contract, re-exported from pkg/stsynapi. These are aliases, not
+// copies: the server and the published client cannot drift.
+type (
+	// Request is a synthesis job: either a built-in protocol by name (with
+	// its parameters) or an inline .stsyn guarded-command specification.
+	Request = stsynapi.Request
+	// Response is the result of a synthesis job — the encoding shared by
+	// the service and the stsyn CLI's -json flag.
+	Response = stsynapi.Response
+	// Command is one rendered guarded command of the synthesized protocol.
+	Command = stsynapi.Command
+	// ProcessResult is the synthesized actions of one process.
+	ProcessResult = stsynapi.ProcessResult
+	// Timings are the synthesis time measurements in milliseconds.
+	Timings = stsynapi.Timings
+	// BDDStats is the symbolic engine's substrate statistics.
+	BDDStats = stsynapi.BDDStats
+	// ExplicitStats is the explicit engine's kernel stats.
+	ExplicitStats = stsynapi.ExplicitStats
+	// PruneStats is one job's symmetry-pruning activity.
+	PruneStats = stsynapi.PruneStats
+)
 
 // explicitStats snapshots the explicit engine's kernel counters, or returns
 // nil for other engines.
@@ -246,11 +114,15 @@ func BuildSpec(req *Request) (*protocol.Spec, error) {
 		}
 		sp, err := buildBuiltin(req.Protocol, k, dom)
 		if err != nil {
-			return nil, &Error{Status: http.StatusUnprocessableEntity, Message: "unknown protocol", Err: err}
+			return nil, stsynerr.Wrap(stsynerr.InvalidSpec, "unknown protocol", err)
 		}
 		return sp, nil
 	case req.Spec != "":
-		return gcl.Parse("request", req.Spec)
+		sp, err := gcl.Parse("request", req.Spec)
+		if err != nil {
+			return nil, stsynerr.Wrap(stsynerr.InvalidSpec, "spec does not parse", err)
+		}
+		return sp, nil
 	default:
 		return nil, fmt.Errorf("need protocol (built-in name) or spec (inline .stsyn source)")
 	}

@@ -1,0 +1,280 @@
+// Package jobs is the async job store of the synthesis service: a bounded
+// in-memory table of submitted jobs keyed by opaque IDs, tracking each
+// through queued → running → one of done / failed / canceled, and retaining
+// terminal results for a TTL so clients can poll them before eviction.
+//
+// The store holds no synthesis machinery — the service enqueues work on its
+// own pool and reports transitions here — so it stays a small, race-free
+// state machine that the -race stress suite can hammer in isolation.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"stsyn/pkg/stsynapi"
+	"stsyn/pkg/stsynerr"
+)
+
+// State is one phase of a job's lifecycle, using the wire spellings of
+// stsynapi (queued, running, done, failed, canceled).
+type State string
+
+// The lifecycle states. Legal transitions: queued → running → {done,
+// failed, canceled}; queued or running → canceled. Terminal states never
+// change again.
+const (
+	Queued   = State(stsynapi.JobQueued)
+	Running  = State(stsynapi.JobRunning)
+	Done     = State(stsynapi.JobDone)
+	Failed   = State(stsynapi.JobFailed)
+	Canceled = State(stsynapi.JobCanceled)
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Snapshot is a point-in-time copy of one job's externally visible state.
+type Snapshot struct {
+	ID    string
+	State State
+	// Created is the submission time; Finished is the terminal-transition
+	// time (zero while live).
+	Created  time.Time
+	Finished time.Time
+	// Response is set exactly when State is Done.
+	Response *stsynapi.Response
+	// Err is the typed failure, set when State is Failed or Canceled.
+	Err *stsynerr.Error
+}
+
+// Elapsed is the job's age: creation to finish once terminal, creation to
+// now while live.
+func (s *Snapshot) Elapsed() time.Duration {
+	if s.State.Terminal() {
+		return s.Finished.Sub(s.Created)
+	}
+	return time.Since(s.Created)
+}
+
+// entry is one stored job. The cancel func aborts the underlying run; it
+// is kept until the job reaches a terminal state.
+type entry struct {
+	id       string
+	state    State
+	created  time.Time
+	finished time.Time
+	expires  time.Time // eviction deadline, set on terminal transition
+	cancel   context.CancelFunc
+	resp     *stsynapi.Response
+	err      *stsynerr.Error
+}
+
+// Counts is the store's population by state plus its lifetime eviction
+// counter, for the metrics endpoint.
+type Counts struct {
+	Queued    int
+	Running   int
+	Done      int
+	Failed    int
+	Canceled  int
+	Evictions int64
+}
+
+// Store is a bounded job table. Safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	max       int
+	ttl       time.Duration
+	entries   map[string]*entry
+	evictions int64
+	now       func() time.Time // test hook
+}
+
+// NewStore builds a store holding at most max jobs (live plus retained
+// terminal), retaining terminal results for ttl.
+func NewStore(max int, ttl time.Duration) *Store {
+	if max <= 0 {
+		max = 1024
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	return &Store{max: max, ttl: ttl, entries: make(map[string]*entry), now: time.Now}
+}
+
+// SetClock replaces the store's time source (tests only).
+func (st *Store) SetClock(now func() time.Time) {
+	st.mu.Lock()
+	st.now = now
+	st.mu.Unlock()
+}
+
+// newID returns a fresh 16-hex-digit job ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create admits a new queued job, returning its ID. cancel aborts the
+// job's run; the store calls it on Cancel. A full store (after sweeping
+// expired results) answers a QueueFull error.
+func (st *Store) Create(cancel context.CancelFunc) (string, *stsynerr.Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	st.sweepLocked(now)
+	if len(st.entries) >= st.max {
+		return "", stsynerr.New(stsynerr.QueueFull, "job store full, retry later")
+	}
+	id := newID()
+	for st.entries[id] != nil {
+		id = newID()
+	}
+	st.entries[id] = &entry{id: id, state: Queued, created: now, cancel: cancel}
+	return id, nil
+}
+
+// Drop abandons an entry whose job never made it onto the run queue (the
+// submission failed downstream of Create), so the failed submission
+// neither occupies the store nor becomes a pollable failed job.
+func (st *Store) Drop(id string) {
+	st.mu.Lock()
+	delete(st.entries, id)
+	st.mu.Unlock()
+}
+
+// Start marks a queued job running. A job already canceled (or missing)
+// reports false and the run should stop.
+func (st *Store) Start(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entries[id]
+	if e == nil || e.state != Queued {
+		return false
+	}
+	e.state = Running
+	return true
+}
+
+// Finish records a job's outcome and starts its retention TTL: a response
+// makes it Done; an error makes it Failed, or Canceled when the error
+// carries the Canceled name. Finishing an already-terminal (or evicted)
+// job is a no-op, so a cancel racing a natural completion keeps whichever
+// transition won.
+func (st *Store) Finish(id string, resp *stsynapi.Response, err *stsynerr.Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entries[id]
+	if e == nil || e.state.Terminal() {
+		return
+	}
+	now := st.now()
+	e.finished = now
+	e.expires = now.Add(st.ttl)
+	e.cancel = nil
+	if err != nil {
+		e.err = err
+		e.state = Failed
+		if err.ErrorName() == stsynerr.Canceled {
+			e.state = Canceled
+		}
+		return
+	}
+	e.resp = resp
+	e.state = Done
+}
+
+// Cancel aborts a live job: its context is canceled and it transitions to
+// Canceled immediately (the run's eventual error is then ignored by
+// Finish). Canceling a terminal job is a no-op reporting its snapshot;
+// canceling an unknown ID answers JobNotFound.
+func (st *Store) Cancel(id string) (Snapshot, *stsynerr.Error) {
+	st.mu.Lock()
+	now := st.now()
+	st.sweepLocked(now)
+	e := st.entries[id]
+	if e == nil {
+		st.mu.Unlock()
+		return Snapshot{}, stsynerr.Newf(stsynerr.JobNotFound, "no job %s", id)
+	}
+	cancel := e.cancel
+	if !e.state.Terminal() {
+		e.state = Canceled
+		e.finished = now
+		e.expires = now.Add(st.ttl)
+		e.err = stsynerr.New(stsynerr.Canceled, "job cancelled")
+		e.cancel = nil
+	}
+	snap := e.snapshotLocked()
+	st.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return snap, nil
+}
+
+// Get returns a job's snapshot, or JobNotFound for unknown and expired IDs.
+func (st *Store) Get(id string) (Snapshot, *stsynerr.Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	e := st.entries[id]
+	if e == nil {
+		return Snapshot{}, stsynerr.Newf(stsynerr.JobNotFound, "no job %s", id)
+	}
+	return e.snapshotLocked(), nil
+}
+
+// Counts returns the store's population by state (after sweeping).
+func (st *Store) Counts() Counts {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	c := Counts{Evictions: st.evictions}
+	for _, e := range st.entries {
+		switch e.state {
+		case Queued:
+			c.Queued++
+		case Running:
+			c.Running++
+		case Done:
+			c.Done++
+		case Failed:
+			c.Failed++
+		case Canceled:
+			c.Canceled++
+		}
+	}
+	return c
+}
+
+// snapshotLocked copies an entry's visible state; st.mu must be held.
+func (e *entry) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:       e.id,
+		State:    e.state,
+		Created:  e.created,
+		Finished: e.finished,
+		Response: e.resp,
+		Err:      e.err,
+	}
+}
+
+// sweepLocked evicts terminal entries past their TTL; st.mu must be held.
+// Sweeping lazily on every store operation keeps the store dependency-free
+// (no background goroutine to drain on shutdown).
+func (st *Store) sweepLocked(now time.Time) {
+	for id, e := range st.entries {
+		if e.state.Terminal() && now.After(e.expires) {
+			delete(st.entries, id)
+			st.evictions++
+		}
+	}
+}

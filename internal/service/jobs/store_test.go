@@ -1,0 +1,183 @@
+package jobs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stsyn/pkg/stsynapi"
+	"stsyn/pkg/stsynerr"
+)
+
+func TestLifecycleQueuedRunningDone(t *testing.T) {
+	st := NewStore(4, time.Minute)
+	id, serr := st.Create(func() {})
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if len(id) != 16 {
+		t.Errorf("ID %q, want 16 hex digits", id)
+	}
+	snap, serr := st.Get(id)
+	if serr != nil || snap.State != Queued {
+		t.Fatalf("fresh job = %+v, %v", snap, serr)
+	}
+	if !st.Start(id) {
+		t.Fatal("Start on queued job = false")
+	}
+	if st.Start(id) {
+		t.Error("second Start = true, want false (already running)")
+	}
+	resp := &stsynapi.Response{Verified: true}
+	st.Finish(id, resp, nil)
+	snap, _ = st.Get(id)
+	if snap.State != Done || snap.Response != resp || snap.Err != nil {
+		t.Errorf("finished job = %+v", snap)
+	}
+	if snap.Elapsed() < 0 {
+		t.Errorf("elapsed = %v", snap.Elapsed())
+	}
+	// Terminal states never change again.
+	st.Finish(id, nil, stsynerr.New(stsynerr.Internal, "late failure"))
+	if snap, _ = st.Get(id); snap.State != Done {
+		t.Errorf("terminal job rewritten to %q", snap.State)
+	}
+}
+
+func TestFinishClassifiesFailureAndCancellation(t *testing.T) {
+	st := NewStore(4, time.Minute)
+	fail, _ := st.Create(func() {})
+	st.Finish(fail, nil, stsynerr.New(stsynerr.SynthesisFailed, "no luck"))
+	if snap, _ := st.Get(fail); snap.State != Failed || snap.Err == nil {
+		t.Errorf("failed job = %+v", snap)
+	}
+	can, _ := st.Create(func() {})
+	st.Finish(can, nil, stsynerr.New(stsynerr.Canceled, "stopped"))
+	if snap, _ := st.Get(can); snap.State != Canceled {
+		t.Errorf("canceled-error job state = %q, want canceled", snap.State)
+	}
+}
+
+func TestCancelCallsCancelFuncAndWinsRace(t *testing.T) {
+	st := NewStore(4, time.Minute)
+	var called atomic.Int64
+	id, _ := st.Create(func() { called.Add(1) })
+	st.Start(id)
+	snap, serr := st.Cancel(id)
+	if serr != nil || snap.State != Canceled || snap.Err == nil {
+		t.Fatalf("cancel = %+v, %v", snap, serr)
+	}
+	if called.Load() != 1 {
+		t.Errorf("cancel func called %d times, want 1", called.Load())
+	}
+	// The run's eventual outcome must not overwrite the cancellation.
+	st.Finish(id, &stsynapi.Response{Verified: true}, nil)
+	if snap, _ = st.Get(id); snap.State != Canceled || snap.Response != nil {
+		t.Errorf("race loser overwrote cancel: %+v", snap)
+	}
+	// Canceling again is a no-op answering the same terminal snapshot.
+	if snap, serr = st.Cancel(id); serr != nil || snap.State != Canceled {
+		t.Errorf("re-cancel = %+v, %v", snap, serr)
+	}
+	if called.Load() != 1 {
+		t.Errorf("terminal re-cancel re-fired the cancel func")
+	}
+	if _, serr = st.Cancel("missing"); serr == nil || serr.ErrorName() != stsynerr.JobNotFound {
+		t.Errorf("cancel unknown = %v, want JobNotFound", serr)
+	}
+}
+
+func TestCapacityAndTTLSweep(t *testing.T) {
+	st := NewStore(2, time.Minute)
+	clock := time.Unix(1000, 0)
+	st.SetClock(func() time.Time { return clock })
+
+	a, _ := st.Create(func() {})
+	if _, serr := st.Create(func() {}); serr != nil {
+		t.Fatal(serr)
+	}
+	if _, serr := st.Create(func() {}); serr == nil || serr.ErrorName() != stsynerr.QueueFull {
+		t.Fatalf("overfull Create = %v, want QueueFull", serr)
+	}
+
+	// A terminal job holds its slot only until the TTL passes.
+	st.Finish(a, &stsynapi.Response{}, nil)
+	clock = clock.Add(30 * time.Second)
+	if _, serr := st.Get(a); serr != nil {
+		t.Fatalf("job evicted before its TTL: %v", serr)
+	}
+	clock = clock.Add(31 * time.Second)
+	if _, serr := st.Get(a); serr == nil || serr.ErrorName() != stsynerr.JobNotFound {
+		t.Fatalf("expired Get = %v, want JobNotFound", serr)
+	}
+	if c := st.Counts(); c.Evictions != 1 || c.Queued != 1 {
+		t.Errorf("counts after sweep = %+v, want 1 eviction, 1 queued", c)
+	}
+	// The freed slot is usable again.
+	if _, serr := st.Create(func() {}); serr != nil {
+		t.Errorf("Create after sweep: %v", serr)
+	}
+}
+
+func TestDropReleasesSlotWithoutTrace(t *testing.T) {
+	st := NewStore(1, time.Minute)
+	id, _ := st.Create(func() {})
+	st.Drop(id)
+	if _, serr := st.Get(id); serr == nil {
+		t.Error("dropped job still visible")
+	}
+	if _, serr := st.Create(func() {}); serr != nil {
+		t.Errorf("Create after Drop: %v", serr)
+	}
+}
+
+// The -race gate: one store hammered by concurrent creators, starters,
+// finishers, cancelers and pollers must stay consistent.
+func TestStoreConcurrentStress(t *testing.T) {
+	st := NewStore(256, time.Minute)
+	var created atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, serr := st.Create(func() {})
+				if serr != nil {
+					// The cap bites under stress; a typed QueueFull is the
+					// contract, anything else is a bug.
+					if serr.ErrorName() != stsynerr.QueueFull {
+						t.Errorf("Create: %v", serr)
+						return
+					}
+					continue
+				}
+				created.Add(1)
+				st.Start(id)
+				if (g+i)%3 == 0 {
+					st.Cancel(id)
+				}
+				st.Finish(id, &stsynapi.Response{Verified: true}, nil)
+				snap, serr := st.Get(id)
+				if serr != nil {
+					t.Errorf("Get(%s): %v", id, serr)
+					return
+				}
+				if !snap.State.Terminal() {
+					t.Errorf("job %s left in %q after Finish", id, snap.State)
+					return
+				}
+				st.Counts()
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := st.Counts()
+	if c.Queued != 0 || c.Running != 0 {
+		t.Errorf("live jobs after stress: %+v", c)
+	}
+	if int64(c.Done+c.Canceled) != created.Load() {
+		t.Errorf("terminal population = %+v, want %d total", c, created.Load())
+	}
+}

@@ -24,6 +24,19 @@ type Metrics struct {
 
 	QueueRejected atomic.Int64
 
+	// Async job API observability.
+	AsyncSubmitted atomic.Int64 // jobs accepted by POST /v1/jobs
+	AsyncCanceled  atomic.Int64 // jobs canceled by DELETE /v1/jobs/{id}
+
+	// Batch endpoint observability.
+	BatchRequests  atomic.Int64 // POST /v1/batch calls accepted
+	BatchItems     atomic.Int64 // synthesis requests carried by batches
+	BatchDeduped   atomic.Int64 // batch items deduplicated within a batch
+	BatchCacheHits atomic.Int64 // unique batch items served from the cache
+
+	// Per-tenant admission observability.
+	AdmissionRejected atomic.Int64 // requests rejected by token-bucket admission
+
 	// BDD substrate observability, aggregated across symbolic-engine jobs
 	// (each job has its own manager, so counters are summed at job end and
 	// the node gauges track the most recent / largest job).
@@ -160,6 +173,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("stsyn_cache_hits_total", "Requests served from the result cache.", m.CacheHits.Load())
 	counter("stsyn_cache_misses_total", "Requests that missed the result cache.", m.CacheMisses.Load())
 	counter("stsyn_queue_rejected_total", "Requests rejected because the job queue was full.", m.QueueRejected.Load())
+	counter("stsyn_async_jobs_submitted_total", "Async jobs accepted by POST /v1/jobs.", m.AsyncSubmitted.Load())
+	counter("stsyn_async_jobs_canceled_total", "Async jobs canceled by DELETE /v1/jobs/{id}.", m.AsyncCanceled.Load())
+	counter("stsyn_batch_requests_total", "Batch calls accepted by POST /v1/batch.", m.BatchRequests.Load())
+	counter("stsyn_batch_items_total", "Synthesis requests carried by batch calls.", m.BatchItems.Load())
+	counter("stsyn_batch_deduped_total", "Batch items deduplicated within their batch.", m.BatchDeduped.Load())
+	counter("stsyn_batch_cache_hits_total", "Unique batch items served from the result cache.", m.BatchCacheHits.Load())
+	counter("stsyn_admission_rejected_total", "Requests rejected by per-tenant token-bucket admission.", m.AdmissionRejected.Load())
 	counter("stsyn_bdd_gc_runs_total", "BDD garbage collections across symbolic jobs.", m.BDDGCRuns.Load())
 	counter("stsyn_bdd_gc_reclaimed_nodes_total", "BDD nodes reclaimed by garbage collection.", m.BDDGCReclaimed.Load())
 	counter("stsyn_bdd_op_cache_hits_total", "BDD operation-cache hits across symbolic jobs.", m.BDDCacheHits.Load())

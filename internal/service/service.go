@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,8 +14,10 @@ import (
 	"stsyn/internal/core"
 	"stsyn/internal/explicit"
 	"stsyn/internal/prune"
+	"stsyn/internal/service/jobs"
 	"stsyn/internal/symbolic"
 	"stsyn/internal/verify"
+	"stsyn/pkg/stsynerr"
 )
 
 // Config configures a Server. Zero values select the documented defaults.
@@ -43,6 +44,18 @@ type Config struct {
 	// disables the memo — pruned jobs then still quotient the schedule
 	// space but share no sub-results.
 	MemoBytes int64
+	// JobsMax bounds the async job store: live jobs plus retained terminal
+	// results (default 1024). A full store answers QueueFull.
+	JobsMax int
+	// JobTTL is how long a terminal async result is retained for polling
+	// before eviction (default 10m). A later poll answers JobNotFound.
+	JobTTL time.Duration
+	// TenantRate and TenantBurst configure per-tenant token-bucket
+	// admission across every synthesis-submitting endpoint: TenantRate
+	// requests per second sustained (default 50), bursts up to TenantBurst
+	// (default 2×rate). TenantRate < 0 disables admission control.
+	TenantRate  float64
+	TenantBurst int
 	// Logf, when non-nil, receives one structured line per job and per
 	// lifecycle event.
 	Logf func(format string, args ...interface{})
@@ -51,40 +64,17 @@ type Config struct {
 // queueDepthUnset distinguishes "use the default" from an explicit 0.
 const queueDepthUnset = 0
 
-// Error is a service failure with the HTTP status it maps to. Retrieve it
-// from any Server error with errors.As.
-type Error struct {
-	Status  int
-	Message string
-	Err     error
-	// RetryAfter, when positive on a 503, is the server's advice in whole
-	// seconds for when a retry may succeed (derived from queue depth and
-	// mean job latency); it becomes the Retry-After response header.
-	RetryAfter int
-}
-
-func (e *Error) Error() string {
-	if e.Err != nil {
-		return fmt.Sprintf("%s: %v", e.Message, e.Err)
-	}
-	return e.Message
-}
-
-func (e *Error) Unwrap() error { return e.Err }
-
-// StatusClientClosed is the (conventional, nginx-originated) status for
-// requests whose client went away before the job finished.
-const StatusClientClosed = 499
-
 // Server runs synthesis jobs on a bounded worker pool, front-ended by a
 // content-addressed result cache. It is safe for concurrent use.
 type Server struct {
-	cfg     Config
-	jobs    chan *job
-	cache   *resultCache
-	memo    *prune.Memo // nil when MemoBytes < 0
-	metrics *Metrics
-	logf    func(string, ...interface{})
+	cfg       Config
+	jobs      chan *job
+	cache     *resultCache
+	memo      *prune.Memo // nil when MemoBytes < 0
+	store     *jobs.Store // async job store
+	admission *admission  // nil when TenantRate < 0
+	metrics   *Metrics
+	logf      func(string, ...interface{})
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -100,6 +90,9 @@ type job struct {
 	resp   *Response
 	err    *Error
 	done   chan struct{}
+	// onStart, when non-nil, runs as a worker picks the job up; returning
+	// false (the async store saw it canceled first) skips the engine.
+	onStart func() bool
 }
 
 // New builds a Server and starts its workers. Call Shutdown to stop them.
@@ -122,12 +115,28 @@ func New(cfg Config) *Server {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 64 << 20
 	}
+	if cfg.JobsMax <= 0 {
+		cfg.JobsMax = 1024
+	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = 10 * time.Minute
+	}
+	if cfg.TenantRate == 0 {
+		cfg.TenantRate = 50
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = int(2 * cfg.TenantRate)
+	}
 	s := &Server{
 		cfg:     cfg,
 		jobs:    make(chan *job, cfg.QueueDepth),
 		cache:   newResultCache(cfg.CacheBytes),
+		store:   jobs.NewStore(cfg.JobsMax, cfg.JobTTL),
 		metrics: newMetrics(),
 		logf:    cfg.Logf,
+	}
+	if cfg.TenantRate > 0 {
+		s.admission = newAdmission(cfg.TenantRate, cfg.TenantBurst)
 	}
 	if cfg.MemoBytes >= 0 {
 		s.memo = prune.NewMemo(cfg.MemoBytes)
@@ -160,16 +169,6 @@ func (s *Server) MemoStats() prune.MemoStats {
 	return s.memo.Stats()
 }
 
-// asServiceError passes through an error that already carries an HTTP
-// status and wraps any other in the given fallback status and message.
-func asServiceError(err error, status int, msg string) *Error {
-	var se *Error
-	if errors.As(err, &se) {
-		return se
-	}
-	return &Error{Status: status, Message: msg, Err: err}
-}
-
 // retryAfterHint estimates, in whole seconds, how long a rejected client
 // should wait before retrying: the current backlog (plus the rejected job
 // itself) times the mean job latency, divided across the worker pool. With
@@ -190,30 +189,37 @@ func (s *Server) retryAfterHint() int {
 	return secs
 }
 
-// Do runs one synthesis request to completion: cache lookup, then — on a
-// miss — a queued job bounded by the request context and the job timeout.
-// Errors are always *Error values carrying an HTTP status: malformed
-// requests are 400s, semantically invalid ones (unknown protocol, engine or
-// option) are 422s.
-func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
+// prepare resolves a request to a normalized job: spec build plus option
+// normalization, with every failure already typed. Shared by the sync,
+// async and batch paths so all three agree on the cache key.
+func (s *Server) prepare(req *Request) (*Job, *Error) {
 	sp, err := BuildSpec(req)
 	if err != nil {
-		return nil, asServiceError(err, http.StatusBadRequest, "bad specification")
+		return nil, asServiceError(err, stsynerr.InvalidRequest, "bad specification")
 	}
 	norm, err := Normalize(req, sp)
 	if err != nil {
-		return nil, asServiceError(err, http.StatusUnprocessableEntity, "bad options")
+		return nil, asServiceError(err, stsynerr.UnsupportedOption, "bad options")
 	}
+	return norm, nil
+}
 
-	if resp, ok := s.cache.get(norm.Key); ok {
-		s.metrics.CacheHits.Add(1)
-		out := *resp // shallow copy; cached entries are immutable
-		out.Cached = true
-		s.logf("job=cache-hit protocol=%q key=%.12s", sp.Name, norm.Key)
-		return &out, nil
+// cached serves a normalized job from the result cache, marking the copy.
+func (s *Server) cached(norm *Job) (*Response, bool) {
+	resp, ok := s.cache.get(norm.Key)
+	if !ok {
+		s.metrics.CacheMisses.Add(1)
+		return nil, false
 	}
-	s.metrics.CacheMisses.Add(1)
+	s.metrics.CacheHits.Add(1)
+	out := *resp // shallow copy; cached entries are immutable
+	out.Cached = true
+	s.logf("job=cache-hit protocol=%q key=%.12s", norm.Spec.Name, norm.Key)
+	return &out, true
+}
 
+// timeoutFor clamps a request's timeout to the server's bounds.
+func (s *Server) timeoutFor(req *Request) time.Duration {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -221,33 +227,61 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	jctx, cancel := context.WithTimeout(ctx, timeout)
-	j := &job{
-		id:     s.nextID.Add(1),
-		ctx:    jctx,
-		cancel: cancel,
-		norm:   norm,
-		done:   make(chan struct{}),
-	}
+	return timeout
+}
 
+// enqueue submits a normalized job to the worker pool without blocking:
+// jctx (already deadline-bounded) governs the run, and onStart (may be
+// nil) is installed before the job is published — a worker may read it the
+// instant the channel send lands. Failures are typed — ShuttingDown during
+// drain, QueueFull with retry advice when the bounded queue has no room.
+func (s *Server) enqueue(jctx context.Context, cancel context.CancelFunc, norm *Job, onStart func() bool) (*job, *Error) {
+	j := &job{
+		id:      s.nextID.Add(1),
+		ctx:     jctx,
+		cancel:  cancel,
+		norm:    norm,
+		done:    make(chan struct{}),
+		onStart: onStart,
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		cancel()
-		return nil, &Error{Status: http.StatusServiceUnavailable, Message: "server is shutting down"}
+		return nil, stsynerr.New(stsynerr.ShuttingDown, "server is shutting down")
 	}
 	select {
 	case s.jobs <- j:
 		s.mu.Unlock()
+		return j, nil
 	default:
 		s.mu.Unlock()
 		cancel()
 		s.metrics.QueueRejected.Add(1)
-		return nil, &Error{
-			Status:     http.StatusServiceUnavailable,
-			Message:    "job queue full, retry later",
-			RetryAfter: s.retryAfterHint(),
-		}
+		e := stsynerr.New(stsynerr.QueueFull, "job queue full, retry later")
+		e.RetryAfter = s.retryAfterHint()
+		return nil, e
+	}
+}
+
+// Do runs one synthesis request to completion: cache lookup, then — on a
+// miss — a queued job bounded by the request context and the job timeout.
+// Errors are always *Error values carrying a registered name and HTTP
+// status: malformed requests are 400s, semantically invalid ones (unknown
+// protocol, engine or option) are 422s.
+func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
+	norm, serr := s.prepare(req)
+	if serr != nil {
+		return nil, serr
+	}
+	if resp, ok := s.cached(norm); ok {
+		return resp, nil
+	}
+
+	jctx, cancel := context.WithTimeout(ctx, s.timeoutFor(req))
+	j, serr := s.enqueue(jctx, cancel, norm, nil)
+	if serr != nil {
+		return nil, serr
 	}
 
 	select {
@@ -259,7 +293,7 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 	case <-ctx.Done():
 		// Client gone (or caller deadline): the worker observes jctx —
 		// derived from ctx — at its next cancellation point and stops.
-		return nil, &Error{Status: StatusClientClosed, Message: "request cancelled", Err: ctx.Err()}
+		return nil, stsynerr.Wrap(stsynerr.Canceled, "request cancelled", ctx.Err())
 	}
 }
 
@@ -305,6 +339,13 @@ func (s *Server) run(j *job) {
 		s.logf("job=%d protocol=%q status=cancelled-in-queue err=%v", j.id, j.norm.Spec.Name, err)
 		return
 	}
+	if j.onStart != nil && !j.onStart() {
+		// The async store saw this job canceled before a worker got to it.
+		s.metrics.JobsCancelled.Add(1)
+		j.err = stsynerr.New(stsynerr.Canceled, "job cancelled")
+		s.logf("job=%d protocol=%q status=cancelled-in-queue", j.id, j.norm.Spec.Name)
+		return
+	}
 
 	s.metrics.JobsStarted.Add(1)
 	start := time.Now()
@@ -318,7 +359,7 @@ func (s *Server) run(j *job) {
 			j.err = timeoutError(err)
 		} else {
 			s.metrics.JobsFailed.Add(1)
-			j.err = &Error{Status: http.StatusUnprocessableEntity, Message: "synthesis failed", Err: err}
+			j.err = stsynerr.Wrap(stsynerr.SynthesisFailed, "synthesis failed", err)
 		}
 		s.logf("job=%d protocol=%q engine=%s status=error elapsed=%s err=%v",
 			j.id, j.norm.Spec.Name, j.norm.Engine, elapsed.Round(time.Microsecond), err)
@@ -343,11 +384,11 @@ func (s *Server) run(j *job) {
 }
 
 func timeoutError(err error) *Error {
-	status := http.StatusGatewayTimeout
+	name := stsynerr.Timeout
 	if errors.Is(err, context.Canceled) {
-		status = StatusClientClosed
+		name = stsynerr.Canceled
 	}
-	return &Error{Status: status, Message: "synthesis did not finish in time", Err: err}
+	return stsynerr.Wrap(name, "synthesis did not finish in time", err)
 }
 
 // synthesize runs the job's synthesis (plus fanout schedule search when

@@ -277,7 +277,7 @@ func TestErrorMapping(t *testing.T) {
 		{"unknown field", `{"protocl":"tokenring"}`, http.StatusBadRequest},
 		{"bad engine", `{"protocol":"tokenring","engine":"quantum"}`, http.StatusUnprocessableEntity},
 		{"bad schedule", `{"protocol":"tokenring","schedule":[0,0,1,2]}`, http.StatusUnprocessableEntity},
-		{"bad spec", `{"spec":"protocol X\n"}`, http.StatusBadRequest},
+		{"bad spec", `{"spec":"protocol X\n"}`, http.StatusUnprocessableEntity},
 		// Gouda-Acharya matching has an unresolvable structure for the
 		// heuristic on 4 processes: synthesis itself fails.
 		{"synthesis failure", `{"protocol":"gouda-acharya","k":4}`, http.StatusUnprocessableEntity},

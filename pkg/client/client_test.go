@@ -1,0 +1,303 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stsyn/pkg/stsynapi"
+	"stsyn/pkg/stsynerr"
+)
+
+// fastConfig keeps retry waits microscopic so tests run in milliseconds.
+func fastConfig(endpoints ...string) Config {
+	return Config{
+		Endpoints:      endpoints,
+		AttemptTimeout: 5 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+	}
+}
+
+func mustClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func okHandler(hits *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&stsynapi.Response{Protocol: "tokenring", Verified: true})
+	}
+}
+
+func TestSynthesizeRetriesAcrossEndpointsAndCoolsDown(t *testing.T) {
+	var badHits, goodHits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(stsynerr.New(stsynerr.QueueFull, "full").Envelope())
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(okHandler(&goodHits))
+	defer good.Close()
+
+	var retries, cooldowns atomic.Int64
+	cfg := fastConfig(bad.URL, good.URL)
+	cfg.FailureThreshold = 1
+	cfg.Cooldown = time.Minute
+	cfg.Observer = &Observer{
+		OnRetry:    func(int, time.Duration, error) { retries.Add(1) },
+		OnCooldown: func(string, int, time.Duration) { cooldowns.Add(1) },
+	}
+	c := mustClient(t, cfg)
+
+	resp, err := c.Synthesize(context.Background(), &stsynapi.Request{Protocol: "tokenring"})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !resp.Verified {
+		t.Errorf("response not verified: %+v", resp)
+	}
+	if badHits.Load() != 1 || goodHits.Load() != 1 {
+		t.Errorf("hits = bad %d good %d, want 1 and 1", badHits.Load(), goodHits.Load())
+	}
+	if retries.Load() != 1 || cooldowns.Load() != 1 {
+		t.Errorf("retries = %d cooldowns = %d, want 1 and 1", retries.Load(), cooldowns.Load())
+	}
+
+	// The failed endpoint is cooling: the next request goes straight to the
+	// healthy one.
+	if _, err := c.Synthesize(context.Background(), &stsynapi.Request{Protocol: "tokenring"}); err != nil {
+		t.Fatalf("second Synthesize: %v", err)
+	}
+	if badHits.Load() != 1 {
+		t.Errorf("cooled endpoint was hit again (bad hits = %d)", badHits.Load())
+	}
+}
+
+func TestPermanentStatusIsTypedAndNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(stsynerr.New(stsynerr.SynthesisFailed, "no convergent actions").Envelope())
+	}))
+	defer srv.Close()
+
+	c := mustClient(t, fastConfig(srv.URL))
+	_, err := c.Synthesize(context.Background(), &stsynapi.Request{Protocol: "tokenring"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("permanent 422 was retried: %d hits", hits.Load())
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Status != http.StatusUnprocessableEntity || ce.Temporary() {
+		t.Errorf("client error = %+v, want permanent 422", ce)
+	}
+	var se *stsynerr.Error
+	if !errors.As(err, &se) || se.Name != stsynerr.SynthesisFailed {
+		t.Errorf("typed error = %+v, want name %s", se, stsynerr.SynthesisFailed)
+	}
+	if !errors.Is(err, &stsynerr.Error{Name: stsynerr.SynthesisFailed}) {
+		t.Errorf("errors.Is on the name = false, want true")
+	}
+}
+
+func TestExhaustionKeepsLastTypedError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(stsynerr.New(stsynerr.ShuttingDown, "draining").Envelope())
+	}))
+	defer srv.Close()
+
+	cfg := fastConfig(srv.URL)
+	cfg.MaxAttempts = 2
+	c := mustClient(t, cfg)
+	_, err := c.Synthesize(context.Background(), &stsynapi.Request{Protocol: "tokenring"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("error %q does not mention exhaustion", err)
+	}
+	if !IsTemporary(err) {
+		t.Errorf("exhausted 503 should stay temporary")
+	}
+	var se *stsynerr.Error
+	if !errors.As(err, &se) || se.Name != stsynerr.ShuttingDown {
+		t.Errorf("typed cause lost through exhaustion wrap: %v", err)
+	}
+}
+
+func TestRequestIDIsStableAcrossAttempts(t *testing.T) {
+	var ids []string
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ids = append(ids, r.Header.Get(RequestIDHeader))
+		if hits.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(&stsynapi.Response{Verified: true})
+	}))
+	defer srv.Close()
+
+	c := mustClient(t, fastConfig(srv.URL))
+	if _, _, err := c.SynthesizeRaw(context.Background(), &stsynapi.Request{Protocol: "tokenring"}, "req-7"); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "req-7" || ids[1] != "req-7" {
+		t.Errorf("request IDs across attempts = %q, want req-7 twice", ids)
+	}
+
+	// Without a caller-supplied ID the client generates one — again shared
+	// by every attempt.
+	ids, hits = nil, atomic.Int64{}
+	if _, err := c.Synthesize(context.Background(), &stsynapi.Request{Protocol: "tokenring"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] == "" || ids[0] != ids[1] {
+		t.Errorf("generated request IDs across attempts = %q, want one non-empty ID twice", ids)
+	}
+}
+
+func TestConfiguredHeadersAndMiddlewareOrder(t *testing.T) {
+	var gotUA, gotTenant, gotMark string
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		gotUA = r.Header.Get("User-Agent")
+		gotTenant = r.Header.Get(TenantHeader)
+		gotMark = r.Header.Get("X-Trace")
+		json.NewEncoder(w).Encode(&stsynapi.Response{Verified: true})
+	}))
+	defer srv.Close()
+
+	var outerCalls atomic.Int64
+	cfg := fastConfig(srv.URL)
+	cfg.UserAgent = "stsyn-test/1"
+	cfg.Tenant = "acme"
+	cfg.Middleware = []Middleware{func(next Doer) Doer {
+		return DoerFunc(func(req *http.Request) (*http.Response, error) {
+			outerCalls.Add(1)
+			req.Header.Set("X-Trace", "outer")
+			return next.Do(req)
+		})
+	}}
+	c := mustClient(t, cfg)
+	if _, err := c.Synthesize(context.Background(), &stsynapi.Request{Protocol: "tokenring"}); err != nil {
+		t.Fatal(err)
+	}
+	if gotUA != "stsyn-test/1" || gotTenant != "acme" || gotMark != "outer" {
+		t.Errorf("headers = UA %q tenant %q trace %q", gotUA, gotTenant, gotMark)
+	}
+	// Caller middleware sits outside the retry loop: one call per logical
+	// request, not per attempt.
+	if outerCalls.Load() != 1 || hits.Load() != 1 {
+		t.Errorf("outer middleware calls = %d, hits = %d, want 1 and 1", outerCalls.Load(), hits.Load())
+	}
+}
+
+func TestWaitJobPollsToTerminal(t *testing.T) {
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(&stsynapi.JobStatus{ID: "j1", State: stsynapi.JobQueued})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/jobs/j1":
+			js := &stsynapi.JobStatus{ID: "j1", State: stsynapi.JobRunning}
+			if polls.Add(1) >= 3 {
+				js.State = stsynapi.JobDone
+				js.Response = &stsynapi.Response{Protocol: "tokenring", Verified: true}
+			}
+			json.NewEncoder(w).Encode(js)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := mustClient(t, fastConfig(srv.URL))
+	js, err := c.SubmitJob(context.Background(), &stsynapi.Request{Protocol: "tokenring"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.ID != "j1" || js.State != stsynapi.JobQueued {
+		t.Fatalf("submit status = %+v", js)
+	}
+	resp, err := c.WaitJob(context.Background(), js.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Verified || polls.Load() < 3 {
+		t.Errorf("resp = %+v after %d polls", resp, polls.Load())
+	}
+}
+
+func TestWaitJobSurfacesTypedFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		env := stsynerr.New(stsynerr.Canceled, "job cancelled").Envelope()
+		json.NewEncoder(w).Encode(&stsynapi.JobStatus{ID: "j2", State: stsynapi.JobCanceled, Error: env})
+	}))
+	defer srv.Close()
+
+	c := mustClient(t, fastConfig(srv.URL))
+	_, err := c.WaitJob(context.Background(), "j2", time.Millisecond)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var se *stsynerr.Error
+	if !errors.As(err, &se) || se.Name != stsynerr.Canceled {
+		t.Errorf("typed error = %+v, want %s", se, stsynerr.Canceled)
+	}
+}
+
+func TestEndpointsRotationFallsBackWhenAllCooling(t *testing.T) {
+	eps, err := NewEndpoints([]string{"http://a/", "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps.SetCooldown(1, time.Minute)
+	if eps.Len() != 2 {
+		t.Fatalf("Len = %d", eps.Len())
+	}
+	i0, u0 := eps.Pick(-1)
+	if u0 != "http://a" {
+		t.Errorf("first pick = %q, want trailing slash trimmed http://a", u0)
+	}
+	if cooled, _ := eps.MarkFailure(i0); !cooled {
+		t.Errorf("threshold-1 failure did not cool")
+	}
+	i1, _ := eps.Pick(i0)
+	if i1 == i0 {
+		t.Errorf("pick repeated the excluded endpoint with a healthy one available")
+	}
+	eps.MarkFailure(i1)
+	// Both cooling: rotation must still yield something rather than spin.
+	if _, u := eps.Pick(-1); u == "" {
+		t.Errorf("all-cooling fallback returned nothing")
+	}
+	st := eps.Status()
+	if len(st) != 2 || st[0].CoolingFor <= 0 || st[1].CoolingFor <= 0 {
+		t.Errorf("status = %+v, want both cooling", st)
+	}
+	eps.MarkSuccess(i0)
+	if st := eps.Status(); st[i0].Fails != 0 || st[i0].CoolingFor != 0 {
+		t.Errorf("MarkSuccess did not reset: %+v", st[i0])
+	}
+}

@@ -1,0 +1,77 @@
+// Package client is the published Go client for the stsyn synthesis
+// service: a minimal Doer core with composable middleware (retry with
+// capped exponential backoff and Retry-After honoring, failure-cooldown
+// endpoint rotation, request-ID threading, user-agent stamping) and a
+// typed API over every service endpoint — synchronous synthesis, the
+// async job lifecycle (submit / poll / cancel / wait) and batching.
+//
+// Every service failure surfaces as a *client.Error wrapping the typed
+// *stsynerr.Error the server emitted, so callers branch with errors.As /
+// errors.Is on registered error names instead of matching message strings:
+//
+//	resp, err := c.Synthesize(ctx, req)
+//	if stsynerr.IsName(err, stsynerr.QueueFull) { backoffAndRetry() }
+//
+// The package imports only the standard library and the wire contract
+// (pkg/stsynapi, pkg/stsynerr) — no internal packages — so it is safe to
+// depend on from outside the repository.
+package client
+
+import "net/http"
+
+// Doer is the minimal HTTP core every middleware composes over —
+// *http.Client satisfies it.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// DoerFunc adapts a function to the Doer interface.
+type DoerFunc func(*http.Request) (*http.Response, error)
+
+// Do calls f.
+func (f DoerFunc) Do(req *http.Request) (*http.Response, error) { return f(req) }
+
+// Middleware wraps a Doer with one behavior (retry, headers, tracing…).
+type Middleware func(Doer) Doer
+
+// Wrap applies middleware to a Doer, first listed outermost: Wrap(d, a, b)
+// runs a, then b, then d for every request.
+func Wrap(d Doer, mw ...Middleware) Doer {
+	for i := len(mw) - 1; i >= 0; i-- {
+		if mw[i] != nil {
+			d = mw[i](d)
+		}
+	}
+	return d
+}
+
+// WithHeader sets a header on every request that does not already carry it.
+func WithHeader(key, value string) Middleware {
+	return func(next Doer) Doer {
+		return DoerFunc(func(req *http.Request) (*http.Response, error) {
+			if req.Header.Get(key) == "" {
+				req.Header.Set(key, value)
+			}
+			return next.Do(req)
+		})
+	}
+}
+
+// WithUserAgent stamps a User-Agent on requests that lack one.
+func WithUserAgent(ua string) Middleware { return WithHeader("User-Agent", ua) }
+
+// WithRequestID threads an X-Request-ID through every request: an ID
+// already present (set by the caller to join logs across calls, or shared
+// across retries of one logical request) is kept, otherwise gen supplies a
+// fresh one. Place it outside WithRetry so one logical request keeps one
+// ID across every attempt.
+func WithRequestID(gen func() string) Middleware {
+	return func(next Doer) Doer {
+		return DoerFunc(func(req *http.Request) (*http.Response, error) {
+			if req.Header.Get(RequestIDHeader) == "" {
+				req.Header.Set(RequestIDHeader, gen())
+			}
+			return next.Do(req)
+		})
+	}
+}

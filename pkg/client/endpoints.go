@@ -1,0 +1,139 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Endpoints is a rotating set of service base URLs with failure-aware
+// cooldown: consecutive failures past a threshold take an endpoint out of
+// rotation for a cooldown period, and the rotation falls back to plain
+// round-robin when every endpoint is cooling so the client never
+// deadlocks itself. Safe for concurrent use.
+type Endpoints struct {
+	mu        sync.Mutex
+	urls      []string
+	state     []endpointState
+	rr        int // round-robin cursor
+	threshold int // consecutive failures before cooldown
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+}
+
+type endpointState struct {
+	fails     int
+	coolUntil time.Time
+}
+
+// EndpointStatus is one endpoint's health snapshot.
+type EndpointStatus struct {
+	URL        string
+	Fails      int           // consecutive failures
+	CoolingFor time.Duration // 0 when healthy
+}
+
+// NewEndpoints builds a rotation over the given base URLs (e.g.
+// "http://10.0.0.5:8080"; trailing slashes are trimmed). At least one is
+// required. Defaults: cooldown after 3 consecutive failures, for 5s.
+func NewEndpoints(urls []string) (*Endpoints, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("client: no endpoints configured")
+	}
+	cleaned := make([]string, len(urls))
+	for i, u := range urls {
+		cleaned[i] = strings.TrimRight(u, "/")
+	}
+	return &Endpoints{
+		urls:      cleaned,
+		state:     make([]endpointState, len(urls)),
+		threshold: 3,
+		cooldown:  5 * time.Second,
+		now:       time.Now,
+	}, nil
+}
+
+// SetCooldown tunes the failure threshold and cooldown duration
+// (non-positive values keep the current setting).
+func (e *Endpoints) SetCooldown(threshold int, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if threshold > 0 {
+		e.threshold = threshold
+	}
+	if d > 0 {
+		e.cooldown = d
+	}
+}
+
+// Len returns the number of endpoints.
+func (e *Endpoints) Len() int { return len(e.urls) }
+
+// Pick returns the next endpoint in rotation, skipping the excluded index
+// (the one that just failed; pass -1 for none) and ones in cooldown; when
+// every endpoint is cooling it falls back to plain rotation.
+func (e *Endpoints) Pick(exclude int) (int, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	n := len(e.urls)
+	for scan := 0; scan < n; scan++ {
+		i := e.rr % n
+		e.rr++
+		if i == exclude && n > 1 {
+			continue
+		}
+		if now.Before(e.state[i].coolUntil) {
+			continue
+		}
+		return i, e.urls[i]
+	}
+	i := e.rr % n
+	e.rr++
+	return i, e.urls[i]
+}
+
+// MarkSuccess resets an endpoint's failure streak.
+func (e *Endpoints) MarkSuccess(i int) {
+	e.mu.Lock()
+	e.state[i].fails = 0
+	e.state[i].coolUntil = time.Time{}
+	e.mu.Unlock()
+}
+
+// MarkFailure records one failure; crossing the threshold starts a
+// cooldown and reports (true, fails) exactly once per cooldown so the
+// caller can count and log it.
+func (e *Endpoints) MarkFailure(i int) (cooled bool, fails int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state[i].fails++
+	if e.state[i].fails >= e.threshold && e.now().After(e.state[i].coolUntil) {
+		e.state[i].coolUntil = e.now().Add(e.cooldown)
+		return true, e.state[i].fails
+	}
+	return false, e.state[i].fails
+}
+
+// Cooldown returns the configured cooldown duration.
+func (e *Endpoints) Cooldown() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cooldown
+}
+
+// Status snapshots each endpoint's health.
+func (e *Endpoints) Status() []EndpointStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	out := make([]EndpointStatus, len(e.urls))
+	for i, u := range e.urls {
+		out[i] = EndpointStatus{URL: u, Fails: e.state[i].fails}
+		if d := e.state[i].coolUntil.Sub(now); d > 0 {
+			out[i].CoolingFor = d
+		}
+	}
+	return out
+}

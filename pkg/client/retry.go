@@ -1,0 +1,222 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"stsyn/pkg/stsynerr"
+)
+
+// RetryConfig shapes the WithRetry middleware. Zero values select the
+// documented defaults.
+type RetryConfig struct {
+	// Endpoints is the rotation the retry loop draws from. Required.
+	Endpoints *Endpoints
+	// MaxAttempts bounds the attempts per logical request, first try
+	// included (default 2×len(endpoints); 1 disables retries).
+	MaxAttempts int
+	// AttemptTimeout bounds one HTTP attempt including reading the body
+	// (default 2m — synthesis jobs are slow by design).
+	AttemptTimeout time.Duration
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between attempts (defaults 50ms and 2s); jitter of ±50% is applied.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetryAfterMax caps how long a response's Retry-After advice is
+	// honored (default 5s).
+	RetryAfterMax time.Duration
+	// MaxResponseBytes bounds how much of a response body is read
+	// (default 64 MiB).
+	MaxResponseBytes int64
+	// RetryStatus decides which HTTP statuses are worth another endpoint
+	// (default: 429 and 5xx).
+	RetryStatus func(status int) bool
+	// OnAttempt, OnRetry and OnCooldown, when non-nil, observe the loop —
+	// one call per HTTP attempt, per backoff wait, per cooldown start.
+	OnAttempt  func(endpoint string)
+	OnRetry    func(attempt int, wait time.Duration, last error)
+	OnCooldown func(endpoint string, fails int, d time.Duration)
+}
+
+// WithRetry turns a Doer into a resilient one: each request is resolved
+// against the next healthy endpoint in rotation (request URLs are paths,
+// e.g. "/v1/synthesize"), bounded by a per-attempt timeout, and retried
+// across endpoints — with capped exponential backoff plus jitter,
+// stretched by Retry-After advice — on transport failures and retryable
+// statuses. The response body is fully read (bounded) and replaced with
+// an in-memory reader before the attempt's timeout is released, so
+// callers never race the deadline while draining it.
+//
+// Non-retryable error statuses are returned as responses, not errors —
+// classification into typed errors is the typed client's job. Requests
+// must be replayable: a nil body or one with GetBody set (as
+// http.NewRequest provides for byte readers).
+func WithRetry(cfg RetryConfig) Middleware {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 2 * cfg.Endpoints.Len()
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Minute
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.RetryAfterMax <= 0 {
+		cfg.RetryAfterMax = 5 * time.Second
+	}
+	if cfg.MaxResponseBytes <= 0 {
+		cfg.MaxResponseBytes = 64 << 20
+	}
+	if cfg.RetryStatus == nil {
+		cfg.RetryStatus = func(status int) bool {
+			return status == http.StatusTooManyRequests || status >= 500
+		}
+	}
+	return func(next Doer) Doer {
+		return &retryDoer{cfg: cfg, next: next, rand: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	}
+}
+
+type retryDoer struct {
+	cfg  RetryConfig
+	next Doer
+
+	mu   sync.Mutex
+	rand *rand.Rand
+}
+
+func (rt *retryDoer) Do(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	var last error
+	lastIdx := -1
+	for attempt := 1; attempt <= rt.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			wait := rt.backoff(attempt-1, last)
+			if rt.cfg.OnRetry != nil {
+				rt.cfg.OnRetry(attempt, wait, last)
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		idx, base := rt.cfg.Endpoints.Pick(lastIdx)
+		lastIdx = idx
+		resp, err := rt.once(ctx, req, base)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			last = &Error{Endpoint: base, Err: err}
+			rt.markFailure(idx, base)
+			continue
+		}
+		if resp.StatusCode < 300 {
+			rt.cfg.Endpoints.MarkSuccess(idx)
+			return resp, nil
+		}
+		if !rt.cfg.RetryStatus(resp.StatusCode) {
+			// Permanent verdict (a 4xx): every endpoint would agree, so it
+			// is neither a failure of this endpoint nor worth a retry.
+			return resp, nil
+		}
+		last = rt.statusError(base, resp)
+		rt.markFailure(idx, base)
+	}
+	return nil, fmt.Errorf("client: request failed after %d attempts: %w", rt.cfg.MaxAttempts, last)
+}
+
+// once sends one attempt to one endpoint, reading the body inside the
+// attempt's timeout.
+func (rt *retryDoer) once(ctx context.Context, req *http.Request, base string) (*http.Response, error) {
+	if rt.cfg.OnAttempt != nil {
+		rt.cfg.OnAttempt(base)
+	}
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	areq := req.Clone(actx)
+	if areq.URL.Host == "" {
+		u, err := url.Parse(base + areq.URL.String())
+		if err != nil {
+			return nil, fmt.Errorf("resolving %q against %q: %w", areq.URL, base, err)
+		}
+		areq.URL = u
+		areq.Host = ""
+	}
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, fmt.Errorf("replaying request body: %w", err)
+		}
+		areq.Body = body
+	}
+	resp, err := rt.next.Do(areq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxResponseBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading response: %w", err)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(raw))
+	return resp, nil
+}
+
+// statusError builds the typed error for a retryable error response —
+// used for backoff advice and as the terminal error on exhaustion.
+func (rt *retryDoer) statusError(base string, resp *http.Response) *Error {
+	raw, _ := io.ReadAll(resp.Body) // in-memory reader; cannot fail
+	ce := &Error{
+		Endpoint: base,
+		Status:   resp.StatusCode,
+		Err:      stsynerr.Decode(resp.StatusCode, raw),
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		ce.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ce
+}
+
+// backoff computes the wait before retry number attempt (1-based),
+// honoring the failed endpoint's Retry-After advice when it is larger.
+func (rt *retryDoer) backoff(attempt int, last error) time.Duration {
+	d := rt.cfg.BackoffBase << uint(attempt-1)
+	if d > rt.cfg.BackoffMax || d <= 0 {
+		d = rt.cfg.BackoffMax
+	}
+	rt.mu.Lock()
+	jitter := 0.5 + rt.rand.Float64() // ±50%
+	rt.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if ce, ok := last.(*Error); ok && ce.RetryAfter > d {
+		d = ce.RetryAfter
+		if d > rt.cfg.RetryAfterMax {
+			d = rt.cfg.RetryAfterMax
+		}
+	}
+	return d
+}
+
+// markFailure records a failure on the rotation and surfaces new
+// cooldowns to the observer.
+func (rt *retryDoer) markFailure(idx int, base string) {
+	if cooled, fails := rt.cfg.Endpoints.MarkFailure(idx); cooled && rt.cfg.OnCooldown != nil {
+		rt.cfg.OnCooldown(base, fails, rt.cfg.Endpoints.Cooldown())
+	}
+}

@@ -1,0 +1,299 @@
+// Package stsynerr is the service's typed error contract: a registry of
+// named errors, each with a canonical HTTP status, and the one JSON error
+// envelope every stsyn service emits. The same *Error type travels both
+// directions — the server builds one and serializes it with Envelope, the
+// client decodes a response body with Decode and gets the identical value
+// back — so callers on either side match errors structurally with
+// errors.As / errors.Is instead of grepping message strings.
+//
+// The contract is deliberately small: a Name (the stable, machine-readable
+// identity), an HTTP status (transport mapping), a human message, the
+// request's correlation ID, optional safe parameters (string key/value
+// only — never internal state), and Retry-After advice in whole seconds.
+package stsynerr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Name identifies one error kind of the contract. Names are stable API:
+// clients branch on them, so renaming one is a breaking change.
+type Name string
+
+// The registered error names. Every error the service emits carries
+// exactly one of these.
+const (
+	// InvalidRequest: the request is structurally broken — unparsable
+	// JSON, unknown fields, missing or mutually exclusive inputs.
+	InvalidRequest Name = "InvalidRequest"
+	// InvalidSpec: the specification is unusable — an unknown built-in
+	// protocol, bad built-in parameters, or an inline spec that does not
+	// parse.
+	InvalidSpec Name = "InvalidSpec"
+	// UnsupportedOption: the request is well-formed but asks for an
+	// option combination the service rejects (unknown engine, bad
+	// schedule, prune with incremental resolution, …).
+	UnsupportedOption Name = "UnsupportedOption"
+	// SynthesisFailed: the heuristic gave a definitive negative verdict —
+	// a result, not an infrastructure failure.
+	SynthesisFailed Name = "SynthesisFailed"
+	// QueueFull: the bounded job queue (or job store) has no room; retry
+	// after the advised delay.
+	QueueFull Name = "QueueFull"
+	// RateLimited: the tenant's token-bucket admission rejected the
+	// request; retry after the advised delay.
+	RateLimited Name = "RateLimited"
+	// ShuttingDown: the server is draining and accepts no new jobs.
+	ShuttingDown Name = "ShuttingDown"
+	// JobNotFound: no job with that ID exists (never created, or its
+	// terminal result outlived its TTL and was evicted).
+	JobNotFound Name = "JobNotFound"
+	// Canceled: the job was canceled — by its client going away or by an
+	// explicit DELETE — before it finished.
+	Canceled Name = "Canceled"
+	// Timeout: the job hit its deadline before finishing.
+	Timeout Name = "Timeout"
+	// RequestTooLarge: the request body exceeds the service's limit.
+	RequestTooLarge Name = "RequestTooLarge"
+	// MethodNotAllowed: the endpoint exists but not for that HTTP method.
+	MethodNotAllowed Name = "MethodNotAllowed"
+	// Internal: an invariant broke server-side. The message is safe to
+	// show; details stay in server logs under the request ID.
+	Internal Name = "Internal"
+)
+
+// StatusClientClosed is the (conventional, nginx-originated) status for
+// requests whose client went away before the job finished.
+const StatusClientClosed = 499
+
+// registry maps every name to its canonical HTTP status.
+var registry = map[Name]int{
+	InvalidRequest:    http.StatusBadRequest,
+	InvalidSpec:       http.StatusUnprocessableEntity,
+	UnsupportedOption: http.StatusUnprocessableEntity,
+	SynthesisFailed:   http.StatusUnprocessableEntity,
+	QueueFull:         http.StatusServiceUnavailable,
+	RateLimited:       http.StatusTooManyRequests,
+	ShuttingDown:      http.StatusServiceUnavailable,
+	JobNotFound:       http.StatusNotFound,
+	Canceled:          StatusClientClosed,
+	Timeout:           http.StatusGatewayTimeout,
+	RequestTooLarge:   http.StatusRequestEntityTooLarge,
+	MethodNotAllowed:  http.StatusMethodNotAllowed,
+	Internal:          http.StatusInternalServerError,
+}
+
+// Names returns every registered name, sorted — the contract's table of
+// contents, used by the pinning tests and the docs generator.
+func Names() []Name {
+	out := make([]Name, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StatusOf returns the canonical HTTP status of a registered name, or
+// (0, false) for an unregistered one.
+func StatusOf(n Name) (int, bool) {
+	s, ok := registry[n]
+	return s, ok
+}
+
+// NameForStatus is the reverse mapping used when decoding an envelope
+// that carries no error_name (an old server, or a proxy-generated body):
+// the closest registered name for the status, falling back to Internal.
+func NameForStatus(status int) Name {
+	switch status {
+	case http.StatusBadRequest:
+		return InvalidRequest
+	case http.StatusUnprocessableEntity:
+		return SynthesisFailed
+	case http.StatusServiceUnavailable:
+		return QueueFull
+	case http.StatusTooManyRequests:
+		return RateLimited
+	case http.StatusNotFound:
+		return JobNotFound
+	case StatusClientClosed:
+		return Canceled
+	case http.StatusGatewayTimeout:
+		return Timeout
+	case http.StatusRequestEntityTooLarge:
+		return RequestTooLarge
+	case http.StatusMethodNotAllowed:
+		return MethodNotAllowed
+	default:
+		return Internal
+	}
+}
+
+// Error is one service failure: the registered Name it carries, the HTTP
+// status it maps to, and the envelope fields. It is the error type the
+// server returns from every failing path and the one the client package
+// reconstructs from every error response.
+type Error struct {
+	// Name is the registered error name; "" is normalized to the
+	// status-derived name at serialization time.
+	Name Name
+	// Status is the HTTP status; 0 is normalized to the name's canonical
+	// status.
+	Status int
+	// Message is the human-readable summary (never parsed by machines —
+	// branch on Name).
+	Message string
+	// RequestID is the correlation ID of the failing request, when known.
+	RequestID string
+	// RetryAfter, when positive, is the server's advice in whole seconds
+	// for when a retry may succeed; it becomes the Retry-After response
+	// header on 503 and 429 responses.
+	RetryAfter int
+	// Params carries safe, client-actionable details (string-valued only;
+	// nothing internal).
+	Params map[string]string
+	// Err is the wrapped cause, server-side only — it is folded into the
+	// envelope's message and never serialized as structure.
+	Err error
+}
+
+// New builds an Error with the name's canonical status.
+func New(name Name, message string) *Error {
+	status, _ := StatusOf(name)
+	return &Error{Name: name, Status: status, Message: message}
+}
+
+// Newf is New with formatting.
+func Newf(name Name, format string, args ...interface{}) *Error {
+	return New(name, fmt.Sprintf(format, args...))
+}
+
+// Wrap builds an Error with the name's canonical status and a wrapped
+// cause (reachable through errors.Unwrap, folded into the message text).
+func Wrap(name Name, message string, err error) *Error {
+	e := New(name, message)
+	e.Err = err
+	return e
+}
+
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%s: %v", e.Message, e.Err)
+	}
+	return e.Message
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, &Error{Name: QueueFull}) match by name: a
+// target with a Name matches any Error carrying the same name, a target
+// without one falls back to pointer identity.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return t.Name != "" && t.Name == e.name()
+}
+
+// IsName reports whether err (or anything it wraps) is an *Error carrying
+// the given name.
+func IsName(err error, name Name) bool {
+	var e *Error
+	return errors.As(err, &e) && e.name() == name
+}
+
+// name is the effective name: the explicit one, or the status-derived
+// fallback so pre-contract constructions still serialize a registered name.
+func (e *Error) name() Name {
+	if e.Name != "" {
+		return e.Name
+	}
+	return NameForStatus(e.status())
+}
+
+// status is the effective HTTP status: the explicit one, or the name's
+// canonical status, or 500.
+func (e *Error) status() int {
+	if e.Status != 0 {
+		return e.Status
+	}
+	if s, ok := StatusOf(e.Name); ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// HTTPStatus returns the effective HTTP status the error maps to.
+func (e *Error) HTTPStatus() int { return e.status() }
+
+// ErrorName returns the effective registered name the error carries.
+func (e *Error) ErrorName() Name { return e.name() }
+
+// Envelope is the wire shape of an error response body. Every error the
+// service emits — and only errors — has this shape.
+type Envelope struct {
+	// Error is the human-readable message (Message plus the wrapped
+	// cause's text).
+	Error string `json:"error"`
+	// Name is the registered error name.
+	Name Name `json:"error_name,omitempty"`
+	// RequestID is the request's correlation ID.
+	RequestID string `json:"request_id,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header for clients that
+	// only see the body.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Params carries the error's safe parameters.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Envelope renders the error as its wire shape, normalizing the name.
+func (e *Error) Envelope() *Envelope {
+	return &Envelope{
+		Error:             e.Error(),
+		Name:              e.name(),
+		RequestID:         e.RequestID,
+		RetryAfterSeconds: e.RetryAfter,
+		Params:            e.Params,
+	}
+}
+
+// AsError turns a decoded envelope back into the typed error it came from.
+// status is the HTTP status of the response that carried it.
+func (env *Envelope) AsError(status int) *Error {
+	e := &Error{
+		Name:       env.Name,
+		Status:     status,
+		Message:    env.Error,
+		RequestID:  env.RequestID,
+		RetryAfter: env.RetryAfterSeconds,
+		Params:     env.Params,
+	}
+	if e.Name == "" {
+		e.Name = NameForStatus(status)
+	}
+	if status == 0 {
+		e.Status, _ = StatusOf(e.Name)
+	}
+	return e
+}
+
+// Decode reconstructs the typed error from an error response: the HTTP
+// status plus the body. A body that is not a valid envelope (a proxy's
+// HTML error page, a truncated read) still yields a usable *Error with a
+// status-derived name and a truncated body excerpt as the message.
+func Decode(status int, body []byte) *Error {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != "" {
+		return env.AsError(status)
+	}
+	msg := fmt.Sprintf("%.200s", body)
+	if len(body) == 0 {
+		msg = http.StatusText(status)
+	}
+	return &Error{Name: NameForStatus(status), Status: status, Message: msg}
+}

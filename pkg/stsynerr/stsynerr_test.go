@@ -1,0 +1,137 @@
+package stsynerr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// The registry is wire contract: renaming an error or moving its status is
+// a breaking change clients see, so each pair is pinned individually.
+func TestRegistryPinsNamesAndStatuses(t *testing.T) {
+	want := map[Name]int{
+		InvalidRequest:    http.StatusBadRequest,
+		InvalidSpec:       http.StatusUnprocessableEntity,
+		UnsupportedOption: http.StatusUnprocessableEntity,
+		SynthesisFailed:   http.StatusUnprocessableEntity,
+		QueueFull:         http.StatusServiceUnavailable,
+		RateLimited:       http.StatusTooManyRequests,
+		ShuttingDown:      http.StatusServiceUnavailable,
+		JobNotFound:       http.StatusNotFound,
+		Canceled:          StatusClientClosed,
+		Timeout:           http.StatusGatewayTimeout,
+		RequestTooLarge:   http.StatusRequestEntityTooLarge,
+		MethodNotAllowed:  http.StatusMethodNotAllowed,
+		Internal:          http.StatusInternalServerError,
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d names, test pins %d — update both", len(names), len(want))
+	}
+	for name, status := range want {
+		got, ok := StatusOf(name)
+		if !ok || got != status {
+			t.Errorf("StatusOf(%s) = %d, %v, want %d", name, got, ok, status)
+		}
+	}
+	for _, name := range names {
+		if _, ok := want[name]; !ok {
+			t.Errorf("registry name %s not pinned by this test", name)
+		}
+	}
+}
+
+// Every registered error must survive the full trip: typed error →
+// envelope → JSON → envelope → typed error, preserving name, status,
+// request ID, retry advice and params, and remaining matchable with
+// errors.Is / errors.As on the far side.
+func TestEnvelopeRoundTripAllNames(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(string(name), func(t *testing.T) {
+			orig := &Error{
+				Name:      name,
+				Message:   "round trip " + string(name),
+				RequestID: "req-42",
+				Params:    map[string]string{"tenant": "acme"},
+			}
+			if st, _ := StatusOf(name); st == http.StatusServiceUnavailable || st == http.StatusTooManyRequests {
+				orig.RetryAfter = 7
+			}
+			data, err := json.Marshal(orig.Envelope())
+			if err != nil {
+				t.Fatal(err)
+			}
+			back := Decode(orig.HTTPStatus(), data)
+			if back.Name != name {
+				t.Fatalf("decoded name = %s, want %s", back.Name, name)
+			}
+			if back.HTTPStatus() != orig.HTTPStatus() {
+				t.Errorf("decoded status = %d, want %d", back.HTTPStatus(), orig.HTTPStatus())
+			}
+			if back.Message != orig.Message || back.RequestID != orig.RequestID {
+				t.Errorf("decoded %+v, want message/request ID of %+v", back, orig)
+			}
+			if back.RetryAfter != orig.RetryAfter {
+				t.Errorf("decoded RetryAfter = %d, want %d", back.RetryAfter, orig.RetryAfter)
+			}
+			if back.Params["tenant"] != "acme" {
+				t.Errorf("decoded params = %v, want tenant=acme", back.Params)
+			}
+			wrapped := fmt.Errorf("client saw: %w", back)
+			var se *Error
+			if !errors.As(wrapped, &se) || se.Name != name {
+				t.Errorf("errors.As lost the typed error through wrapping")
+			}
+			if !errors.Is(wrapped, &Error{Name: name}) {
+				t.Errorf("errors.Is(%s) = false, want true", name)
+			}
+			if errors.Is(wrapped, &Error{Name: Internal}) && name != Internal {
+				t.Errorf("errors.Is matched the wrong name")
+			}
+		})
+	}
+}
+
+func TestDecodeToleratesForeignBodies(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		status int
+		body   string
+		want   Name
+	}{
+		{"html error page", http.StatusServiceUnavailable, "<html>gateway sad</html>", QueueFull},
+		{"empty body", http.StatusNotFound, "", JobNotFound},
+		{"plain envelope without name", http.StatusBadRequest, `{"error":"legacy"}`, InvalidRequest},
+		{"unknown status", 418, "", Internal},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := Decode(tc.status, []byte(tc.body))
+			if e.Name != tc.want {
+				t.Errorf("Decode(%d, %q).Name = %s, want %s", tc.status, tc.body, e.Name, tc.want)
+			}
+			if e.Message == "" {
+				t.Errorf("Decode(%d, %q) lost the message entirely", tc.status, tc.body)
+			}
+		})
+	}
+}
+
+func TestWrapPreservesCause(t *testing.T) {
+	cause := errors.New("parse exploded")
+	e := Wrap(InvalidSpec, "spec does not parse", cause)
+	if !errors.Is(e, cause) {
+		t.Errorf("errors.Is(wrapped, cause) = false")
+	}
+	if e.HTTPStatus() != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", e.HTTPStatus())
+	}
+	if got := e.Error(); got != "spec does not parse: parse exploded" {
+		t.Errorf("Error() = %q", got)
+	}
+	env := e.Envelope()
+	if env.Error != "spec does not parse: parse exploded" {
+		t.Errorf("envelope message = %q, should include the cause", env.Error)
+	}
+}

@@ -38,6 +38,13 @@ go test -run='^$' -fuzz='^FuzzQuotientCoverage$' -fuzztime=5s ./internal/prune
 # so a failure is unmistakable.
 go test -race -count=1 -run='^TestClusterSmoke$' ./internal/dist
 
+# Async smoke: the job API's lifecycle gates — submit/poll/cancel, the
+# sync/async/batch byte-identity differential, and the concurrent job-store
+# stress — under the race detector, named here for the same reason.
+go test -race -count=1 \
+    -run='^(TestSyncAsyncBatchAnswerByteIdentical|TestCancelWhileRunningYieldsTypedCanceled|TestAsyncConcurrentLifecycleStress)$' \
+    ./internal/service
+
 # Coverage floor for the BDD manager: the GC and cache paths must stay
 # exercised by the property tests.
 floor=85
