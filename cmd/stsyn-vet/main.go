@@ -1,24 +1,30 @@
 // Command stsyn-vet runs the repository's custom static analyzers: the
-// project-specific correctness invariants (Keep/Release protection of BDD
-// refs, determinism of the synthesis core, context propagation, dependency
-// direction, panic-freedom of the serving path) as a gating check rather
-// than reviewer folklore.
+// project-specific correctness invariants (flow-sensitive Keep/Release
+// protection of BDD refs, goroutine join discipline, lock/blocking
+// separation, determinism of the synthesis core, context propagation,
+// dependency direction, panic-freedom of the serving path, metric naming,
+// and the pinned public-API surface) as a gating check rather than
+// reviewer folklore.
 //
 // Usage:
 //
-//	stsyn-vet [-json] [-list] [packages]
+//	stsyn-vet [-json] [-list] [-write-api] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Findings are
 // printed as "file:line:col: analyzer: message" (or a JSON array with
 // -json) and the exit status is 1 when any finding survives the
 // //lint:ignore directives, 2 on load errors, 0 when clean.
+//
+// -write-api regenerates the committed api/ goldens that pin the exported
+// surface of the published pkg/ packages; the printed surface hashes must
+// be recorded in CHANGELOG.md for the apistab analyzer to pass.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"stsyn/internal/lint"
 )
@@ -26,8 +32,9 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	writeAPI := flag.Bool("write-api", false, "regenerate the api/ surface goldens and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: stsyn-vet [-json] [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stsyn-vet [-json] [-list] [-write-api] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,6 +42,13 @@ func main() {
 	if *list {
 		for _, a := range lint.All {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *writeAPI {
+		if err := writeGoldens(); err != nil {
+			fmt.Fprintf(os.Stderr, "stsyn-vet: %v\n", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -47,15 +61,9 @@ func main() {
 	findings, err := run(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stsyn-vet: %v\n", err)
-		os.Exit(2)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
-		}
-		if err := enc.Encode(findings); err != nil {
+		if err := lint.EncodeJSON(os.Stdout, findings); err != nil {
 			fmt.Fprintf(os.Stderr, "stsyn-vet: %v\n", err)
 			os.Exit(2)
 		}
@@ -64,9 +72,7 @@ func main() {
 			fmt.Println(f)
 		}
 	}
-	if len(findings) > 0 {
-		os.Exit(1)
-	}
+	os.Exit(lint.ExitCode(findings, err))
 }
 
 func run(patterns []string) ([]lint.Finding, error) {
@@ -98,4 +104,34 @@ func run(patterns []string) ([]lint.Finding, error) {
 		}
 	}
 	return findings, nil
+}
+
+// writeGoldens regenerates the api/ goldens for every package in the
+// apistab scope and prints each surface hash for the CHANGELOG.md entry.
+func writeGoldens() error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	r, err := lint.NewRunner(cwd)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(r.APIDir, 0o755); err != nil {
+		return err
+	}
+	for _, rel := range lint.APIScope {
+		pkg, err := r.LoadPackage(filepath.Join(r.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return err
+		}
+		surface := lint.APISurface(pkg.Pkg)
+		name := lint.APIGoldenName(rel)
+		content := lint.APIGoldenContent(pkg.PkgPath, surface)
+		if err := os.WriteFile(filepath.Join(r.APIDir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("api/%s %s\n", name, lint.APIHash(surface))
+	}
+	return nil
 }

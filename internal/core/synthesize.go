@@ -125,6 +125,7 @@ type Result struct {
 func (r *Result) MaxRank() int { return len(r.Ranks) - 1 }
 
 type synthesizer struct {
+	//lint:ignore ctxflow run-scoped carrier: set once from Options.Ctx at AddConvergence entry and dropped with the run
 	ctx      context.Context
 	e        Engine
 	reg      RefRegistry // non-nil when the engine garbage-collects

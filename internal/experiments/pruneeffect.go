@@ -86,14 +86,14 @@ func PruneEffect() []PruneRow {
 		row.Representative = len(reps)
 
 		factory := func() (core.Engine, error) { return explicit.New(c.Spec, 0) }
-		t0 := time.Now() //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+		t0 := time.Now()
 		bestU, _, errU := core.TrySchedules(factory, core.Options{}, scheds, 1)
-		row.UnprunedTime = time.Since(t0) //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+		row.UnprunedTime = time.Since(t0)
 
 		jm := prune.NewMemo(0).ForJob(prune.Scope(c.Spec, "explicit", core.Strong, core.BatchResolution))
-		t0 = time.Now() //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+		t0 = time.Now()
 		bestP, _, errP := core.TrySchedules(factory, core.Options{Memo: jm}, reps, 1)
-		row.PrunedTime = time.Since(t0) //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+		row.PrunedTime = time.Since(t0)
 		row.MemoHits, row.MemoMisses = jm.Hits(), jm.Misses()
 
 		switch {

@@ -85,9 +85,9 @@ func SCCCrossover(quick bool) []CrossoverRow {
 				row.Auto = e.SCCAlgorithmName()
 			}
 			e.SetSCCAlgorithm(alg)
-			t0 := time.Now() //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+			t0 := time.Now()
 			res, err := core.AddConvergence(e, core.Options{})
-			total := time.Since(t0) //lint:ignore determinism wall-clock benchmark measurement; synthesis results never read it
+			total := time.Since(t0)
 			if err != nil {
 				return 0, total, err
 			}

@@ -250,6 +250,7 @@ func (e *Engine) fbDecompose(groups []*group, cc *Bitset) []core.Set {
 				select {
 				case sem <- struct{}{}:
 					wg.Add(1)
+					//lint:ignore goroleak run defers wg.Done at its top, one call below the literal; the intra-procedural join analysis cannot see through the call
 					go func(t task) {
 						defer func() { <-sem }()
 						run([]task{t})

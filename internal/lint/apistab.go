@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// APIScope lists the module-relative paths of the published packages whose
+// exported surface is pinned by committed goldens under api/.
+var APIScope = []string{"pkg/client", "pkg/stsynapi", "pkg/stsynerr"}
+
+// APIStab pins the exported surface of the published pkg/ packages. Each
+// package's surface — exported constants, variables, functions, types with
+// their exported fields and methods — is rendered to a canonical text form
+// and compared against a committed golden in api/. A surface change fails
+// the build until the golden is regenerated (stsyn-vet -write-api) AND the
+// new surface hash is recorded in CHANGELOG.md, so the published API can
+// never drift silently.
+var APIStab = &Analyzer{
+	Name:       "apistab",
+	Doc:        "exported surface of published packages must match the committed api/ goldens and be logged in CHANGELOG.md",
+	NeedsTypes: true,
+	Run:        runAPIStab,
+}
+
+func runAPIStab(p *Pass) {
+	rel := p.RelPath()
+	if !pathInScope(rel, APIScope) || p.Pkg == nil || len(p.Files) == 0 {
+		return
+	}
+	pos := p.Files[0].Name.Pos()
+	surface := APISurface(p.Pkg)
+	hash := APIHash(surface)
+	golden := filepath.Join(p.APIDir, APIGoldenName(rel))
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		p.Reportf(pos, "no committed API golden for %s: run `stsyn-vet -write-api` and record surface hash %s in CHANGELOG.md", p.PkgPath, hash)
+		return
+	}
+	if string(data) != APIGoldenContent(p.PkgPath, surface) {
+		p.Reportf(pos, "exported API surface of %s changed (hash %s) without regenerating %s: run `stsyn-vet -write-api` and record the hash in CHANGELOG.md", p.PkgPath, hash, filepath.Base(golden))
+		return
+	}
+	changelog, err := os.ReadFile(p.ChangelogPath)
+	if err != nil || !strings.Contains(string(changelog), hash) {
+		p.Reportf(pos, "API golden for %s matches, but CHANGELOG.md has no entry mentioning surface hash %s", p.PkgPath, hash)
+	}
+}
+
+// APIGoldenName is the golden file name for a module-relative package path:
+// pkg/client -> pkg_client.api.
+func APIGoldenName(rel string) string {
+	return strings.ReplaceAll(rel, "/", "_") + ".api"
+}
+
+// APIHash is the short content hash apistab couples to CHANGELOG.md
+// entries: the first 12 hex digits of the surface's SHA-256.
+func APIHash(surface string) string {
+	sum := sha256.Sum256([]byte(surface))
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// APIGoldenContent renders the full golden file for a package surface: a
+// header carrying the package path and surface hash, then the surface.
+func APIGoldenContent(pkgPath, surface string) string {
+	return fmt.Sprintf("# stsyn api golden v1: %s %s\n\n%s", pkgPath, APIHash(surface), surface)
+}
+
+// APISurface renders a package's exported surface in a canonical text form:
+// scope entries in sorted order; struct fields in declaration order (order
+// is part of the API — composite literals and encoding depend on it);
+// interface and concrete methods sorted by name.
+func APISurface(pkg *types.Package) string {
+	qual := types.RelativeTo(pkg)
+	var b strings.Builder
+	for _, name := range pkg.Scope().Names() {
+		obj := pkg.Scope().Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			fmt.Fprintf(&b, "const %s %s\n", name, types.TypeString(obj.Type(), qual))
+		case *types.Var:
+			fmt.Fprintf(&b, "var %s %s\n", name, types.TypeString(obj.Type(), qual))
+		case *types.Func:
+			fmt.Fprintf(&b, "func %s%s\n", name, signatureString(obj.Type().(*types.Signature), qual))
+		case *types.TypeName:
+			writeTypeSurface(&b, obj, qual)
+		}
+	}
+	return b.String()
+}
+
+func signatureString(sig *types.Signature, qual types.Qualifier) string {
+	return strings.TrimPrefix(types.TypeString(sig, qual), "func")
+}
+
+func writeTypeSurface(b *strings.Builder, obj *types.TypeName, qual types.Qualifier) {
+	name := obj.Name()
+	if obj.IsAlias() {
+		fmt.Fprintf(b, "type %s = %s\n", name, types.TypeString(obj.Type(), qual))
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		fmt.Fprintf(b, "type %s %s\n", name, types.TypeString(obj.Type().Underlying(), qual))
+		return
+	}
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		fmt.Fprintf(b, "type %s struct\n", name)
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Exported() {
+				fmt.Fprintf(b, "\t%s %s\n", f.Name(), types.TypeString(f.Type(), qual))
+			}
+		}
+	case *types.Interface:
+		fmt.Fprintf(b, "type %s interface\n", name)
+		var lines []string
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			if m.Exported() {
+				lines = append(lines, fmt.Sprintf("\t%s%s\n", m.Name(), signatureString(m.Type().(*types.Signature), qual)))
+			}
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+		}
+		return // interfaces carry their methods inline
+	default:
+		fmt.Fprintf(b, "type %s %s\n", name, types.TypeString(named.Underlying(), qual))
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	var lines []string
+	for i := 0; i < ms.Len(); i++ {
+		m, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || !m.Exported() {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		recv := types.TypeString(sig.Recv().Type(), qual)
+		lines = append(lines, fmt.Sprintf("func (%s) %s%s\n", recv, m.Name(), signatureString(sig, qual)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+	}
+}

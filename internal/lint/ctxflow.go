@@ -18,10 +18,22 @@ var CtxFlow = &Analyzer{
 	Run:        runCtxFlow,
 }
 
+// ctxFieldAllowed lists the struct types (module-relative package path dot
+// type name) documented to default a nil Ctx to context.Background():
+// option structs whose zero value must stay usable. Everywhere else a
+// context.Context struct field hides a call-scoped value in long-lived
+// state.
+var ctxFieldAllowed = map[string]bool{
+	"internal/core.Options":    true, // nil Ctx documented to mean context.Background()
+	"internal/explicit.Engine": true, // core.ContextAware: SetContext per run, nil = no cancellation
+	"internal/symbolic.Engine": true, // core.ContextAware: SetContext per run, nil = no cancellation
+}
+
 func runCtxFlow(p *Pass) {
 	if strings.HasPrefix(p.RelPath(), "cmd/") || p.Pkg.Name() == "main" {
 		return
 	}
+	p.checkCtxFields()
 	for _, f := range p.Files {
 		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -41,6 +53,35 @@ func runCtxFlow(p *Pass) {
 				p.Reportf(call.Pos(), "function already receives a context.Context; thread it through instead of context.%s()", name)
 			} else {
 				p.Reportf(call.Pos(), "context.%s() in library code severs cancellation: accept a context.Context from the caller (only cmd/, main, and tests may create root contexts)", name)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFields flags context.Context struct fields outside the
+// documented nil-ctx-default option types: a context in a struct outlives
+// the call it belongs to and silently detaches cancellation.
+func (p *Pass) checkCtxFields() {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || ctxFieldAllowed[p.RelPath()+"."+ts.Name.Name] {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !isNamedType(p.typeOf(field.Type), "context", "Context") {
+					continue
+				}
+				name := "embedded"
+				if len(field.Names) > 0 {
+					name = field.Names[0].Name
+				}
+				p.Reportf(field.Pos(), "context.Context stored in struct field %s of %s: contexts are call-scoped, pass one per operation (only documented nil-ctx-default option structs may hold one)", name, ts.Name.Name)
 			}
 			return true
 		})

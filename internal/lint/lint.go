@@ -21,10 +21,12 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"sort"
 	"strings"
 )
@@ -55,7 +57,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer stsyn-vet runs, in reporting order.
-var All = []*Analyzer{ArchDeps, BDDRef, CtxFlow, Determinism, PanicSafe}
+var All = []*Analyzer{APIStab, ArchDeps, BDDRef, CtxFlow, Determinism, GoroLeak, LockSafe, MetricNames, PanicSafe}
 
 // Pass carries one analyzer's view of one package.
 type Pass struct {
@@ -69,6 +71,13 @@ type Pass struct {
 	TestFiles []*ast.File
 	Pkg       *types.Package // nil unless Analyzer.NeedsTypes
 	Info      *types.Info    // nil unless Analyzer.NeedsTypes
+
+	// Root is the module root directory; APIDir and ChangelogPath locate
+	// the committed API goldens and the changelog the apistab analyzer
+	// couples them to.
+	Root          string
+	APIDir        string
+	ChangelogPath string
 
 	findings *[]Finding
 }
@@ -98,6 +107,10 @@ func (p *Pass) RelPath() string {
 // Check runs the given analyzers over pkg, applies the ignore directives,
 // and returns the surviving findings sorted by position. Analyzers that
 // need type information are skipped when the package was loaded without it.
+// An ignore directive that no analyzer in the run needed — its analyzer ran
+// but fired nothing on that line — is itself reported as a stale
+// suppression (pseudo-analyzer "lint", unignorable), so annotations cannot
+// outlive the code they excused.
 func (r *Runner) Check(pkg *Package, analyzers []*Analyzer) []Finding {
 	var raw []Finding
 	for _, a := range analyzers {
@@ -105,19 +118,22 @@ func (r *Runner) Check(pkg *Package, analyzers []*Analyzer) []Finding {
 			continue
 		}
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      r.Fset,
-			ModPath:   r.ModPath,
-			PkgPath:   pkg.PkgPath,
-			Files:     pkg.Files,
-			TestFiles: pkg.TestFiles,
-			Pkg:       pkg.Pkg,
-			Info:      pkg.Info,
-			findings:  &raw,
+			Analyzer:      a,
+			Fset:          r.Fset,
+			ModPath:       r.ModPath,
+			PkgPath:       pkg.PkgPath,
+			Files:         pkg.Files,
+			TestFiles:     pkg.TestFiles,
+			Pkg:           pkg.Pkg,
+			Info:          pkg.Info,
+			Root:          r.Root,
+			APIDir:        r.APIDir,
+			ChangelogPath: r.ChangelogPath,
+			findings:      &raw,
 		}
 		a.Run(pass)
 	}
-	dir, malformed := parseDirectives(r.Fset, append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...))
+	dir, malformed := parseDirectives(r.Fset, pkg.Files, pkg.TestFiles)
 	out := malformed
 	for _, f := range raw {
 		if dir.ignored(f) {
@@ -125,6 +141,7 @@ func (r *Runner) Check(pkg *Package, analyzers []*Analyzer) []Finding {
 		}
 		out = append(out, f)
 	}
+	out = append(out, staleDirectives(dir, analyzers, pkg.Pkg != nil)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -148,23 +165,47 @@ const (
 	fileIgnorePrefix = "//lint:file-ignore"
 )
 
+// directive is one parsed //lint:ignore or //lint:file-ignore comment.
+// used tracks, per analyzer name, whether the directive suppressed at
+// least one raw finding in this run — an unused directive is stale.
+type directive struct {
+	file     string
+	line     int
+	col      int
+	names    []string
+	fromTest bool
+	used     map[string]bool
+}
+
+func (d *directive) matches(analyzer string) bool {
+	for _, name := range d.names {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
 type directiveSet struct {
-	// byLine[file][line] lists the analyzers silenced on that line.
-	byLine map[string]map[int][]string
-	// byFile[file] lists the analyzers silenced for the whole file.
-	byFile map[string][]string
+	// byLine[file][line] lists the directives silencing that line.
+	byLine map[string]map[int][]*directive
+	// byFile[file] lists the directives silencing the whole file.
+	byFile map[string][]*directive
+	all    []*directive
 }
 
 func (d *directiveSet) ignored(f Finding) bool {
-	for _, name := range d.byFile[f.File] {
-		if name == f.Analyzer {
+	for _, dir := range d.byFile[f.File] {
+		if dir.matches(f.Analyzer) {
+			dir.used[f.Analyzer] = true
 			return true
 		}
 	}
 	lines := d.byLine[f.File]
 	for _, line := range []int{f.Line, f.Line - 1} {
-		for _, name := range lines[line] {
-			if name == f.Analyzer {
+		for _, dir := range lines[line] {
+			if dir.matches(f.Analyzer) {
+				dir.used[f.Analyzer] = true
 				return true
 			}
 		}
@@ -176,48 +217,137 @@ func (d *directiveSet) ignored(f Finding) bool {
 // from the files' comments. Directives missing an analyzer name or a reason
 // are returned as findings of the pseudo-analyzer "lint"; those findings
 // cannot themselves be ignored.
-func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveSet, []Finding) {
+func parseDirectives(fset *token.FileSet, files, testFiles []*ast.File) (*directiveSet, []Finding) {
 	d := &directiveSet{
-		byLine: make(map[string]map[int][]string),
-		byFile: make(map[string][]string),
+		byLine: make(map[string]map[int][]*directive),
+		byFile: make(map[string][]*directive),
 	}
 	var malformed []Finding
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				var isFile bool
-				switch {
-				case strings.HasPrefix(text, fileIgnorePrefix):
-					text, isFile = text[len(fileIgnorePrefix):], true
-				case strings.HasPrefix(text, ignorePrefix):
-					text = text[len(ignorePrefix):]
-				default:
-					continue
+	collect := func(files []*ast.File, fromTest bool) {
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					var isFile bool
+					switch {
+					case strings.HasPrefix(text, fileIgnorePrefix):
+						text, isFile = text[len(fileIgnorePrefix):], true
+					case strings.HasPrefix(text, ignorePrefix):
+						text = text[len(ignorePrefix):]
+					default:
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						malformed = append(malformed, Finding{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Analyzer: "lint",
+							Message:  "malformed ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+						})
+						continue
+					}
+					dir := &directive{
+						file:     pos.Filename,
+						line:     pos.Line,
+						col:      pos.Column,
+						names:    strings.Split(fields[0], ","),
+						fromTest: fromTest,
+						used:     make(map[string]bool),
+					}
+					d.all = append(d.all, dir)
+					if isFile {
+						d.byFile[pos.Filename] = append(d.byFile[pos.Filename], dir)
+						continue
+					}
+					if d.byLine[pos.Filename] == nil {
+						d.byLine[pos.Filename] = make(map[int][]*directive)
+					}
+					d.byLine[pos.Filename][pos.Line] = append(d.byLine[pos.Filename][pos.Line], dir)
 				}
-				pos := fset.Position(c.Pos())
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					malformed = append(malformed, Finding{
-						File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Analyzer: "lint",
-						Message:  "malformed ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
-					})
-					continue
-				}
-				names := strings.Split(fields[0], ",")
-				if isFile {
-					d.byFile[pos.Filename] = append(d.byFile[pos.Filename], names...)
-					continue
-				}
-				if d.byLine[pos.Filename] == nil {
-					d.byLine[pos.Filename] = make(map[int][]string)
-				}
-				d.byLine[pos.Filename][pos.Line] = append(d.byLine[pos.Filename][pos.Line], names...)
 			}
 		}
 	}
+	collect(files, false)
+	collect(testFiles, true)
 	return d, malformed
+}
+
+// staleDirectives reports directives that name an analyzer which ran in
+// this Check but suppressed nothing: the code they excused has changed, so
+// the suppression must go. Names outside the run's analyzer list are left
+// alone (a partial run cannot judge them), as are typed analyzers named
+// from test files (those files are never type-checked, so the analyzer
+// never sees them).
+func staleDirectives(d *directiveSet, analyzers []*Analyzer, typed bool) []Finding {
+	ran := make(map[string]bool)
+	ranSyntax := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.NeedsTypes && !typed {
+			continue
+		}
+		ran[a.Name] = true
+		if !a.NeedsTypes {
+			ranSyntax[a.Name] = true
+		}
+	}
+	var out []Finding
+	for _, dir := range d.all {
+		for _, name := range dir.names {
+			applicable := ran[name]
+			if dir.fromTest {
+				applicable = ranSyntax[name]
+			}
+			if !applicable || dir.used[name] {
+				continue
+			}
+			out = append(out, Finding{
+				File: dir.file, Line: dir.line, Col: dir.col,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("stale ignore directive: %s no longer fires here; delete the suppression", name),
+			})
+		}
+	}
+	return out
+}
+
+// --- tool output ----------------------------------------------------------
+
+// EncodeJSON writes findings as an indented JSON array — never null, so
+// consumers can index unconditionally. This is the `stsyn-vet -json` wire
+// format CI archives as an artifact; the golden test pins it.
+func EncodeJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// ExitCode maps a vet run's outcome to the process exit status: 2 when the
+// load or analysis itself failed, 1 when findings survived the directives,
+// 0 when clean.
+func ExitCode(findings []Finding, err error) int {
+	switch {
+	case err != nil:
+		return 2
+	case len(findings) > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// pathInScope reports whether the module-relative package path rel is one
+// of the scope prefixes or nested under one.
+func pathInScope(rel string, scopes []string) bool {
+	for _, s := range scopes {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // --- shared AST / type helpers -------------------------------------------
@@ -237,6 +367,18 @@ func inspectWithStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) 
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// objectOf resolves an identifier to its object, whether the identifier
+// defines it or uses it.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
 }
 
 // typeOf is Info.TypeOf tolerating a nil Info.

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,6 +39,8 @@ func TestFixtures(t *testing.T) {
 	}{
 		{"bddref_bad", "stsyn/internal/fixture/bddref", BDDRef, true},
 		{"bddref_ok", "stsyn/internal/fixture/bddref", BDDRef, true},
+		{"bddref_flow_bad", "stsyn/internal/fixture/bddref", BDDRef, true},
+		{"bddref_flow_ok", "stsyn/internal/fixture/bddref", BDDRef, true},
 		{"determinism_bad", "stsyn/internal/core", Determinism, true},
 		{"determinism_ok", "stsyn/internal/core", Determinism, true},
 		{"ctxflow_bad", "stsyn/internal/fixture/ctxflow", CtxFlow, true},
@@ -53,6 +57,14 @@ func TestFixtures(t *testing.T) {
 		{"panicsafe_bad", "stsyn/pkg/client", PanicSafe, false},
 		{"panicsafe_ok", "stsyn/internal/service", PanicSafe, false},
 		{"ignore", "stsyn/internal/service/fixture", PanicSafe, false},
+		{"ignore_stale", "stsyn/internal/service/fixture", PanicSafe, false},
+		{"ctxflow_field", "stsyn/internal/core", CtxFlow, true},
+		{"goroleak_bad", "stsyn/internal/service/fixture", GoroLeak, true},
+		{"goroleak_ok", "stsyn/internal/service/fixture", GoroLeak, true},
+		{"locksafe_bad", "stsyn/internal/service/fixture", LockSafe, true},
+		{"locksafe_ok", "stsyn/internal/service/fixture", LockSafe, true},
+		{"metricnames_bad", "stsyn/internal/service/fixture", MetricNames, false},
+		{"metricnames_ok", "stsyn/internal/service/fixture", MetricNames, false},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -140,6 +152,141 @@ func TestMalformedDirective(t *testing.T) {
 	sort.Strings(got)
 	if want := []string{"lint", "panicsafe"}; !reflect.DeepEqual(got, want) {
 		t.Errorf("analyzers = %q, want %q", got, want)
+	}
+}
+
+// TestAPIStab drives the golden/changelog coupling through a fixture
+// surface: missing golden, current golden with a logged hash, drifted
+// surface, and a regenerated golden whose hash never made it into the
+// changelog.
+func TestAPIStab(t *testing.T) {
+	r := newTestRunner(t)
+	pkg, err := r.LoadDir(filepath.Join("testdata", "src", "apistab"), "stsyn/pkg/client", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surface := APISurface(pkg.Pkg)
+	for _, fragment := range []string{"const Version", "func New", "type Config struct", "\tEndpoint string", "type Doer interface", "func (*Config) Reset", "type Alias = Config"} {
+		if !strings.Contains(surface, fragment) {
+			t.Errorf("surface is missing %q:\n%s", fragment, surface)
+		}
+	}
+	for _, fragment := range []string{"secret", "internal"} {
+		if strings.Contains(surface, fragment) {
+			t.Errorf("surface leaks unexported %q:\n%s", fragment, surface)
+		}
+	}
+	hash := APIHash(surface)
+	golden := APIGoldenContent(pkg.PkgPath, surface)
+	goldenName := APIGoldenName("pkg/client")
+
+	check := func(t *testing.T, goldenContent, changelog string) []Finding {
+		t.Helper()
+		dir := t.TempDir()
+		savedAPI, savedLog := r.APIDir, r.ChangelogPath
+		defer func() { r.APIDir, r.ChangelogPath = savedAPI, savedLog }()
+		r.APIDir = filepath.Join(dir, "api")
+		r.ChangelogPath = filepath.Join(dir, "CHANGELOG.md")
+		if goldenContent != "" {
+			if err := os.MkdirAll(r.APIDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(r.APIDir, goldenName), []byte(goldenContent), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if changelog != "" {
+			if err := os.WriteFile(r.ChangelogPath, []byte(changelog), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r.Check(pkg, []*Analyzer{APIStab})
+	}
+	expectOne := func(t *testing.T, findings []Finding, fragment string) {
+		t.Helper()
+		if len(findings) != 1 || !strings.Contains(findings[0].Message, fragment) {
+			t.Errorf("findings = %v, want exactly one containing %q", findings, fragment)
+		}
+	}
+
+	t.Run("missing golden", func(t *testing.T) {
+		expectOne(t, check(t, "", ""), "no committed API golden")
+	})
+	t.Run("current golden, logged hash", func(t *testing.T) {
+		if findings := check(t, golden, "## entry\n\nsurface hash "+hash+"\n"); len(findings) != 0 {
+			t.Errorf("findings = %v, want none", findings)
+		}
+	})
+	t.Run("surface drift", func(t *testing.T) {
+		stale := APIGoldenContent(pkg.PkgPath, surface+"func Removed()\n")
+		expectOne(t, check(t, stale, "surface hash "+hash+"\n"), "changed")
+	})
+	t.Run("unlogged hash", func(t *testing.T) {
+		expectOne(t, check(t, golden, "## entry for some older hash\n"), "no entry mentioning surface hash")
+	})
+}
+
+// TestJSONOutput pins the `stsyn-vet -json` wire format CI archives: an
+// indented JSON array, never null, with stable field names.
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty findings = %q, want %q", got, "[]\n")
+	}
+	buf.Reset()
+	findings := []Finding{{
+		File:     "internal/service/handler.go",
+		Line:     7,
+		Col:      3,
+		Analyzer: "panicsafe",
+		Message:  "naked panic on the serving path",
+	}}
+	if err := EncodeJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "file": "internal/service/handler.go",
+    "line": 7,
+    "col": 3,
+    "analyzer": "panicsafe",
+    "message": "naked panic on the serving path"
+  }
+]
+`
+	if got := buf.String(); got != want {
+		t.Errorf("json output mismatch\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestExitCode pins the process contract: 2 on load errors, 1 on
+// findings, 0 when clean — in that precedence order.
+func TestExitCode(t *testing.T) {
+	finding := []Finding{{Analyzer: "panicsafe"}}
+	if got := ExitCode(nil, nil); got != 0 {
+		t.Errorf("clean run = %d, want 0", got)
+	}
+	if got := ExitCode(finding, nil); got != 1 {
+		t.Errorf("findings = %d, want 1", got)
+	}
+	if got := ExitCode(finding, errors.New("load failed")); got != 2 {
+		t.Errorf("error = %d, want 2", got)
+	}
+}
+
+// TestArchCheckWholeModule exercises the syntax-only whole-module walk
+// behind the arch_test.go entry point: pattern expansion, canonical path
+// mapping, and the dependency-direction analyzer over every real package.
+func TestArchCheckWholeModule(t *testing.T) {
+	findings, err := ArchCheck(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
 	}
 }
 

@@ -37,6 +37,12 @@ type Runner struct {
 	ModPath string // module path from go.mod
 	Fset    *token.FileSet
 
+	// APIDir holds the committed API golden files and ChangelogPath the
+	// changelog apistab couples them to; tests override both to check the
+	// analyzer against fixture surfaces.
+	APIDir        string
+	ChangelogPath string
+
 	std     types.ImporterFrom
 	pkgs    map[string]*Package // canonical import path -> loaded package
 	loading map[string]bool     // import-cycle guard
@@ -57,12 +63,14 @@ func NewRunner(startDir string) (*Runner, error) {
 		return nil, fmt.Errorf("lint: source importer unavailable")
 	}
 	return &Runner{
-		Root:    root,
-		ModPath: modPath,
-		Fset:    fset,
-		std:     std,
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		Root:          root,
+		ModPath:       modPath,
+		Fset:          fset,
+		APIDir:        filepath.Join(root, "api"),
+		ChangelogPath: filepath.Join(root, "CHANGELOG.md"),
+		std:           std,
+		pkgs:          make(map[string]*Package),
+		loading:       make(map[string]bool),
 	}, nil
 }
 

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// locksafePackages scopes the analyzer to the serving and distribution
+// tiers, where a mutex held across a blocking operation turns one slow
+// worker into a stalled scrape endpoint or a deadlocked queue.
+var locksafePackages = []string{"internal/service", "internal/dist"}
+
+// LockSafe flags mutexes held across blocking operations. A critical
+// section starts at a Lock/RLock statement and follows the control-flow
+// graph until the matching Unlock/RUnlock on the same mutex; a deferred
+// unlock extends the section to every exit. Blocking operations are
+// channel sends and receives, selects without a default clause, WaitGroup
+// waits, sleeps, and network calls (http.Client methods, net and net/http
+// package functions). sync.Cond.Wait is exempt — holding the lock is its
+// contract — and so are the communication clauses of a select, which are
+// judged through the select itself. The analysis is intra-procedural:
+// blocking hidden behind a call in the same section is out of scope.
+var LockSafe = &Analyzer{
+	Name:       "locksafe",
+	Doc:        "mutexes must not be held across channel operations, waits, sleeps, or network calls",
+	NeedsTypes: true,
+	Run:        runLockSafe,
+}
+
+func runLockSafe(p *Pass) {
+	if !pathInScope(p.RelPath(), locksafePackages) {
+		return
+	}
+	l := &locksafePass{Pass: p}
+	for _, f := range p.Files {
+		forEachFunc(f, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			l.checkFunc(body)
+		})
+	}
+}
+
+type locksafePass struct {
+	*Pass
+}
+
+func isMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// mutexCall returns the locked/unlocked mutex object when stmt is a
+// Lock/RLock (wantLock) or Unlock/RUnlock (!wantLock) call statement.
+func (l *locksafePass) mutexCall(s ast.Stmt, wantLock bool) types.Object {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	if wantLock && name != "Lock" && name != "RLock" {
+		return nil
+	}
+	if !wantLock && name != "Unlock" && name != "RUnlock" {
+		return nil
+	}
+	if !isMutex(l.typeOf(sel.X)) {
+		return nil
+	}
+	return l.joinableObj(sel.X)
+}
+
+func (l *locksafePass) checkFunc(body *ast.BlockStmt) {
+	g := buildCFG(body)
+	// Communication clauses of a select are never independently blocking:
+	// the select statement is the blocking point and is judged as a whole.
+	comm := make(map[ast.Stmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			comm[cc.Comm] = true
+		}
+		return true
+	})
+	reported := make(map[token.Pos]bool)
+	for _, blk := range g.blocks {
+		for i, s := range blk.stmts {
+			if mu := l.mutexCall(s, true); mu != nil {
+				l.scanSection(g, blk, i+1, mu, comm, reported)
+			}
+		}
+	}
+}
+
+// scanSection walks the graph from the statement after a Lock, reporting
+// blocking statements reachable before the matching Unlock on any path.
+func (l *locksafePass) scanSection(g *funcCFG, from *cfgBlock, fromIdx int, mu types.Object, comm map[ast.Stmt]bool, reported map[token.Pos]bool) {
+	seen := make(map[*cfgBlock]bool)
+	var walk func(b *cfgBlock, start int)
+	walk = func(b *cfgBlock, start int) {
+		for i := start; i < len(b.stmts); i++ {
+			s := b.stmts[i]
+			if obj := l.mutexCall(s, false); obj == mu {
+				return // the section ends on this path
+			}
+			if msg, pos, ok := l.blocking(s, comm); ok && !reported[pos] {
+				reported[pos] = true
+				l.Reportf(pos, "%s while holding a mutex: the lock is held across a blocking operation", msg)
+			}
+		}
+		for _, succ := range b.succs {
+			if !seen[succ] {
+				seen[succ] = true
+				walk(succ, 0)
+			}
+		}
+	}
+	walk(from, fromIdx)
+}
+
+// blocking classifies one statement of a critical section.
+func (l *locksafePass) blocking(s ast.Stmt, comm map[ast.Stmt]bool) (string, token.Pos, bool) {
+	if comm[s] {
+		return "", token.NoPos, false
+	}
+	switch st := s.(type) {
+	case *ast.DeferStmt:
+		return "", token.NoPos, false // runs at exit, outside the section on the happy path
+	case *ast.SendStmt:
+		return "channel send", st.Arrow, true
+	case *ast.SelectStmt:
+		for _, cs := range st.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+				return "", token.NoPos, false // has a default: non-blocking poll
+			}
+		}
+		return "select without default", st.Pos(), true
+	}
+	var msg string
+	var pos token.Pos
+	shallowInspect(s, func(n ast.Node) bool {
+		if msg != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				msg, pos = "channel receive", n.Pos()
+			}
+		case *ast.SendStmt:
+			msg, pos = "channel send", n.Arrow
+		case *ast.CallExpr:
+			if m, ok := l.blockingCall(n); ok {
+				msg, pos = m, n.Pos()
+			}
+		}
+		return true
+	})
+	return msg, pos, msg != ""
+}
+
+func (l *locksafePass) blockingCall(call *ast.CallExpr) (string, bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Wait" && isWaitGroup(l.typeOf(sel.X)) {
+			return "WaitGroup.Wait", true
+		}
+		recv := l.typeOf(sel.X)
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if isNamedType(recv, "net/http", "Client") {
+			return "http.Client call", true
+		}
+	}
+	obj := l.calleeObject(call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net", "net/http":
+		if _, isFunc := obj.(*types.Func); isFunc && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name() + " call", true
+		}
+	}
+	return "", false
+}

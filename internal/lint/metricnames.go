@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricPackages scopes the analyzer to the two tiers that expose /metrics:
+// the serving layer and the distributed coordinator.
+var metricPackages = []string{"internal/service", "internal/dist"}
+
+var (
+	// metricTokenRE finds every candidate series name in a string literal;
+	// metricNameRE is the convention each one must satisfy.
+	metricTokenRE = regexp.MustCompile(`\bstsyn_[A-Za-z0-9_]*`)
+	metricNameRE  = regexp.MustCompile(`^stsyn_[a-z0-9_]+$`)
+)
+
+// MetricNames enforces the metric-series contract of the /metrics
+// endpoints: every series name appearing in a string literal must match
+// stsyn_[a-z0-9_]+, and each series must be registered exactly once per
+// package. A registration is a literal that is exactly a series name (the
+// counter/gauge helper arguments and the gauge map keys) or a
+// "# TYPE <name> <kind>" exposition line embedded in a literal; the
+// _bucket/_sum/_count histogram suffixes attribute to their base family.
+// Names that only occur inside larger exposition strings are usages, not
+// registrations — dynamic label variants are registered by their family.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "metric series must be named stsyn_[a-z0-9_]+ and registered once per package",
+	Run:  runMetricNames,
+}
+
+func runMetricNames(p *Pass) {
+	if !pathInScope(p.RelPath(), metricPackages) {
+		return
+	}
+	registrations := make(map[string][]token.Pos)
+	register := func(name string, pos token.Pos) {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && base != "stsyn" {
+				name = base
+				break
+			}
+		}
+		registrations[name] = append(registrations[name], pos)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			text, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, tok := range metricTokenRE.FindAllString(text, -1) {
+				if !metricNameRE.MatchString(tok) {
+					p.Reportf(lit.Pos(), "metric name %q violates the naming convention: want stsyn_[a-z0-9_]+", tok)
+				}
+			}
+			if metricNameRE.MatchString(text) {
+				register(text, lit.Pos())
+				return true
+			}
+			for _, line := range strings.Split(text, "\n") {
+				fields := strings.Fields(line)
+				if len(fields) >= 3 && fields[0] == "#" && fields[1] == "TYPE" && metricNameRE.MatchString(fields[2]) {
+					register(fields[2], lit.Pos())
+				}
+			}
+			return true
+		})
+	}
+	names := make([]string, 0, len(registrations))
+	for name := range registrations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		poss := registrations[name]
+		sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+		for _, pos := range poss[1:] {
+			p.Reportf(pos, "metric %s is already registered in this package: each series must be registered exactly once", name)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package fixture is a miniature published package: its exported surface
+// exercises every construct the apistab renderer pins — constants,
+// variables, functions, aliases, structs with mixed-visibility fields,
+// interfaces, and methods on both receiver forms.
+package fixture
+
+import "time"
+
+const Version = "1"
+
+var DefaultTimeout = 30 * time.Second
+
+// Alias is part of the surface even though it names another type.
+type Alias = Config
+
+// Config has one exported and one unexported field; only the exported one
+// is surface, but its declaration order is.
+type Config struct {
+	Endpoint string
+	Retries  int
+	secret   string
+}
+
+func (c Config) Valid() bool { return c.Endpoint != "" && c.secret == "" }
+
+func (c *Config) Reset() { c.Retries = 0 }
+
+// Doer is an interface surface: method set, sorted.
+type Doer interface {
+	Do(name string) error
+	Close() error
+}
+
+// New is a plain function surface.
+func New(endpoint string) (*Config, error) { return &Config{Endpoint: endpoint}, nil }
+
+// internal is not exported and must not appear in the golden.
+func internal() {}

@@ -1,0 +1,45 @@
+// Package fixture exercises the flow-sensitive half of bddref: stores that
+// are protected on one path but raw on another, kept refs that can escape
+// through an early return, and producer calls the ownership rules must not
+// bless.
+package fixture
+
+import "stsyn/internal/bdd"
+
+type holder struct {
+	f bdd.Ref
+}
+
+// Holder is exported, so the scratch-context rule must not bless stores of
+// refs its own methods produce: an exported type's manager may collect.
+type Holder struct {
+	m *bdd.Manager
+	f bdd.Ref
+}
+
+func (h *Holder) mix(r bdd.Ref) bdd.Ref { return h.m.And(r, r) }
+
+func condStore(m *bdd.Manager, h *holder, r bdd.Ref, ok bool) {
+	v := m.And(r, r)
+	if ok {
+		v = m.Keep(v)
+	}
+	h.f = v // want bddref
+}
+
+func earlyReturn(m *bdd.Manager, ok bool, r bdd.Ref) bdd.Ref {
+	kept := m.Keep(r) // want bddref
+	if ok {
+		return bdd.False
+	}
+	return kept
+}
+
+func exportedOwner(h *Holder, r bdd.Ref) {
+	h.f = h.mix(r) // want bddref
+}
+
+func pinWithoutRelease(m *bdd.Manager, r bdd.Ref) {
+	m.Keep(r) // want bddref
+	m.GC()
+}

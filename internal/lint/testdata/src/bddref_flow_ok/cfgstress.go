@@ -1,0 +1,73 @@
+// cfgstress drives the CFG builder through every statement shape —
+// labeled loops, goto, switch with fallthrough, type switches, select,
+// ranges — with a kept ref threaded through, so the fixture doubles as a
+// soundness check: none of these paths may confuse the kept-set fixpoint.
+package fixture
+
+import "stsyn/internal/bdd"
+
+func labeledLoops(m *bdd.Manager, h *holder, rs []bdd.Ref) {
+	v := m.Keep(bdd.False)
+outer:
+	for i := 0; i < len(rs); i++ {
+		for _, r := range rs {
+			switch {
+			case i == 0:
+				continue outer
+			case len(rs) > 4:
+				break outer
+			}
+			m.Release(v)
+			v = m.Keep(m.And(v, r))
+		}
+	}
+	h.f = v
+}
+
+func gotoAndFallthrough(m *bdd.Manager, h *holder, r bdd.Ref, n int) {
+	v := m.Keep(r)
+	if n < 0 {
+		goto done
+	}
+	switch n {
+	case 0:
+		m.Release(v)
+		v = m.Keep(m.Not(r))
+		fallthrough
+	case 1:
+		n++
+	default:
+		for n > 1 {
+			n--
+		}
+	}
+done:
+	h.f = v
+}
+
+func typeSwitchSelect(m *bdd.Manager, h *holder, x interface{}, ch chan bdd.Ref) {
+	v := m.Keep(bdd.False)
+	switch t := x.(type) {
+	case bdd.Ref:
+		m.Release(v)
+		v = m.Keep(t)
+	case int:
+		_ = t
+	}
+	select {
+	case r := <-ch:
+		m.Release(v)
+		v = m.Keep(r)
+	default:
+	}
+	h.f = v
+}
+
+func deferAndRanges(m *bdd.Manager, h *holder, rs map[int]bdd.Ref) {
+	v := m.Keep(bdd.False)
+	defer m.Release(v)
+	for range rs {
+		break
+	}
+	h.f = m.Keep(m.Not(v))
+}

@@ -1,0 +1,54 @@
+// Package fixture exercises the flow-sensitive and ownership idioms the
+// bddref analyzer must accept: refs kept on every path into a store, the
+// scratch-context and owned-manager exemptions, transient pins, and the
+// zero-value terminal.
+package fixture
+
+import "stsyn/internal/bdd"
+
+type holder struct {
+	f bdd.Ref
+}
+
+// scratch is an unexported in-package struct: the scratch-context rule
+// allows storing refs its own methods produce, and refs produced by a
+// locally created manager it owns — neither manager ever collects.
+type scratch struct {
+	m   *bdd.Manager
+	src []bdd.Ref
+}
+
+func (s *scratch) copyIn(r bdd.Ref) bdd.Ref { return s.m.And(r, r) }
+
+func keptOnAllPaths(m *bdd.Manager, h *holder, r bdd.Ref, ok bool) {
+	v := m.Keep(m.And(r, r))
+	if ok {
+		v = m.Keep(m.Not(v))
+	}
+	h.f = v
+}
+
+func ownStore(s *scratch, r bdd.Ref) {
+	s.src = append(s.src, s.copyIn(r))
+}
+
+func ownedManager(r bdd.Ref) *scratch {
+	m := bdd.New(4)
+	s := &scratch{m: m}
+	s.src = append(s.src, m.Not(r))
+	return s
+}
+
+func transientPin(m *bdd.Manager, r bdd.Ref) {
+	m.Keep(r)
+	m.GC()
+	m.Release(r)
+}
+
+func zeroThenMaybe(m *bdd.Manager, h *holder, r bdd.Ref, ok bool) {
+	var v bdd.Ref
+	if ok {
+		v = m.Keep(r)
+	}
+	h.f = v
+}

@@ -1,0 +1,30 @@
+// Package fixture is checked under the core engine's import path: the
+// Options struct is on the documented nil-ctx-default allow list, every
+// other context-typed field is a finding.
+package core
+
+import "context"
+
+// Options mirrors the engine's option struct: a nil Ctx defaults to
+// context.Background() at the call boundary, which is exactly the
+// documented exemption.
+type Options struct {
+	Ctx   context.Context
+	Steps int
+}
+
+// job stores a call-scoped context in long-lived state.
+type job struct {
+	ctx  context.Context // want ctxflow
+	name string
+}
+
+// tracker embeds one, which is the same mistake without a field name.
+type tracker struct {
+	context.Context // want ctxflow
+	hits            int
+}
+
+func use(o Options, j job, t tracker) (Options, job, tracker) {
+	return o, j, t
+}

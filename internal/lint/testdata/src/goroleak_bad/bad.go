@@ -1,0 +1,55 @@
+// Package fixture is checked under a serving-path import path; every
+// goroutine spawned here violates the join discipline in a different way.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// noSignal spawns a goroutine that finishes silently: no WaitGroup Done,
+// close, or send, so nothing can ever join it.
+func noSignal() {
+	go func() { // want goroleak
+		work()
+	}()
+}
+
+// conditionalSignal only signals on one branch; the early return is a
+// signal-free exit path.
+func conditionalSignal(done chan struct{}, ok bool) {
+	go func() { // want goroleak
+		if !ok {
+			return
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// neverJoined signals completion, but no receive, range, or Wait on the
+// channel exists anywhere in this package.
+func neverJoined() {
+	orphan := make(chan struct{})
+	go func() { // want goroleak
+		defer close(orphan)
+		work()
+	}()
+}
+
+// unresolvable spawns a value passed in from outside: the body cannot be
+// found, so the discipline cannot be checked.
+func unresolvable(fn func()) {
+	go fn() // want goroleak
+}
+
+// spins never terminates: the deferred Done can never run.
+func spins(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want goroleak
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+// Package fixture is checked under a serving-path import path; every
+// goroutine spawned here has a bounded join path, so the goroleak analyzer
+// must stay silent.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// waitGroup is the canonical shape: deferred Done, Wait in the spawner.
+func waitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// doneChannel signals by closing; the spawner blocks on the receive.
+func doneChannel() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// resultSend signals by sending the result; every exit path passes the
+// send, and the spawner receives it.
+func resultSend() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+// method spawns a same-package method whose deferred Done pairs with the
+// Wait in Shutdown.
+func (s *server) method() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	work()
+}
+
+func (s *server) shutdown() {
+	s.wg.Wait()
+}
+
+// rangeJoin signals per item and closes; the range drains both.
+func rangeJoin(items []int) int {
+	out := make(chan int, len(items))
+	go func() {
+		defer close(out)
+		for _, v := range items {
+			out <- v
+		}
+	}()
+	total := 0
+	for v := range out {
+		total += v
+	}
+	return total
+}
+
+// closureVar spawns a closure assigned to a local; the body resolves
+// through the assignment, and the captured channel is drained here.
+func closureVar() {
+	results := make(chan int, 1)
+	run := func() {
+		results <- 1
+	}
+	go run()
+	<-results
+}

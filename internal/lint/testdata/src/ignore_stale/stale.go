@@ -1,0 +1,14 @@
+// Package fixture exercises stale-ignore detection: a directive whose
+// analyzer runs but no longer fires on its line is itself a finding.
+package fixture
+
+import "errors"
+
+func used() {
+	panic("silenced") //lint:ignore panicsafe fixture: still fires, directive is live
+}
+
+func stale() error {
+	//lint:ignore panicsafe fixture: nothing panics below anymore // want lint
+	return errors.New("the panic this excused is long gone")
+}

@@ -1,0 +1,66 @@
+// Package fixture is checked under a serving-path import path; every
+// function here holds a mutex across a blocking operation.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// sendLocked sends on a channel inside the critical section.
+func (s *state) sendLocked(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want locksafe
+	s.mu.Unlock()
+}
+
+// recvLocked blocks on a receive inside the critical section.
+func (s *state) recvLocked(ch chan int) {
+	s.mu.Lock()
+	s.n = <-ch // want locksafe
+	s.mu.Unlock()
+}
+
+// deferredUnlock extends the section to every exit, so the Wait after the
+// early return's join point is still inside it.
+func (s *state) deferredUnlock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want locksafe
+	s.n++
+}
+
+// sleepLocked stalls every other acquirer for the full sleep.
+func (s *state) sleepLocked() {
+	s.rw.RLock()
+	time.Sleep(10 * time.Millisecond) // want locksafe
+	s.rw.RUnlock()
+}
+
+// selectLocked has no default clause: the select parks while the lock is
+// held.
+func (s *state) selectLocked(a, b chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want locksafe
+	case s.n = <-a:
+	case s.n = <-b:
+	}
+}
+
+// httpLocked performs a network round-trip inside the critical section.
+func (s *state) httpLocked(c *http.Client, url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := c.Get(url) // want locksafe
+	if err == nil {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,65 @@
+// Package fixture is checked under a serving-path import path; every
+// critical section here releases the mutex before anything blocks, so the
+// locksafe analyzer must stay silent.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+// unlockBeforeSend releases the lock before the channel operation.
+func (s *state) unlockBeforeSend(ch chan int) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	ch <- n
+}
+
+// pollLocked uses a select with a default clause: a non-blocking poll is
+// fine under the lock.
+func (s *state) pollLocked(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.n = <-ch:
+	case ch <- s.n:
+	default:
+	}
+}
+
+// branchUnlock releases on the early path before blocking; the late path
+// never blocks.
+func (s *state) branchUnlock(ch chan int, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		ch <- 1
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// condWait is the one blocking call whose contract requires the lock.
+func (s *state) condWait(c *sync.Cond) {
+	c.L.Lock()
+	for s.n == 0 {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// sleepUnlocked sleeps outside the deferred section's live range only by
+// never taking the lock at all.
+func (s *state) sleepUnlocked() {
+	time.Sleep(time.Millisecond)
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}

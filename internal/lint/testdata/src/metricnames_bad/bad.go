@@ -1,0 +1,29 @@
+// Package fixture is checked under a serving-path import path; it breaks
+// the metric naming convention and the register-once rule.
+package fixture
+
+import "fmt"
+
+// badCase uses an upper-case name: the convention is stsyn_[a-z0-9_]+.
+func badCase(register func(string)) {
+	register("stsyn_Requests_Total") // want metricnames
+}
+
+// badEmbedded hides the violation inside a larger exposition string.
+func badEmbedded() string {
+	return "# TYPE stsyn_BAD_gauge gauge\n" // want metricnames
+}
+
+// doubleRegistration registers the same series twice; the second literal
+// is the finding.
+func doubleRegistration(register func(string)) {
+	register("stsyn_queue_depth")
+	register("stsyn_queue_depth") // want metricnames
+}
+
+// typeLineDuplicate re-registers a counter through its exposition TYPE
+// line after the helper already registered it.
+func typeLineDuplicate(register func(string)) string {
+	register("stsyn_jobs_total")
+	return fmt.Sprintf("# TYPE stsyn_jobs_total counter\n") // want metricnames
+}

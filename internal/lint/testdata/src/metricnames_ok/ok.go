@@ -1,0 +1,32 @@
+// Package fixture is checked under a serving-path import path; every
+// metric here follows the naming convention and is registered exactly
+// once, so the metricnames analyzer must stay silent.
+package fixture
+
+import "fmt"
+
+// registerAll registers each series once through the helper.
+func registerAll(register func(string)) {
+	register("stsyn_requests_total")
+	register("stsyn_queue_depth")
+}
+
+// expose uses already-registered names inside larger exposition strings:
+// usages are not registrations, so no duplicate is reported.
+func expose(v int) string {
+	return fmt.Sprintf("stsyn_requests_total %d\nstsyn_queue_depth %d\n", v, v)
+}
+
+// histogram registers the family once via its TYPE line; the suffixed
+// series attribute to the family instead of registering separately.
+func histogram(sum, count int) string {
+	return "# TYPE stsyn_job_duration_ms histogram\n" +
+		fmt.Sprintf("stsyn_job_duration_ms_sum %d\nstsyn_job_duration_ms_count %d\n", sum, count)
+}
+
+// dynamic emits labelled variants of a registered family; the Sprintf
+// template is a usage, not a second registration.
+func dynamic(worker string, up int) string {
+	return "# TYPE stsyn_worker_up gauge\n" +
+		fmt.Sprintf("stsyn_worker_up{worker=%q} %d\n", worker, up)
+}

@@ -83,7 +83,8 @@ type Server struct {
 }
 
 type job struct {
-	id     int64
+	id int64
+	//lint:ignore ctxflow request-scoped carrier: the job ferries its request's context through the worker queue, as http.Request does
 	ctx    context.Context
 	cancel context.CancelFunc
 	norm   *Job

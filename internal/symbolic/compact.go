@@ -37,7 +37,7 @@ func (e *Engine) Compact(live []core.Set) []core.Set {
 		return live
 	}
 	for _, s := range live {
-		e.m.Keep(s.(bdd.Ref)) //lint:ignore bddref transient pin around the sweep; released two lines below
+		e.m.Keep(s.(bdd.Ref))
 	}
 	e.m.GC()
 	for _, s := range live {

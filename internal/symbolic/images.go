@@ -72,8 +72,8 @@ func (c *sccCtx) scratchPre(gs []core.Group, x bdd.Ref) bdd.Ref {
 	terms := make([]bdd.Ref, 0, len(gs))
 	for _, g := range gs {
 		gg := g.(*group)
-		src := c.copyIn(gg.src, c.memo)      //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-		wc := c.copyIn(gg.writeCube, c.memo) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		src := c.copyIn(gg.src, c.memo)
+		wc := c.copyIn(gg.writeCube, c.memo)
 		if q := c.m.And(src, c.m.Restrict(x, wc)); q != bdd.False {
 			terms = append(terms, q)
 		}
@@ -91,7 +91,7 @@ func (e *Engine) preScratch(gs []core.Group, x bdd.Ref) bdd.Ref {
 
 // groupPreScratch is the scratch-manager preGroup: src ∧ x[written:=vals].
 func (c *sccCtx) groupPreScratch(g *group, x bdd.Ref) bdd.Ref {
-	src := c.copyIn(g.src, c.memo)      //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-	wc := c.copyIn(g.writeCube, c.memo) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+	src := c.copyIn(g.src, c.memo)
+	wc := c.copyIn(g.writeCube, c.memo)
 	return c.m.And(src, c.m.Restrict(x, wc))
 }

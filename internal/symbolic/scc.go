@@ -147,9 +147,9 @@ func (e *Engine) newSCCCtx(gs []core.Group) *sccCtx {
 	}
 	for _, g := range gs {
 		gg := g.(*group)
-		ctx.src = append(ctx.src, ctx.copyIn(gg.src, ctx.memo))           //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-		ctx.wcube = append(ctx.wcube, ctx.copyIn(gg.writeCube, ctx.memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-		ctx.wvars = append(ctx.wvars, ctx.copyIn(gg.writeVars, ctx.memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		ctx.src = append(ctx.src, ctx.copyIn(gg.src, ctx.memo))
+		ctx.wcube = append(ctx.wcube, ctx.copyIn(gg.writeCube, ctx.memo))
+		ctx.wvars = append(ctx.wvars, ctx.copyIn(gg.writeVars, ctx.memo))
 	}
 	return ctx
 }
@@ -184,9 +184,9 @@ func (c *sccCtx) clone(extra ...bdd.Ref) (*sccCtx, []bdd.Ref) {
 	cc := &sccCtx{e: c.e, m: m, lmap: c.lmap, throwaway: true}
 	memo := make(map[bdd.Ref]bdd.Ref)
 	for i := range c.src {
-		cc.src = append(cc.src, m.CopyFrom(c.m, c.src[i], memo))       //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-		cc.wcube = append(cc.wcube, m.CopyFrom(c.m, c.wcube[i], memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
-		cc.wvars = append(cc.wvars, m.CopyFrom(c.m, c.wvars[i], memo)) //lint:ignore bddref scratch manager: dropped wholesale, never GCs
+		cc.src = append(cc.src, m.CopyFrom(c.m, c.src[i], memo))
+		cc.wcube = append(cc.wcube, m.CopyFrom(c.m, c.wcube[i], memo))
+		cc.wvars = append(cc.wvars, m.CopyFrom(c.m, c.wvars[i], memo))
 	}
 	out := make([]bdd.Ref, len(extra))
 	for i, f := range extra {

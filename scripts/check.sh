@@ -14,10 +14,12 @@ fi
 
 go vet ./...
 
-# Project invariants: the repo's own analyzers (Keep/Release discipline,
-# determinism of the synthesis core, context flow, dependency direction,
-# panic-freedom of the serving tiers). Gating: any finding fails the build;
-# intentional violations carry //lint:ignore directives with reasons.
+# Project invariants: the repo's own analyzers (flow-sensitive Keep/Release
+# discipline, goroutine join paths, lock/blocking separation, determinism of
+# the synthesis core, context flow, dependency direction, panic-freedom of
+# the serving tiers, metric naming, pinned pkg/ API surface). Gating: any
+# finding fails the build; intentional violations carry //lint:ignore
+# directives with reasons, and stale directives are themselves findings.
 go run ./cmd/stsyn-vet ./...
 
 go test -race -count=1 ./...
@@ -60,4 +62,19 @@ if ! awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c >= f) }'; then
     echo "check.sh: internal/bdd coverage ${cov}% is below the ${floor}% floor" >&2
     exit 1
 fi
-echo "check.sh: all clean (internal/bdd coverage ${cov}%)"
+
+# Coverage floor for the analyzer suite itself: stsyn-vet gates every other
+# package, so its own CFG and analyzer paths must stay exercised by the
+# fixture battery. (-short skips the whole-module dogfood test; the fixtures
+# alone must carry the floor.)
+lintfloor=80
+lintcov=$(go test -short -cover ./internal/lint | awk '{for (i=1;i<=NF;i++) if ($i ~ /^coverage:/) {sub(/%$/,"",$(i+1)); print $(i+1)}}')
+if [ "$(printf '%s\n' "$lintcov" | grep -c .)" -ne 1 ] || ! printf '%s\n' "$lintcov" | grep -Eq '^[0-9]+(\.[0-9]+)?$'; then
+    echo "check.sh: could not parse internal/lint coverage (got: '$lintcov')" >&2
+    exit 1
+fi
+if ! awk -v c="$lintcov" -v f="$lintfloor" 'BEGIN { exit !(c >= f) }'; then
+    echo "check.sh: internal/lint coverage ${lintcov}% is below the ${lintfloor}% floor" >&2
+    exit 1
+fi
+echo "check.sh: all clean (internal/bdd coverage ${cov}%, internal/lint coverage ${lintcov}%)"
